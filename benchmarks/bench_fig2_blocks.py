@@ -1,0 +1,26 @@
+"""Paper Fig. 2 — the block partition of VGG-11 and ResNet-18.
+
+The paper splits both models into five blocks for progressive pruning;
+this benchmark prints the partition our implementation derives and
+checks its structure.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import fig2_block_partition
+
+
+def test_fig2_block_partition(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        fig2_block_partition, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    rows = output.data["rows"]
+    vgg_blocks = [r for r in rows if r[0] == "vgg11"]
+    resnet_blocks = [r for r in rows if r[0] == "resnet18"]
+    assert len(vgg_blocks) == 5
+    assert len(resnet_blocks) == 5
+    # The classifier belongs to the last block in both models.
+    assert "classifier" in vgg_blocks[-1][2]
+    assert "fc" in resnet_blocks[-1][2]

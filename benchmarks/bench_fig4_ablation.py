@@ -1,0 +1,28 @@
+"""Paper Fig. 4 — ablation of the two FedTiny modules.
+
+Arms: vanilla selection, adaptive BN selection only, vanilla +
+progressive pruning, and full FedTiny. The paper's finding: each module
+helps on its own, and the combination is best in the low-density
+regime.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import fig4_ablation
+
+
+def test_fig4_ablation(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        fig4_ablation, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    series = output.data["series"]
+    assert set(series) == {
+        "vanilla", "adaptive_bn_only", "vanilla+progressive", "fedtiny",
+    }
+    densities = sorted(series["fedtiny"])
+    # Full FedTiny is at least as good as plain vanilla selection at the
+    # lowest density (the regime the modules were designed for).
+    low = densities[0]
+    assert series["fedtiny"][low] >= series["vanilla"][low] - 0.05

@@ -1,0 +1,28 @@
+"""Paper Fig. 5 — candidate pool size vs accuracy and communication.
+
+The paper shows accuracy saturating beyond C* = 0.1/d while the
+selection communication cost keeps growing linearly in the pool size;
+this benchmark reproduces both series on VGG-11.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import fig5_pool_size
+
+
+def test_fig5_pool_size(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        fig5_pool_size, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    comm = output.data["comm_mb"]
+    for density, per_pool in comm.items():
+        sizes = sorted(per_pool)
+        costs = [per_pool[s] for s in sizes]
+        # Communication grows monotonically with the pool size.
+        assert all(a <= b * 1.001 for a, b in zip(costs, costs[1:]))
+    accuracy = output.data["accuracy"]
+    for per_pool in accuracy.values():
+        for value in per_pool.values():
+            assert 0.0 <= value <= 1.0

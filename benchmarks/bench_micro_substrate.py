@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Unlike the paper-artifact benches these measure raw throughput of the
+pieces every experiment leans on: the im2col convolution, the streaming
+top-K buffer, and the BN recalibration pass. They guard against
+performance regressions in the NumPy framework itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.fl.bn import recalibrate_bn_statistics
+from repro.nn import Conv2d
+from repro.nn.models import build_model
+from repro.sparse import TopKBuffer
+
+
+@pytest.fixture(scope="module")
+def conv_input():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(16, 16, 16, 16)).astype(np.float32)
+
+
+def test_conv_forward_backward_throughput(benchmark, conv_input):
+    conv = Conv2d(16, 32, 3, padding=1, bias=False,
+                  rng=np.random.default_rng(1))
+    grad = np.ones((16, 32, 16, 16), dtype=np.float32)
+
+    def step():
+        out = conv(conv_input)
+        conv.zero_grad()
+        conv.backward(grad)
+        return out
+
+    result = benchmark(step)
+    assert result.shape == (16, 32, 16, 16)
+
+
+def test_topk_buffer_chunked_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    values = rng.normal(size=100_000)
+    indices = np.arange(100_000)
+
+    def stream():
+        buffer = TopKBuffer(256)
+        for start in range(0, values.size, 4096):
+            buffer.push_chunk(
+                indices[start : start + 4096],
+                values[start : start + 4096],
+            )
+        return buffer
+
+    buffer = benchmark(stream)
+    assert len(buffer) == 256
+    # Streaming result equals the exact top-k.
+    _, got = buffer.items()
+    expected = np.sort(np.abs(values))[::-1][:256]
+    np.testing.assert_allclose(
+        np.sort(np.abs(got))[::-1], expected.astype(np.float32), rtol=1e-6
+    )
+
+
+def test_bn_recalibration_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    model = build_model("resnet18", width_multiplier=0.125, seed=4)
+    data = Dataset(
+        rng.normal(size=(64, 3, 16, 16)).astype(np.float32),
+        rng.integers(0, 10, size=64),
+    )
+    stats = benchmark(recalibrate_bn_statistics, model, data, 32)
+    assert len(stats) > 0

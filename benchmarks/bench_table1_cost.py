@@ -1,0 +1,53 @@
+"""Paper Table I — accuracy, max training FLOPs and memory footprint.
+
+Reproduced cost shapes (the paper's headline efficiency claims):
+
+- FedTiny's per-round FLOPs and memory stay near the sparse floor
+  (paper: 0.014x FLOPs, ~3% memory of dense at d=0.01);
+- PruneFL pays ~0.34x FLOPs and a near-dense memory footprint at every
+  density because of its full-size importance scores;
+- LotteryFL trains dense (1x FLOPs, dense memory) regardless of the
+  target density.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import table1_accuracy_and_cost
+
+
+def _by_method(rows):
+    return {r["method"]: r for r in rows}
+
+
+def test_table1_accuracy_and_cost(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        table1_accuracy_and_cost, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    for model_name, by_density in output.data.items():
+        dense = by_density["1.0"][0]
+        dense_flops = dense["max_training_flops_per_round"]
+        dense_memory = dense["memory_footprint_bytes"]
+        for density_key, rows in by_density.items():
+            if density_key == "1.0":
+                continue
+            rows = _by_method(rows)
+            fedtiny = rows["fedtiny"]
+            prunefl = rows["prunefl"]
+            lottery = rows["lotteryfl"]
+            # FedTiny cheap; PruneFL pays the dense-importance tax;
+            # LotteryFL is dense-cost.
+            assert fedtiny["max_training_flops_per_round"] < (
+                0.5 * dense_flops
+            )
+            assert fedtiny["memory_footprint_bytes"] < (
+                prunefl["memory_footprint_bytes"]
+            )
+            assert prunefl["max_training_flops_per_round"] > (
+                fedtiny["max_training_flops_per_round"]
+            )
+            assert lottery["max_training_flops_per_round"] >= (
+                0.9 * dense_flops
+            )
+            assert lottery["memory_footprint_bytes"] >= 0.9 * dense_memory

@@ -1,0 +1,25 @@
+"""Paper Table II — extra FLOPs of the adaptive BN selection module.
+
+The paper's claim: with the optimal pool size the one-off selection
+cost stays below (or near) the cost of a single round of sparse
+training, hence negligible over hundreds of rounds.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import table2_bn_overhead
+
+
+def test_table2_bn_overhead(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        table2_bn_overhead, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    for density, row in output.data.items():
+        assert row["selection_flops"] > 0
+        assert row["train_flops_per_round"] > 0
+        # Selection is a bounded one-off cost: within a small constant
+        # factor of one training round even at reduced scale.
+        ratio = row["selection_flops"] / row["train_flops_per_round"]
+        assert ratio < 30.0

@@ -1,0 +1,24 @@
+"""Paper Table III — pruning scheduling strategies.
+
+Grid over granularity (layer / block / entire model per pruning round),
+ordering (forward vs backward "(b)") and frequency. The paper finds
+block-wise backward to be the best trade-off.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import table3_schedules
+
+
+def test_table3_schedules(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        table3_schedules, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    data = output.data
+    labels = set(data)
+    assert {"layer", "layer (b)", "block", "block (b)", "entire"} <= labels
+    for label, per_density in data.items():
+        for accuracy in per_density.values():
+            assert 0.0 <= accuracy <= 1.0

@@ -1,0 +1,25 @@
+"""Paper Table V — small models matched to each density on CIFAR-10.
+
+Sweeps the density grid with the small dense CNN resized per density.
+The paper's shape: the small model becomes relatively stronger at the
+lowest densities (it suffers no pruning damage) while FedTiny remains
+the best or second-best throughout.
+"""
+
+from conftest import emit
+
+from repro.experiments.paper import table5_small_model_densities
+
+
+def test_table5_small_model_density(benchmark, bench_scale):
+    output = benchmark.pedantic(
+        table5_small_model_densities, kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    emit(output)
+    matrix = output.data["matrix"]
+    assert set(matrix) == {"synflow", "prunefl", "small_model", "fedtiny"}
+    for method, per_density in matrix.items():
+        assert len(per_density) == 4
+        for accuracy in per_density.values():
+            assert 0.0 <= accuracy <= 1.0

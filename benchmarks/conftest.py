@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a
+reduced scale (see ``repro.experiments.configs``). Set the
+``REPRO_BENCH_SCALE`` environment variable to ``tiny`` for a smoke run
+or ``bench`` (default) for the full qualitative reproduction.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def emit(output) -> None:
+    """Print a paper-style artifact under the benchmark's output."""
+    print()
+    print(output)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Deployment scenario: fit a model into a device memory budget.
+
+The paper motivates FedTiny with memory- and compute-constrained
+devices ("deployment scenarios"). This example inverts the workflow: a
+fleet has a hard per-device training-memory budget; we search the
+highest density whose on-device footprint (sparse parameters +
+gradients + FedTiny's O(K) buffer) fits the budget, then run FedTiny at
+that density and verify the footprint.
+
+Usage::
+
+    python examples/deployment_budget.py [budget_mb]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import FedTiny, FedTinyConfig
+from repro.data import svhn_like
+from repro.fl import FederatedContext, FLConfig
+from repro.metrics import device_memory_footprint
+from repro.nn.models import build_model
+from repro.pruning import PruningSchedule, magnitude_mask_uniform
+from repro.sparse import bytes_to_mb
+
+
+def highest_density_within_budget(model, budget_mb: float) -> float:
+    """Binary-search the densest mask whose footprint fits the budget."""
+    low, high = 1e-4, 1.0
+    best = low
+    for _ in range(30):
+        mid = (low + high) / 2.0
+        masks = magnitude_mask_uniform(model, mid)
+        footprint = device_memory_footprint(
+            model, masks, topk_buffer_entries=int(0.3 * masks.num_active)
+        )
+        if bytes_to_mb(footprint.total_bytes) <= budget_mb:
+            best = mid
+            low = mid
+        else:
+            high = mid
+    return best
+
+
+def main() -> None:
+    budget_mb = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+
+    model = build_model("resnet18", num_classes=10, width_multiplier=0.25,
+                        seed=3)
+    dense_mb = bytes_to_mb(device_memory_footprint(model).total_bytes)
+    density = highest_density_within_budget(model, budget_mb)
+    print(f"dense training footprint : {dense_mb:.2f} MB")
+    print(f"device budget            : {budget_mb:.2f} MB")
+    print(f"chosen target density    : {density:.4f}")
+
+    train, test = svhn_like(num_train=800, num_test=240, image_size=16)
+    public, federated = train.split(0.12, np.random.default_rng(7))
+    ctx = FederatedContext(
+        model,
+        federated,
+        test,
+        FLConfig(num_clients=6, rounds=8, local_epochs=1, batch_size=32,
+                 lr=0.05, seed=0),
+        dataset_name="svhn-like",
+        model_name="resnet18",
+    )
+    config = FedTinyConfig(
+        target_density=density,
+        pool_size=6,
+        schedule=PruningSchedule(delta_rounds=2, stop_round=6),
+        pretrain_epochs=2,
+    )
+    result = FedTiny(config).run(ctx, public)
+
+    footprint_mb = bytes_to_mb(result.memory_footprint_bytes)
+    print(f"final top-1 accuracy     : {result.final_accuracy:.4f}")
+    print(f"measured footprint       : {footprint_mb:.3f} MB "
+          f"({'within' if footprint_mb <= budget_mb else 'OVER'} budget)")
+    print(f"compression vs dense     : {dense_mb / footprint_mb:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Non-iid robustness: FedTiny vs server-side pruning as heterogeneity grows.
+
+Reproduces the story of the paper's Fig. 6 as a runnable example: the
+same task is partitioned across devices with decreasing Dirichlet alpha
+(more heterogeneous), and server-side pruning (SynFlow) degrades faster
+than FedTiny, whose adaptive BN selection sees every device's data
+distribution through the aggregated BN statistics.
+
+Usage::
+
+    python examples/heterogeneous_devices.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_scale, run_experiment
+
+
+def main() -> None:
+    scale = get_scale("tiny")
+    density = 0.05
+    alphas = [10.0, 0.5, 0.2]
+    methods = ["synflow", "fedtiny"]
+
+    print(f"density={density}, model=resnet18, dataset=cifar10-like")
+    print(f"{'alpha':>8}  " + "  ".join(f"{m:>10}" for m in methods))
+    for alpha in alphas:
+        accuracies = []
+        for method in methods:
+            result = run_experiment(
+                method,
+                "resnet18",
+                "cifar10",
+                density,
+                scale=scale,
+                dirichlet_alpha=alpha,
+                rounds=6,
+                seed=0,
+            )
+            accuracies.append(result.final_accuracy)
+        row = "  ".join(f"{a:>10.4f}" for a in accuracies)
+        print(f"{alpha:>8.2f}  {row}")
+    print("\nLower alpha = more heterogeneous devices.")
+
+
+if __name__ == "__main__":
+    main()

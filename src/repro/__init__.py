@@ -1,0 +1,46 @@
+"""FedTiny: distributed pruning towards tiny neural networks in
+federated learning.
+
+A full reproduction of Huang et al. (ICDCS 2023, arXiv:2212.01977)
+including the NumPy deep-learning substrate, the federated simulator,
+FedTiny's two modules (adaptive BN selection, progressive pruning), all
+baselines, and the benchmark harness that regenerates every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fedtiny", "resnet18", "cifar10", target_density=0.01,
+        scale="tiny",
+    )
+    print(result.final_accuracy, result.final_density)
+"""
+
+from . import baselines, core, data, experiments, fl, metrics, nn, pruning
+from . import sparse
+from .core import FedTiny, FedTinyConfig
+from .experiments import run_experiment
+from .fl import FederatedContext, FLConfig
+from .sparse import MaskSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FLConfig",
+    "FedTiny",
+    "FedTinyConfig",
+    "FederatedContext",
+    "MaskSet",
+    "baselines",
+    "core",
+    "data",
+    "experiments",
+    "fl",
+    "metrics",
+    "nn",
+    "pruning",
+    "run_experiment",
+    "sparse",
+]

@@ -1,0 +1,21 @@
+"""Baseline methods the paper compares FedTiny against."""
+
+from .feddst import FedDSTBaseline, sparse_aggregate
+from .fedavg import FedAvgBaseline
+from .lotteryfl import LotteryFLBaseline
+from .prunefl import PruneFLBaseline
+from .server_prune import FLPQSUBaseline, SNIPBaseline, SynFlowBaseline
+from .small_model import SmallModelBaseline, build_small_model_context
+
+__all__ = [
+    "FLPQSUBaseline",
+    "FedAvgBaseline",
+    "FedDSTBaseline",
+    "LotteryFLBaseline",
+    "PruneFLBaseline",
+    "SNIPBaseline",
+    "SmallModelBaseline",
+    "SynFlowBaseline",
+    "build_small_model_context",
+    "sparse_aggregate",
+]

@@ -1,0 +1,27 @@
+"""FedAvg: the dense upper bound (paper Table I, density 1)."""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..fl.simulation import FederatedContext
+from ..metrics.tracker import RunResult
+from .common import finalize_memory, pretrain_on_server, run_training_rounds
+
+__all__ = ["FedAvgBaseline"]
+
+
+class FedAvgBaseline:
+    """Plain dense federated averaging (McMahan et al., 2017)."""
+
+    method_name = "fedavg"
+
+    def __init__(self, pretrain_epochs: int = 2) -> None:
+        self.pretrain_epochs = pretrain_epochs
+
+    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
+        """Pretrain on the public data, then run dense FedAvg rounds."""
+        result = ctx.new_result(self.method_name, target_density=1.0)
+        pretrain_on_server(ctx, public_data, self.pretrain_epochs)
+        run_training_rounds(ctx, result)
+        finalize_memory(result, ctx)
+        return result

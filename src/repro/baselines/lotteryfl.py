@@ -1,0 +1,109 @@
+"""LotteryFL (Li et al., 2021), adapted to a single global structure.
+
+LotteryFL hunts lottery tickets: train (dense), prune a fixed fraction
+of the smallest-magnitude weights, rewind the survivors to their
+initial values, repeat until the target density. As in the paper, we
+prune the *global* model so every device shares one structure (the
+original is personalized).
+
+Devices train whatever the current mask is — which starts dense — so
+the method's FLOPs and memory stay at the dense level (Table I reports
+1x for LotteryFL at every target density).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..fl.simulation import FederatedContext
+from ..fl.state import get_state
+from ..metrics.flops import training_flops_per_sample
+from ..metrics.memory import device_memory_footprint
+from ..metrics.tracker import RunResult
+from ..pruning.magnitude import magnitude_mask_global
+from ..pruning.schedule import PruningSchedule
+from ..sparse.mask import MaskSet
+from .common import pretrain_on_server, run_training_rounds
+
+__all__ = ["LotteryFLBaseline"]
+
+
+class LotteryFLBaseline:
+    """Iterative magnitude pruning with rewinding, on the global model."""
+
+    method_name = "lotteryfl"
+
+    def __init__(
+        self,
+        target_density: float,
+        schedule: PruningSchedule | None = None,
+        prune_rate: float = 0.2,
+        pretrain_epochs: int = 2,
+    ) -> None:
+        if not 0.0 < target_density <= 1.0:
+            raise ValueError(
+                f"target_density must be in (0, 1], got {target_density}"
+            )
+        if not 0.0 < prune_rate < 1.0:
+            raise ValueError(
+                f"prune_rate must be in (0, 1), got {prune_rate}"
+            )
+        self.target_density = target_density
+        self.schedule = schedule if schedule is not None else PruningSchedule()
+        self.prune_rate = prune_rate
+        self.pretrain_epochs = pretrain_epochs
+
+    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
+        """Iteratively train dense, prune by magnitude, and rewind to init."""
+        result = ctx.new_result(self.method_name, self.target_density)
+        pretrain_on_server(ctx, public_data, self.pretrain_epochs)
+        # Rewind target: the weights right after pretraining (the
+        # "initialization" every ticket is rewound to).
+        initial_state = {
+            k: v.copy() for k, v in ctx.server.state.items()
+        }
+        dense_flops = training_flops_per_sample(ctx.profile, None)
+        max_samples = max(ctx.sample_counts)
+
+        def prune_hook(
+            round_index: int, states: list[dict[str, np.ndarray]]
+        ) -> float:
+            del states
+            if not self.schedule.is_pruning_round(round_index):
+                return 0.0
+            if ctx.server.masks.density <= self.target_density:
+                return 0.0
+            next_density = max(
+                self.target_density,
+                ctx.server.masks.density * (1.0 - self.prune_rate),
+            )
+            self._prune_and_rewind(ctx, next_density, initial_state)
+            return 0.0
+
+        run_training_rounds(ctx, result, round_hook=prune_hook)
+        # LotteryFL's device cost is dominated by the dense phases:
+        # report the dense footprint and dense per-round FLOPs ceiling.
+        result.max_training_flops_per_round = (
+            dense_flops * ctx.config.local_epochs * max_samples
+        )
+        dense_masks = MaskSet.dense(ctx.model)
+        result.memory_footprint_bytes = device_memory_footprint(
+            ctx.model, dense_masks
+        ).total_bytes
+        return result
+
+    def _prune_and_rewind(
+        self,
+        ctx: FederatedContext,
+        density: float,
+        initial_state: dict[str, np.ndarray],
+    ) -> None:
+        """One lottery iteration: magnitude prune, rewind survivors."""
+        ctx.server.load_into_model()
+        new_masks = magnitude_mask_global(ctx.model, density)
+        rewound = {}
+        for name, value in ctx.server.state.items():
+            rewound[name] = initial_state[name].copy()
+        ctx.reset_model_state(rewound)
+        ctx.server.set_masks(new_masks)

@@ -1,0 +1,119 @@
+"""Pruning-at-initialization baselines: SNIP, SynFlow, FL-PQSU.
+
+All three prune once on the server — before any device sees the model —
+and then federated fine-tuning proceeds with the mask frozen. This is
+exactly the "decoupled" design the paper criticizes: with non-iid local
+data the server-side mask is biased and nothing downstream can fix it.
+
+- SNIP scores connection sensitivity |g*w| on the server's public
+  one-shot dataset (iterative, exponential schedule);
+- SynFlow is data-free synaptic flow (iterative);
+- FL-PQSU's pruning stage is one-shot L1/magnitude pruning with a
+  uniform layer-wise rate (the paper converts it to unstructured).
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..fl.simulation import FederatedContext
+from ..metrics.tracker import RunResult
+from ..pruning.magnitude import magnitude_mask_uniform
+from ..pruning.snip import snip_mask
+from ..pruning.synflow import synflow_mask
+from ..sparse.mask import MaskSet
+from .common import finalize_memory, pretrain_on_server, run_training_rounds
+
+__all__ = ["SNIPBaseline", "SynFlowBaseline", "FLPQSUBaseline"]
+
+
+class _ServerPruneBaseline:
+    """Template: pretrain, server-prune once, fine-tune federated."""
+
+    method_name = "server_prune"
+
+    def __init__(
+        self, target_density: float, pretrain_epochs: int = 2
+    ) -> None:
+        if not 0.0 < target_density <= 1.0:
+            raise ValueError(
+                f"target_density must be in (0, 1], got {target_density}"
+            )
+        self.target_density = target_density
+        self.pretrain_epochs = pretrain_epochs
+
+    def compute_mask(
+        self, ctx: FederatedContext, public_data: Dataset
+    ) -> MaskSet:
+        raise NotImplementedError
+
+    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
+        result = ctx.new_result(self.method_name, self.target_density)
+        pretrain_on_server(ctx, public_data, self.pretrain_epochs)
+        masks = self.compute_mask(ctx, public_data)
+        ctx.install_masks(masks)
+        result.metadata["layer_densities"] = masks.layer_densities()
+        run_training_rounds(ctx, result)
+        finalize_memory(result, ctx)
+        return result
+
+
+class SNIPBaseline(_ServerPruneBaseline):
+    """SNIP (Lee et al., 2019) on the server's public data."""
+
+    method_name = "snip"
+
+    def __init__(
+        self,
+        target_density: float,
+        pretrain_epochs: int = 2,
+        iterations: int = 5,
+    ) -> None:
+        super().__init__(target_density, pretrain_epochs)
+        self.iterations = iterations
+
+    def compute_mask(
+        self, ctx: FederatedContext, public_data: Dataset
+    ) -> MaskSet:
+        return snip_mask(
+            ctx.model,
+            public_data,
+            self.target_density,
+            iterations=self.iterations,
+            batch_size=ctx.config.batch_size,
+        )
+
+
+class SynFlowBaseline(_ServerPruneBaseline):
+    """SynFlow (Tanaka et al., 2020), data-free server pruning."""
+
+    method_name = "synflow"
+
+    def __init__(
+        self,
+        target_density: float,
+        pretrain_epochs: int = 2,
+        iterations: int = 20,
+    ) -> None:
+        super().__init__(target_density, pretrain_epochs)
+        self.iterations = iterations
+
+    def compute_mask(
+        self, ctx: FederatedContext, public_data: Dataset
+    ) -> MaskSet:
+        return synflow_mask(
+            ctx.model,
+            ctx.test_data.image_shape,
+            self.target_density,
+            iterations=self.iterations,
+        )
+
+
+class FLPQSUBaseline(_ServerPruneBaseline):
+    """FL-PQSU's pruning stage (Xu et al., 2021): one-shot L1/magnitude."""
+
+    method_name = "fl-pqsu"
+
+    def compute_mask(
+        self, ctx: FederatedContext, public_data: Dataset
+    ) -> MaskSet:
+        return magnitude_mask_uniform(ctx.model, self.target_density)

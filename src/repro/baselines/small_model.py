@@ -1,0 +1,70 @@
+"""The dense-small-model baseline (paper Section IV-G).
+
+"Just train a small dense model of the same size" — a three-conv CNN
+whose parameter count matches the pruned big model's active parameter
+count, trained with plain FedAvg. The paper's Tables IV and V show this
+is competitive with server-prune baselines but loses to FedTiny.
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..fl.simulation import FederatedContext, FLConfig
+from ..metrics.tracker import RunResult
+from ..nn.models.small_cnn import small_cnn_matching_params
+from .common import finalize_memory, pretrain_on_server, run_training_rounds
+
+__all__ = ["SmallModelBaseline", "build_small_model_context"]
+
+
+def build_small_model_context(
+    reference_ctx: FederatedContext,
+    target_density: float,
+    train_data: Dataset,
+    test_data: Dataset,
+    config: FLConfig,
+) -> FederatedContext:
+    """A fresh context whose model is a parameter-matched SmallCNN.
+
+    The small model gets ``target_density * |reference model|``
+    parameters, matching the paper's "similar number of parameters to
+    ResNet-18 at density d" setup.
+    """
+    target_params = max(
+        1, int(round(target_density * reference_ctx.model.num_parameters()))
+    )
+    model = small_cnn_matching_params(
+        target_params,
+        num_classes=test_data.num_classes,
+        in_channels=test_data.image_shape[0],
+    )
+    return FederatedContext(
+        model,
+        train_data,
+        test_data,
+        config,
+        dataset_name=reference_ctx.dataset_name,
+        model_name=f"small_cnn[{model.num_parameters()}p]",
+    )
+
+
+class SmallModelBaseline:
+    """Dense FedAvg on a parameter-matched small CNN."""
+
+    method_name = "small_model"
+
+    def __init__(
+        self, target_density: float, pretrain_epochs: int = 2
+    ) -> None:
+        self.target_density = target_density
+        self.pretrain_epochs = pretrain_epochs
+
+    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
+        """Run dense FedAvg; ``ctx`` must hold the small model already
+        (see :func:`build_small_model_context`)."""
+        result = ctx.new_result(self.method_name, self.target_density)
+        result.metadata["model_parameters"] = ctx.model.num_parameters()
+        pretrain_on_server(ctx, public_data, self.pretrain_epochs)
+        run_training_rounds(ctx, result)
+        finalize_memory(result, ctx)
+        return result

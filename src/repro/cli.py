@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run --method fedtiny --model resnet18 \
+        --dataset cifar10 --density 0.05 --scale tiny
+    python -m repro experiment table1 --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .data.synthetic import DATASET_BUILDERS
+from .experiments import METHOD_NAMES, SCALES, run_experiment
+from .experiments import paper as paper_experiments
+from .nn.models import available_models
+from .sparse.storage import bytes_to_mb
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig2": paper_experiments.fig2_block_partition,
+    "fig3": paper_experiments.fig3_density_sweep,
+    "table1": paper_experiments.table1_accuracy_and_cost,
+    "fig4": paper_experiments.fig4_ablation,
+    "fig5": paper_experiments.fig5_pool_size,
+    "table2": paper_experiments.table2_bn_overhead,
+    "table3": paper_experiments.table3_schedules,
+    "fig6": paper_experiments.fig6_noniid,
+    "table4": paper_experiments.table4_small_model_datasets,
+    "table5": paper_experiments.table5_small_model_densities,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "FedTiny reproduction: distributed pruning towards tiny "
+            "neural networks in federated learning (ICDCS 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list methods, models, datasets, scales")
+
+    run = sub.add_parser("run", help="run one federated pruning experiment")
+    run.add_argument("--method", required=True, choices=METHOD_NAMES)
+    run.add_argument("--model", default="resnet18",
+                     choices=available_models())
+    run.add_argument("--dataset", default="cifar10",
+                     choices=sorted(DATASET_BUILDERS))
+    run.add_argument("--density", type=float, default=0.05)
+    run.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    run.add_argument("--alpha", type=float, default=0.5,
+                     help="Dirichlet alpha; <=0 means iid")
+    run.add_argument("--rounds", type=int, default=None)
+    run.add_argument("--pool-size", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true",
+                     help="emit the result record as JSON")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("experiment_id", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", default="bench",
+                            choices=sorted(SCALES))
+    experiment.add_argument(
+        "--plot", action="store_true",
+        help="also render the figure as an ASCII chart (fig3/4/5/6)",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    print("methods :", ", ".join(METHOD_NAMES))
+    print("models  :", ", ".join(available_models()))
+    print("datasets:", ", ".join(sorted(DATASET_BUILDERS)))
+    print("scales  :", ", ".join(sorted(SCALES)))
+    print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    alpha = None if args.alpha is not None and args.alpha <= 0 else args.alpha
+    result = run_experiment(
+        args.method,
+        args.model,
+        args.dataset,
+        args.density,
+        scale=args.scale,
+        dirichlet_alpha=alpha,
+        seed=args.seed,
+        pool_size=args.pool_size,
+        rounds=args.rounds,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, default=str))
+        return 0
+    print(f"method            : {result.method}")
+    print(f"model / dataset   : {result.model} / {result.dataset}")
+    print(f"target density    : {result.target_density:g}")
+    print(f"final density     : {result.final_density:.5f}")
+    print(f"final accuracy    : {result.final_accuracy:.4f}")
+    print(f"best accuracy     : {result.best_accuracy:.4f}")
+    print(f"max FLOPs/round   : {result.max_training_flops_per_round:.3e}")
+    print(f"memory footprint  : "
+          f"{bytes_to_mb(result.memory_footprint_bytes):.3f} MB")
+    print(f"total comm        : {bytes_to_mb(result.total_comm_bytes):.2f} MB")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    output = _EXPERIMENTS[args.experiment_id](scale=args.scale)
+    print(output)
+    if args.plot:
+        _render_plots(output)
+    return 0
+
+
+def _render_plots(output) -> None:
+    """ASCII charts for the figure experiments (no-op for tables)."""
+    from .experiments import figures
+
+    if output.experiment_id == "fig3":
+        for dataset in output.data["series"]:
+            print()
+            print(figures.render_fig3(output, dataset))
+    elif output.experiment_id == "fig4":
+        print()
+        print(figures.render_fig4(output))
+    elif output.experiment_id == "fig5":
+        accuracy_chart, comm_chart = figures.render_fig5(output)
+        print()
+        print(accuracy_chart)
+        print()
+        print(comm_chart)
+    elif output.experiment_id == "fig6":
+        print()
+        print(figures.render_fig6(output))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""FedTiny core: adaptive BN selection + progressive pruning."""
+
+from .adaptive_bn import AdaptiveBNSelection, SelectionReport
+from .fedtiny import FedTiny, FedTinyConfig, optimal_pool_size
+from .progressive import AdjustmentReport, ProgressivePruner
+
+__all__ = [
+    "AdaptiveBNSelection",
+    "AdjustmentReport",
+    "FedTiny",
+    "FedTinyConfig",
+    "ProgressivePruner",
+    "SelectionReport",
+    "optimal_pool_size",
+]

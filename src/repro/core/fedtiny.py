@@ -1,0 +1,195 @@
+"""The FedTiny orchestrator: coarse prune, select, progressively prune.
+
+Ties the paper's pipeline together (Fig. 1 right):
+
+1. the server pretrains on its public one-shot dataset and builds a
+   pool of coarse-pruned candidates (magnitude pruning with noisy
+   layer-wise rates, Section IV-A2);
+2. the adaptive BN selection module picks the least-biased candidate
+   (Algorithm 1);
+3. federated sparse training runs, with the progressive pruning module
+   adjusting one block of layers every few rounds (Algorithm 2).
+
+The two module switches (``use_adaptive_bn``, ``use_progressive``)
+yield the four ablation arms of the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..data.dataset import Dataset
+from ..fl.simulation import FederatedContext
+from ..fl.training import server_pretrain
+from ..metrics.flops import training_flops_per_sample
+from ..metrics.memory import device_memory_footprint
+from ..metrics.tracker import RunResult
+from ..pruning.blocks import model_blocks
+from ..pruning.candidate_pool import generate_candidate_pool
+from ..pruning.protection import resolve_protected_layers
+from ..pruning.schedule import PruningSchedule
+from .adaptive_bn import AdaptiveBNSelection
+from .progressive import ProgressivePruner
+
+__all__ = ["FedTinyConfig", "FedTiny", "optimal_pool_size"]
+
+_MAX_DEFAULT_POOL = 50
+
+
+def optimal_pool_size(target_density: float) -> int:
+    """The paper's C* = 0.1 / d_target rule (Section IV-D), clamped."""
+    if not 0.0 < target_density <= 1.0:
+        raise ValueError(
+            f"target_density must be in (0, 1], got {target_density}"
+        )
+    return int(min(_MAX_DEFAULT_POOL, max(1, round(0.1 / target_density))))
+
+
+@dataclass(frozen=True)
+class FedTinyConfig:
+    """All FedTiny knobs with the paper's defaults."""
+
+    target_density: float = 0.01
+    pool_size: int | None = None  # None -> optimal_pool_size(d)
+    pool_noise: float = 0.9
+    use_adaptive_bn: bool = True
+    use_progressive: bool = True
+    schedule: PruningSchedule = field(default_factory=PruningSchedule)
+    pretrain_epochs: int = 2
+    protect_io: bool = True
+    selection_batch_size: int = 64
+    grad_batch_size: int = 64
+    pool_seed: int = 17
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_density <= 1.0:
+            raise ValueError(
+                f"target_density must be in (0, 1], got {self.target_density}"
+            )
+        if self.pool_size is not None and self.pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
+
+    def with_ablation(
+        self, use_adaptive_bn: bool, use_progressive: bool
+    ) -> "FedTinyConfig":
+        """Copy of this config with the two module switches set."""
+        return replace(
+            self,
+            use_adaptive_bn=use_adaptive_bn,
+            use_progressive=use_progressive,
+        )
+
+
+class FedTiny:
+    """Runs the full FedTiny protocol on a federated context."""
+
+    def __init__(self, config: FedTinyConfig) -> None:
+        self.config = config
+
+    @property
+    def method_name(self) -> str:
+        cfg = self.config
+        if cfg.use_adaptive_bn and cfg.use_progressive:
+            return "fedtiny"
+        if cfg.use_adaptive_bn:
+            return "adaptive_bn_only"
+        if cfg.use_progressive:
+            return "vanilla+progressive"
+        return "vanilla"
+
+    def run(
+        self, ctx: FederatedContext, public_data: Dataset
+    ) -> RunResult:
+        """Execute the full FedTiny pipeline and return its run record."""
+        cfg = self.config
+        import numpy as np
+
+        result = ctx.new_result(self.method_name, cfg.target_density)
+
+        # 1. Server-side pretraining on the public one-shot dataset.
+        server_pretrain(
+            ctx.model,
+            public_data,
+            epochs=cfg.pretrain_epochs,
+            batch_size=ctx.config.batch_size,
+            lr=ctx.config.lr,
+            seed=ctx.config.seed,
+        )
+        from ..fl.state import get_state
+
+        ctx.server.commit_state(get_state(ctx.model))
+
+        # 2. Coarse-pruned candidate pool.
+        protected = resolve_protected_layers(
+            ctx.model, cfg.target_density, cfg.protect_io
+        )
+        pool_size = (
+            cfg.pool_size
+            if cfg.pool_size is not None
+            else optimal_pool_size(cfg.target_density)
+        )
+        pool = generate_candidate_pool(
+            ctx.model,
+            cfg.target_density,
+            pool_size,
+            np.random.default_rng(cfg.pool_seed),
+            noise=cfg.pool_noise,
+            protected=protected,
+        )
+
+        # 3. Candidate selection (adaptive BN or vanilla).
+        selector = AdaptiveBNSelection(
+            use_bn_recalibration=cfg.use_adaptive_bn,
+            batch_size=cfg.selection_batch_size,
+        )
+        chosen, selection = selector.select(ctx, pool)
+        ctx.install_masks(chosen.masks.copy())
+        # Selection traffic is a one-off accounted on the result itself,
+        # not in the per-round training deltas.
+        ctx.sync_comm_baseline()
+        result.selection_comm_bytes = selection.comm_bytes
+        result.selection_flops = selection.flops_per_device
+        result.metadata.update(
+            selected_candidate=selection.selected_index,
+            pool_size=selection.pool_size,
+            protected_layers=sorted(protected),
+            candidate_losses=selection.candidate_losses,
+        )
+
+        # 4. Federated sparse training with progressive pruning.
+        pruner = ProgressivePruner(
+            cfg.schedule,
+            model_blocks(ctx.model),
+            protected=protected,
+            grad_batch_size=cfg.grad_batch_size,
+        )
+        max_samples = max(ctx.sample_counts)
+        for round_index in range(1, ctx.config.rounds + 1):
+            base_flops = (
+                training_flops_per_sample(ctx.profile, ctx.server.masks)
+                * ctx.config.local_epochs
+                * max_samples
+            )
+            states = ctx.run_fedavg_round()
+            extra_flops = 0.0
+            if cfg.use_progressive:
+                adjustment = pruner.maybe_adjust(ctx, round_index, states)
+                if adjustment is not None and adjustment.layer_counts:
+                    extra_flops = training_flops_per_sample(
+                        ctx.profile,
+                        ctx.server.masks,
+                        dense_grad_layers=set(adjustment.layer_counts),
+                    ) * min(cfg.grad_batch_size, max_samples)
+            ctx.record_round(result, round_index, base_flops + extra_flops)
+
+        # 5. Final cost accounting.
+        footprint = device_memory_footprint(
+            ctx.model,
+            ctx.server.masks,
+            topk_buffer_entries=pruner.max_buffer_entries_seen,
+        )
+        result.memory_footprint_bytes = footprint.total_bytes
+        result.metadata["final_layer_densities"] = (
+            ctx.server.masks.layer_densities()
+        )
+        return result

@@ -1,0 +1,199 @@
+"""Progressive pruning (paper Algorithm 2).
+
+Every ``delta_rounds`` rounds (until round ``stop_round``) the server
+adjusts the mask of one group of layers — a block by default, iterated
+backward from the output (paper Section IV-E):
+
+1. each device computes the top-``a_t^l`` gradient magnitudes of the
+   *pruned* parameters for each layer in the group, using an O(a_t^l)
+   streaming buffer (Eq. 6);
+2. the server averages the sparse reports sample-weighted (Eq. 7);
+3. the server *grows* the ``a_t^l`` pruned positions with the largest
+   aggregated gradient magnitude and *prunes* the ``a_t^l`` active
+   positions with the smallest weight magnitude (excluding the
+   just-grown ones), keeping the density exactly constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fl.aggregation import aggregate_sparse_gradients
+from ..fl.simulation import FederatedContext
+from ..fl.state import set_state
+from ..pruning.schedule import PruningSchedule
+from ..sparse.mask import MaskSet
+
+__all__ = ["AdjustmentReport", "ProgressivePruner"]
+
+
+@dataclass
+class AdjustmentReport:
+    """Outcome of one grow/prune adjustment."""
+
+    round_index: int
+    layer_counts: dict[str, int]
+    grown: dict[str, np.ndarray] = field(default_factory=dict)
+    dropped: dict[str, np.ndarray] = field(default_factory=dict)
+    upload_bytes: int = 0
+    max_buffer_entries: int = 0
+
+    @property
+    def total_adjusted(self) -> int:
+        return sum(self.layer_counts.values())
+
+
+class ProgressivePruner:
+    """Server-side driver of the grow/prune schedule."""
+
+    def __init__(
+        self,
+        schedule: PruningSchedule,
+        blocks: list[list[str]],
+        protected: frozenset[str] = frozenset(),
+        grad_batch_size: int = 64,
+    ) -> None:
+        if not blocks or not any(blocks):
+            raise ValueError("block partition is empty")
+        self.schedule = schedule
+        self.blocks = [
+            [name for name in block if name not in protected]
+            for block in blocks
+        ]
+        self.blocks = [block for block in self.blocks if block]
+        if not self.blocks:
+            raise ValueError("all blocks were protected from pruning")
+        self.grad_batch_size = grad_batch_size
+        self._pruning_rounds_done = 0
+        self.max_buffer_entries_seen = 0
+
+    # ------------------------------------------------------------------
+    # Round hook
+    # ------------------------------------------------------------------
+    def maybe_adjust(
+        self,
+        ctx: FederatedContext,
+        round_index: int,
+        client_states: list[dict[str, np.ndarray]],
+    ) -> AdjustmentReport | None:
+        """Run one adjustment if the schedule says so.
+
+        ``client_states`` are the post-local-training device states of
+        this round: the paper's devices compute their gradient reports
+        on their own local model before the server aggregates.
+        """
+        if not self.schedule.is_pruning_round(round_index):
+            return None
+        group = self.schedule.group_for_pruning_round(
+            self._pruning_rounds_done, self.blocks
+        )
+        masks = ctx.server.masks
+        layer_counts: dict[str, int] = {}
+        for name in group:
+            active = masks.layer_active(name)
+            pruned = masks[name].size - active
+            count = self.schedule.adjustment_count(round_index, 1, active)
+            count = min(count, pruned, active)
+            if count > 0:
+                layer_counts[name] = count
+        self._pruning_rounds_done += 1
+        if not layer_counts:
+            return AdjustmentReport(round_index, {})
+
+        report = self._collect_and_apply(
+            ctx, round_index, layer_counts, client_states
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _collect_and_apply(
+        self,
+        ctx: FederatedContext,
+        round_index: int,
+        layer_counts: dict[str, int],
+        client_states: list[dict[str, np.ndarray]],
+    ) -> AdjustmentReport:
+        # Device side: sparse top-K gradient reports (Eq. 6) from the
+        # devices that trained this round.
+        participants = ctx.last_participants
+        per_device = []
+        upload_bytes = 0
+        for client, state in zip(participants, client_states):
+            set_state(ctx.model, state)
+            grads = client.compute_topk_pruned_gradients(
+                ctx.model, layer_counts, self.grad_batch_size
+            )
+            per_device.append(grads)
+            upload_bytes += sum(
+                8 * len(indices) for indices, _ in grads.values()
+            )
+        ctx.comm.record_upload(upload_bytes, phase="pruning")
+        self.max_buffer_entries_seen = max(
+            self.max_buffer_entries_seen, max(layer_counts.values())
+        )
+
+        # Server side: aggregate (Eq. 7) and adjust the mask.
+        aggregated = aggregate_sparse_gradients(
+            per_device, [c.num_samples for c in participants]
+        )
+        new_masks, grown, dropped = self.adjust_masks(
+            ctx.server.masks, ctx.server.state, layer_counts, aggregated
+        )
+        ctx.server.set_masks(new_masks)
+        report = AdjustmentReport(
+            round_index=round_index,
+            layer_counts=layer_counts,
+            grown=grown,
+            dropped=dropped,
+            upload_bytes=upload_bytes,
+            max_buffer_entries=max(layer_counts.values()),
+        )
+        return report
+
+    @staticmethod
+    def adjust_masks(
+        masks: MaskSet,
+        global_state: dict[str, np.ndarray],
+        layer_counts: dict[str, int],
+        aggregated_grads: dict[str, tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[MaskSet, dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Grow/prune each layer's mask, preserving its active count."""
+        new_masks = masks.copy()
+        grown_indices: dict[str, np.ndarray] = {}
+        dropped_indices: dict[str, np.ndarray] = {}
+        for name, count in layer_counts.items():
+            mask_flat = new_masks[name].reshape(-1).copy()
+            weights_flat = global_state[name].reshape(-1)
+
+            # Grow: pruned indices with the largest aggregated |grad|.
+            if name in aggregated_grads:
+                idx, values = aggregated_grads[name]
+                order = np.argsort(-np.abs(values), kind="stable")
+                candidates = idx[order]
+                # Only genuinely pruned positions are eligible.
+                eligible = candidates[~mask_flat[candidates]]
+                grow = eligible[:count]
+            else:
+                grow = np.empty(0, dtype=np.int64)
+
+            # Drop: active positions with the smallest |weight|,
+            # excluding the ones just grown (they are not active yet).
+            active_idx = np.flatnonzero(mask_flat)
+            drop_count = len(grow)
+            if drop_count > 0:
+                magnitudes = np.abs(weights_flat[active_idx])
+                order = np.argsort(magnitudes, kind="stable")
+                drop = active_idx[order[:drop_count]]
+            else:
+                drop = np.empty(0, dtype=np.int64)
+
+            mask_flat[grow] = True
+            mask_flat[drop] = False
+            new_masks[name] = mask_flat.reshape(new_masks[name].shape)
+            grown_indices[name] = grow
+            dropped_indices[name] = drop
+        return new_masks, grown_indices, dropped_indices

@@ -1,0 +1,41 @@
+"""Datasets, synthetic generators and federated partitioning."""
+
+from .dataset import Dataset
+from .partition import dirichlet_partition, iid_partition, partition_dataset
+from .synthetic import (
+    DATASET_BUILDERS,
+    SyntheticSpec,
+    build_dataset,
+    cifar10_like,
+    cifar100_like,
+    cinic10_like,
+    generate,
+    svhn_like,
+)
+from .transforms import (
+    augment_batch,
+    channel_statistics,
+    normalize,
+    random_crop_with_padding,
+    random_horizontal_flip,
+)
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "Dataset",
+    "SyntheticSpec",
+    "augment_batch",
+    "build_dataset",
+    "channel_statistics",
+    "cifar10_like",
+    "cifar100_like",
+    "cinic10_like",
+    "dirichlet_partition",
+    "generate",
+    "iid_partition",
+    "normalize",
+    "partition_dataset",
+    "random_crop_with_padding",
+    "random_horizontal_flip",
+    "svhn_like",
+]

@@ -1,0 +1,112 @@
+"""In-memory image-classification datasets and batching."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """Images ``(N, C, H, W)`` float32 + integer labels ``(N,)``."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(
+                f"images must have shape (N, C, H, W), got {images.shape}"
+            )
+        if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match "
+                f"{images.shape[0]} images"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes present (labels are 0..K-1)."""
+        if len(self) == 0:
+            return 0
+        return int(self.labels.max()) + 1
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return self.images.shape[1:]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Dataset view at the given sample indices (copies data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.images[indices], self.labels[indices])
+
+    def sample_fraction(
+        self, fraction: float, rng: np.random.Generator
+    ) -> "Dataset":
+        """Random subset with ``ceil(fraction * N)`` samples.
+
+        Used to draw the local development dataset of the adaptive BN
+        selection module (paper: 10% of local data).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(np.ceil(fraction * len(self))))
+        indices = rng.choice(len(self), size=count, replace=False)
+        return self.subset(indices)
+
+    def split(
+        self, first_fraction: float, rng: np.random.Generator
+    ) -> tuple["Dataset", "Dataset"]:
+        """Random disjoint split into two datasets."""
+        if not 0.0 < first_fraction < 1.0:
+            raise ValueError(
+                f"first_fraction must be in (0, 1), got {first_fraction}"
+            )
+        permutation = rng.permutation(len(self))
+        cut = max(1, int(round(first_fraction * len(self))))
+        return self.subset(permutation[:cut]), self.subset(permutation[cut:])
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def batches(
+        self,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate over minibatches, shuffling when ``rng`` is given."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = (
+            rng.permutation(len(self))
+            if rng is not None
+            else np.arange(len(self))
+        )
+        for start in range(0, len(self), batch_size):
+            chunk = order[start : start + batch_size]
+            if drop_last and chunk.size < batch_size:
+                return
+            yield self.images[chunk], self.labels[chunk]
+
+    def first_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic first ``batch_size`` samples (for scoring passes)."""
+        take = min(batch_size, len(self))
+        return self.images[:take], self.labels[:take]
+
+    def class_counts(self, num_classes: int | None = None) -> np.ndarray:
+        """Histogram of labels, length ``num_classes``."""
+        k = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.labels, minlength=k)

@@ -1,0 +1,249 @@
+"""Synthetic stand-ins for the paper's image datasets.
+
+The evaluation uses CIFAR-10, CIFAR-100, CINIC-10 and SVHN, none of
+which can be downloaded in this environment. Every algorithm in the
+paper consumes the data only as (image batch, label batch) pairs plus a
+Dirichlet non-iid partition, so we substitute seeded generators that
+preserve the properties the algorithms are sensitive to:
+
+- class structure learnable by small conv nets (smooth low-frequency
+  class prototypes with additive noise and multiple intra-class modes);
+- a difficulty ordering matching the real datasets
+  (SVHN < CIFAR-10 < CINIC-10 << CIFAR-100);
+- standard shapes (3x32x32 by default) and class counts.
+
+See DESIGN.md ("Substitutions") for the fidelity argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "SyntheticSpec",
+    "generate",
+    "cifar10_like",
+    "cifar100_like",
+    "cinic10_like",
+    "svhn_like",
+    "DATASET_BUILDERS",
+    "build_dataset",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Full description of one synthetic classification task."""
+
+    name: str
+    num_classes: int
+    num_train: int
+    num_test: int
+    image_size: int = 32
+    channels: int = 3
+    noise: float = 0.5
+    modes_per_class: int = 2
+    prototype_grid: int = 4
+    signal_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least 2 classes")
+        if self.num_train < self.num_classes or self.num_test < 1:
+            raise ValueError("dataset too small for the class count")
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+        if self.modes_per_class < 1:
+            raise ValueError("modes_per_class must be >= 1")
+
+
+def _upsample_bilinear(coarse: np.ndarray, size: int) -> np.ndarray:
+    """Bilinear upsample of a (C, g, g) grid to (C, size, size)."""
+    c, g, _ = coarse.shape
+    # Sample positions of the fine grid in coarse coordinates.
+    positions = np.linspace(0, g - 1, size)
+    lo = np.floor(positions).astype(int)
+    hi = np.minimum(lo + 1, g - 1)
+    frac = positions - lo
+    # Interpolate rows then columns.
+    rows = (
+        coarse[:, lo, :] * (1 - frac)[None, :, None]
+        + coarse[:, hi, :] * frac[None, :, None]
+    )
+    out = (
+        rows[:, :, lo] * (1 - frac)[None, None, :]
+        + rows[:, :, hi] * frac[None, None, :]
+    )
+    return out.astype(np.float32)
+
+
+def _make_prototypes(spec: SyntheticSpec, rng: np.random.Generator):
+    """One smooth prototype image per (class, mode)."""
+    prototypes = np.empty(
+        (
+            spec.num_classes,
+            spec.modes_per_class,
+            spec.channels,
+            spec.image_size,
+            spec.image_size,
+        ),
+        dtype=np.float32,
+    )
+    for cls in range(spec.num_classes):
+        for mode in range(spec.modes_per_class):
+            coarse = rng.normal(
+                size=(spec.channels, spec.prototype_grid, spec.prototype_grid)
+            )
+            proto = _upsample_bilinear(coarse, spec.image_size)
+            norm = np.sqrt((proto**2).mean()) + 1e-8
+            prototypes[cls, mode] = spec.signal_scale * proto / norm
+    return prototypes
+
+
+def _sample_split(
+    spec: SyntheticSpec,
+    prototypes: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> Dataset:
+    labels = rng.integers(0, spec.num_classes, size=count)
+    modes = rng.integers(0, spec.modes_per_class, size=count)
+    images = prototypes[labels, modes].copy()
+    images += rng.normal(scale=spec.noise, size=images.shape).astype(
+        np.float32
+    )
+    return Dataset(images, labels)
+
+
+def generate(spec: SyntheticSpec) -> tuple[Dataset, Dataset]:
+    """Generate the (train, test) datasets for ``spec``."""
+    rng = np.random.default_rng(spec.seed)
+    prototypes = _make_prototypes(spec, rng)
+    train = _sample_split(spec, prototypes, spec.num_train, rng)
+    test = _sample_split(spec, prototypes, spec.num_test, rng)
+    return train, test
+
+
+# ----------------------------------------------------------------------
+# Named datasets mirroring the paper's benchmarks. Difficulty is set by
+# the noise level and intra-class mode count; CIFAR-100 additionally has
+# 10x the classes.
+# ----------------------------------------------------------------------
+
+def cifar10_like(
+    num_train: int = 2000,
+    num_test: int = 500,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """CIFAR-10 stand-in: 10 classes, moderate noise."""
+    return generate(
+        SyntheticSpec(
+            name="cifar10",
+            num_classes=10,
+            num_train=num_train,
+            num_test=num_test,
+            image_size=image_size,
+            noise=0.9,
+            modes_per_class=2,
+            seed=seed,
+        )
+    )
+
+
+def cifar100_like(
+    num_train: int = 2000,
+    num_test: int = 500,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """CIFAR-100 stand-in: 100 classes (the hard task)."""
+    return generate(
+        SyntheticSpec(
+            name="cifar100",
+            num_classes=100,
+            num_train=num_train,
+            num_test=num_test,
+            image_size=image_size,
+            noise=0.9,
+            modes_per_class=2,
+            seed=seed + 1,
+        )
+    )
+
+
+def cinic10_like(
+    num_train: int = 2000,
+    num_test: int = 500,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """CINIC-10 stand-in: 10 classes, noisier than CIFAR-10."""
+    return generate(
+        SyntheticSpec(
+            name="cinic10",
+            num_classes=10,
+            num_train=num_train,
+            num_test=num_test,
+            image_size=image_size,
+            noise=1.3,
+            modes_per_class=3,
+            seed=seed + 2,
+        )
+    )
+
+
+def svhn_like(
+    num_train: int = 2000,
+    num_test: int = 500,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """SVHN stand-in: 10 classes, cleanest signal."""
+    return generate(
+        SyntheticSpec(
+            name="svhn",
+            num_classes=10,
+            num_train=num_train,
+            num_test=num_test,
+            image_size=image_size,
+            noise=0.6,
+            modes_per_class=1,
+            seed=seed + 3,
+        )
+    )
+
+
+DATASET_BUILDERS = {
+    "cifar10": cifar10_like,
+    "cifar100": cifar100_like,
+    "cinic10": cinic10_like,
+    "svhn": svhn_like,
+}
+
+
+def build_dataset(
+    name: str,
+    num_train: int = 2000,
+    num_test: int = 500,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Build a named dataset stand-in (see :data:`DATASET_BUILDERS`)."""
+    key = name.lower()
+    if key not in DATASET_BUILDERS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: "
+            f"{sorted(DATASET_BUILDERS)}"
+        )
+    return DATASET_BUILDERS[key](
+        num_train=num_train,
+        num_test=num_test,
+        image_size=image_size,
+        seed=seed,
+    )

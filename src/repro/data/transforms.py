@@ -1,0 +1,72 @@
+"""Vectorized image transforms (normalization and light augmentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "channel_statistics",
+    "normalize",
+    "random_horizontal_flip",
+    "random_crop_with_padding",
+    "augment_batch",
+]
+
+
+def channel_statistics(images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean and std of an (N, C, H, W) stack."""
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3)) + 1e-8
+    return mean.astype(np.float32), std.astype(np.float32)
+
+
+def normalize(
+    dataset: Dataset, mean: np.ndarray, std: np.ndarray
+) -> Dataset:
+    """Standardize a dataset with the given per-channel statistics."""
+    images = (dataset.images - mean[None, :, None, None]) / std[
+        None, :, None, None
+    ]
+    return Dataset(images.astype(np.float32), dataset.labels)
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip a random subset of images left-right."""
+    flip = rng.random(images.shape[0]) < probability
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop_with_padding(
+    images: np.ndarray, rng: np.random.Generator, padding: int = 2
+) -> np.ndarray:
+    """Pad reflectively then crop back to the original size at a random offset."""
+    if padding < 1:
+        return images.copy()
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="reflect",
+    )
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+
+def augment_batch(
+    images: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Standard light training augmentation (flip + jitter crop)."""
+    return random_horizontal_flip(
+        random_crop_with_padding(images, rng), rng
+    )

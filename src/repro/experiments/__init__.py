@@ -1,0 +1,51 @@
+"""Experiment registry, runners and paper-style reporting."""
+
+from .configs import METHOD_NAMES, SCALES, ScalePreset, get_scale
+from .figures import (
+    render_accuracy_curves,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+)
+from .plotting import ascii_line_plot
+from .reporting import (
+    format_accuracy_matrix,
+    format_density_series,
+    format_table,
+    format_table1,
+    table1_row,
+)
+from .runner import build_method, make_context, prepare_data, run_experiment
+from .store import (
+    load_results,
+    record_to_result,
+    result_to_record,
+    save_results,
+)
+
+__all__ = [
+    "METHOD_NAMES",
+    "SCALES",
+    "ScalePreset",
+    "ascii_line_plot",
+    "build_method",
+    "format_accuracy_matrix",
+    "format_density_series",
+    "format_table",
+    "format_table1",
+    "get_scale",
+    "load_results",
+    "make_context",
+    "prepare_data",
+    "record_to_result",
+    "render_accuracy_curves",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "result_to_record",
+    "run_experiment",
+    "save_results",
+    "table1_row",
+]

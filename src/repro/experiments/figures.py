@@ -1,0 +1,97 @@
+"""Render paper figures as ASCII charts from experiment outputs.
+
+Couples the per-figure experiment functions (`repro.experiments.paper`)
+with the terminal plotter (`repro.experiments.plotting`), so the CLI
+and notebooks can show the *shape* of Fig. 3/4/5/6 without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from .paper import ExperimentOutput
+from .plotting import ascii_line_plot
+
+__all__ = [
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_accuracy_curves",
+]
+
+
+def render_fig3(output: ExperimentOutput, dataset: str) -> str:
+    """Accuracy-vs-density chart for one dataset of a fig3 output."""
+    series = output.data["series"]
+    if dataset not in series:
+        raise KeyError(
+            f"dataset {dataset!r} not in output; have {sorted(series)}"
+        )
+    plot_series = {
+        method: sorted(per_density.items())
+        for method, per_density in series[dataset].items()
+    }
+    return ascii_line_plot(
+        plot_series, log_x=True, x_label="density",
+        y_label=f"top-1 accuracy ({dataset})",
+    )
+
+
+def render_fig4(output: ExperimentOutput) -> str:
+    """Ablation chart (accuracy vs density per arm)."""
+    plot_series = {
+        method: sorted(per_density.items())
+        for method, per_density in output.data["series"].items()
+    }
+    return ascii_line_plot(
+        plot_series, log_x=True, x_label="density",
+        y_label="top-1 accuracy",
+    )
+
+
+def render_fig5(output: ExperimentOutput) -> tuple[str, str]:
+    """(accuracy chart, communication chart) vs density * pool size."""
+    accuracy = {
+        f"d={density:g}": sorted(
+            (density * pool, acc) for pool, acc in per_pool.items()
+        )
+        for density, per_pool in output.data["accuracy"].items()
+    }
+    comm = {
+        f"d={density:g}": sorted(
+            (density * pool, mb) for pool, mb in per_pool.items()
+        )
+        for density, per_pool in output.data["comm_mb"].items()
+    }
+    return (
+        ascii_line_plot(accuracy, x_label="density * pool size",
+                        y_label="top-1 accuracy"),
+        ascii_line_plot(comm, x_label="density * pool size",
+                        y_label="selection comm (MB)"),
+    )
+
+
+def render_fig6(output: ExperimentOutput) -> str:
+    """Accuracy vs Dirichlet alpha per method."""
+    plot_series = {
+        method: sorted(per_alpha.items())
+        for method, per_alpha in output.data["series"].items()
+    }
+    return ascii_line_plot(
+        plot_series, log_x=True, x_label="alpha",
+        y_label="top-1 accuracy",
+    )
+
+
+def render_accuracy_curves(results, width: int = 60, height: int = 14) -> str:
+    """Accuracy-vs-round chart for a list of RunResults."""
+    plot_series = {
+        f"{r.method}@{r.target_density:g}": [
+            (float(i), acc) for i, acc in r.accuracy_curve()
+        ]
+        for r in results
+    }
+    return ascii_line_plot(
+        plot_series, width=width, height=height,
+        x_label="round", y_label="top-1 accuracy",
+    )

@@ -1,0 +1,466 @@
+"""One function per table/figure of the paper's evaluation section.
+
+Every function regenerates the corresponding artifact at a configurable
+scale and returns an :class:`ExperimentOutput` holding both the raw
+results and a formatted, paper-style table. The benchmark harness under
+``benchmarks/`` calls these once each; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import AdaptiveBNSelection, optimal_pool_size
+from ..fl.training import server_pretrain
+from ..metrics.flops import training_flops_per_sample
+from ..metrics.tracker import RunResult
+from ..nn.models import build_model
+from ..pruning import generate_candidate_pool, model_blocks
+from ..sparse.storage import bytes_to_mb
+from .configs import ScalePreset, get_scale
+from .reporting import (
+    format_accuracy_matrix,
+    format_density_series,
+    format_table,
+    format_table1,
+)
+from .runner import make_context, run_experiment
+
+__all__ = [
+    "ExperimentOutput",
+    "fig2_block_partition",
+    "fig3_density_sweep",
+    "table1_accuracy_and_cost",
+    "fig4_ablation",
+    "fig5_pool_size",
+    "table2_bn_overhead",
+    "table3_schedules",
+    "fig6_noniid",
+    "table4_small_model_datasets",
+    "table5_small_model_densities",
+]
+
+FIG3_METHODS = ("fl-pqsu", "snip", "synflow", "prunefl", "feddst", "fedtiny")
+TABLE1_METHODS = (
+    "fl-pqsu", "snip", "synflow", "prunefl", "feddst", "lotteryfl", "fedtiny",
+)
+ABLATION_METHODS = (
+    "vanilla", "adaptive_bn_only", "vanilla+progressive", "fedtiny",
+)
+
+
+@dataclass
+class ExperimentOutput:
+    """Raw results plus the formatted paper-style artifact."""
+
+    experiment_id: str
+    table: str
+    results: list[RunResult] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - console convenience
+        return f"== {self.experiment_id} ==\n{self.table}"
+
+
+def _resolve(scale: str | ScalePreset) -> ScalePreset:
+    return get_scale(scale) if isinstance(scale, str) else scale
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — block partition of the two models
+# ----------------------------------------------------------------------
+
+def fig2_block_partition(
+    scale: str | ScalePreset = "bench",
+) -> ExperimentOutput:
+    """Print the five-block partition of VGG-11 and ResNet-18."""
+    preset = _resolve(scale)
+    rows = []
+    for model_name in ("vgg11", "resnet18"):
+        model = build_model(
+            model_name,
+            width_multiplier=preset.width_multiplier,
+            image_size=preset.image_size,
+        )
+        for index, block in enumerate(model_blocks(model), start=1):
+            rows.append([model_name, f"block {index}", ", ".join(block)])
+    table = format_table(["Model", "Block", "Prunable layers"], rows)
+    return ExperimentOutput("fig2", table, data={"rows": rows})
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — accuracy vs density on four datasets
+# ----------------------------------------------------------------------
+
+def fig3_density_sweep(
+    scale: str | ScalePreset = "bench",
+    datasets: tuple[str, ...] = ("cifar10", "svhn", "cifar100", "cinic10"),
+    densities: tuple[float, ...] = (0.01, 0.05, 0.25),
+    methods: tuple[str, ...] = FIG3_METHODS,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Top-1 accuracy of every method across the density grid."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    series: dict[str, dict[str, dict[float, float]]] = {}
+    for dataset in datasets:
+        series[dataset] = {method: {} for method in methods}
+        for density in densities:
+            for method in methods:
+                result = run_experiment(
+                    method, "resnet18", dataset, density,
+                    scale=preset, seed=seed,
+                )
+                results.append(result)
+                series[dataset][method][density] = result.final_accuracy
+    sections = []
+    for dataset in datasets:
+        sections.append(
+            f"[{dataset}]\n" + format_density_series(series[dataset])
+        )
+    return ExperimentOutput(
+        "fig3", "\n\n".join(sections), results=results,
+        data={"series": series},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I — accuracy + max training FLOPs + memory footprint
+# ----------------------------------------------------------------------
+
+def table1_accuracy_and_cost(
+    scale: str | ScalePreset = "bench",
+    models: tuple[str, ...] = ("resnet18", "vgg11"),
+    densities: tuple[float, ...] = (0.05, 0.02, 0.01),
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    dataset: str = "cifar10",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """The full cost/accuracy comparison, one block per model."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    sections = []
+    data: dict = {}
+    for model_name in models:
+        fedavg = run_experiment(
+            "fedavg", model_name, dataset, 1.0, scale=preset, seed=seed,
+        )
+        results.append(fedavg)
+        dense_flops = fedavg.max_training_flops_per_round
+        by_density: dict[float, list[RunResult]] = {1.0: [fedavg]}
+        for density in densities:
+            rows = []
+            for method in methods:
+                result = run_experiment(
+                    method, model_name, dataset, density,
+                    scale=preset, seed=seed,
+                )
+                results.append(result)
+                rows.append(result)
+            by_density[density] = rows
+        sections.append(
+            f"[{model_name}] (dense FLOPs/round = {dense_flops:.3e})\n"
+            + format_table1(by_density, dense_flops)
+        )
+        data[model_name] = {
+            str(d): [r.to_dict() for r in rs]
+            for d, rs in by_density.items()
+        }
+    return ExperimentOutput(
+        "table1", "\n\n".join(sections), results=results, data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — module ablation
+# ----------------------------------------------------------------------
+
+def fig4_ablation(
+    scale: str | ScalePreset = "bench",
+    densities: tuple[float, ...] = (0.01, 0.05, 0.25),
+    dataset: str = "cifar10",
+    model: str = "resnet18",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Vanilla / adaptive BN / vanilla+progressive / FedTiny."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    series: dict[str, dict[float, float]] = {
+        method: {} for method in ABLATION_METHODS
+    }
+    for density in densities:
+        for method in ABLATION_METHODS:
+            result = run_experiment(
+                method, model, dataset, density, scale=preset, seed=seed,
+            )
+            results.append(result)
+            series[method][density] = result.final_accuracy
+    return ExperimentOutput(
+        "fig4", format_density_series(series), results=results,
+        data={"series": series},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — candidate pool size vs accuracy and communication
+# ----------------------------------------------------------------------
+
+def fig5_pool_size(
+    scale: str | ScalePreset = "bench",
+    densities: tuple[float, ...] = (0.05, 0.02, 0.01),
+    pool_sizes: tuple[int, ...] = (1, 2, 4, 8),
+    dataset: str = "cifar10",
+    model: str = "vgg11",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Accuracy and selection communication cost per pool size."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    rows = []
+    accuracy_data: dict = {}
+    comm_data: dict = {}
+    for density in densities:
+        accuracy_data[density] = {}
+        comm_data[density] = {}
+        for pool_size in pool_sizes:
+            result = run_experiment(
+                "fedtiny", model, dataset, density,
+                scale=preset, pool_size=pool_size, seed=seed,
+            )
+            results.append(result)
+            comm_mb = bytes_to_mb(result.selection_comm_bytes)
+            accuracy_data[density][pool_size] = result.final_accuracy
+            comm_data[density][pool_size] = comm_mb
+            rows.append(
+                [
+                    f"{density:g}",
+                    str(pool_size),
+                    f"{density * pool_size:.3f}",
+                    f"{result.final_accuracy:.4f}",
+                    f"{comm_mb:.3f}MB",
+                ]
+            )
+    table = format_table(
+        ["Density", "Pool size", "Density*Pool", "Top-1 Acc",
+         "Selection comm"],
+        rows,
+    )
+    return ExperimentOutput(
+        "fig5", table, results=results,
+        data={"accuracy": accuracy_data, "comm_mb": comm_data},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II — extra FLOPs of the adaptive BN selection module
+# ----------------------------------------------------------------------
+
+def table2_bn_overhead(
+    scale: str | ScalePreset = "bench",
+    densities: tuple[float, ...] = (0.05, 0.02, 0.01),
+    dataset: str = "cifar10",
+    model: str = "vgg11",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Selection-module FLOPs vs one round of sparse training.
+
+    No federated training needed: this runs only pretraining, pool
+    generation and the selection protocol, then compares against the
+    analytic per-round training cost (paper Table II).
+    """
+    preset = _resolve(scale)
+    rows = []
+    data = {}
+    for density in densities:
+        ctx, public = make_context(model, dataset, preset, seed=seed)
+        server_pretrain(
+            ctx.model, public, epochs=preset.pretrain_epochs,
+            batch_size=preset.batch_size, lr=preset.lr, seed=seed,
+        )
+        from ..fl.state import get_state
+
+        ctx.server.commit_state(get_state(ctx.model))
+        pool_size = min(optimal_pool_size(density), 25)
+        pool = generate_candidate_pool(
+            ctx.model, density, pool_size, np.random.default_rng(seed),
+        )
+        selector = AdaptiveBNSelection(batch_size=preset.batch_size)
+        chosen, report = selector.select(ctx, pool)
+        train_flops = (
+            training_flops_per_sample(ctx.profile, chosen.masks)
+            * preset.local_epochs
+            * max(ctx.sample_counts)
+        )
+        rows.append(
+            [
+                f"{density:g}",
+                str(pool_size),
+                f"{report.flops_per_device:.3e}",
+                f"{train_flops:.3e}",
+                f"{report.flops_per_device / train_flops:.2f}",
+            ]
+        )
+        data[density] = {
+            "pool_size": pool_size,
+            "selection_flops": report.flops_per_device,
+            "train_flops_per_round": train_flops,
+        }
+    table = format_table(
+        ["Density", "Pool size", "Extra FLOPs in selection",
+         "Training FLOPs in one round", "Ratio"],
+        rows,
+    )
+    return ExperimentOutput("table2", table, data=data)
+
+
+# ----------------------------------------------------------------------
+# Table III — pruning scheduling strategies
+# ----------------------------------------------------------------------
+
+def table3_schedules(
+    scale: str | ScalePreset = "bench",
+    densities: tuple[float, ...] = (0.05, 0.02, 0.01),
+    dataset: str = "cifar10",
+    model: str = "vgg11",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Granularity x order x frequency grid (paper Table III)."""
+    preset = _resolve(scale)
+    # (label, granularity, backward, delta_rounds, stop_round) scaled to
+    # the preset's round budget the same way the paper scales 5/10/25/50
+    # against Rstop=100/50.
+    base_delta, base_stop = preset.delta_rounds, preset.stop_round
+    strategies = [
+        ("layer", "layer", False, base_delta, base_stop),
+        ("layer (b)", "layer", True, base_delta, base_stop),
+        ("block", "block", False, base_delta, base_stop),
+        ("block (b)", "block", True, base_delta, base_stop),
+        ("block (b) fast", "block", True,
+         max(1, base_delta // 2), max(1, base_stop // 2)),
+        ("entire", "entire", False, base_delta * 2, base_stop),
+        ("entire fast", "entire", False, base_delta, max(1, base_stop // 2)),
+    ]
+    results: list[RunResult] = []
+    rows = []
+    data: dict = {}
+    for label, granularity, backward, delta, stop in strategies:
+        row = [label, f"{delta}/{stop}"]
+        data[label] = {}
+        for density in densities:
+            schedule = preset.schedule(
+                granularity=granularity, backward_order=backward,
+                delta_rounds=delta, stop_round=stop,
+            )
+            result = run_experiment(
+                "fedtiny", model, dataset, density,
+                scale=preset, schedule=schedule, seed=seed,
+            )
+            results.append(result)
+            row.append(f"{result.final_accuracy:.4f}")
+            data[label][density] = result.final_accuracy
+        rows.append(row)
+    headers = ["Granularity", "dR/Rstop"] + [
+        f"Density {d:g}" for d in densities
+    ]
+    return ExperimentOutput(
+        "table3", format_table(headers, rows), results=results, data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — heterogeneous data distributions
+# ----------------------------------------------------------------------
+
+def fig6_noniid(
+    scale: str | ScalePreset = "bench",
+    alphas: tuple[float, ...] = (0.3, 0.5, 1.0, 10.0),
+    methods: tuple[str, ...] = ("synflow", "prunefl", "fedtiny"),
+    density: float = 0.02,
+    dataset: str = "cifar10",
+    model: str = "resnet18",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Accuracy vs Dirichlet alpha (lower alpha = more non-iid)."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    series: dict[str, dict[float, float]] = {m: {} for m in methods}
+    for alpha in alphas:
+        for method in methods:
+            result = run_experiment(
+                method, model, dataset, density,
+                scale=preset, dirichlet_alpha=alpha, seed=seed,
+            )
+            results.append(result)
+            series[method][alpha] = result.final_accuracy
+    rows = []
+    for method in methods:
+        rows.append(
+            [method]
+            + [f"{series[method][alpha]:.4f}" for alpha in alphas]
+        )
+    headers = ["Method"] + [f"alpha={a:g}" for a in alphas]
+    return ExperimentOutput(
+        "fig6", format_table(headers, rows), results=results,
+        data={"series": series},
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables IV & V — small dense model comparison
+# ----------------------------------------------------------------------
+
+def table4_small_model_datasets(
+    scale: str | ScalePreset = "bench",
+    datasets: tuple[str, ...] = ("cifar10", "cinic10", "svhn", "cifar100"),
+    density: float = 0.02,
+    methods: tuple[str, ...] = (
+        "synflow", "prunefl", "small_model", "fedtiny",
+    ),
+    model: str = "resnet18",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """ResNet-18 at a fixed low density vs a parameter-matched small CNN."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    matrix: dict[str, dict[str, float]] = {m: {} for m in methods}
+    for dataset in datasets:
+        for method in methods:
+            result = run_experiment(
+                method, model, dataset, density, scale=preset, seed=seed,
+            )
+            results.append(result)
+            matrix[method][dataset] = result.final_accuracy
+    return ExperimentOutput(
+        "table4", format_accuracy_matrix(matrix), results=results,
+        data={"matrix": matrix},
+    )
+
+
+def table5_small_model_densities(
+    scale: str | ScalePreset = "bench",
+    densities: tuple[float, ...] = (0.05, 0.02, 0.01, 0.006),
+    dataset: str = "cifar10",
+    methods: tuple[str, ...] = (
+        "synflow", "prunefl", "small_model", "fedtiny",
+    ),
+    model: str = "resnet18",
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Small models matched to each density on CIFAR-10 (paper Table V)."""
+    preset = _resolve(scale)
+    results: list[RunResult] = []
+    matrix: dict[str, dict[str, float]] = {m: {} for m in methods}
+    for density in densities:
+        for method in methods:
+            result = run_experiment(
+                method, model, dataset, density, scale=preset, seed=seed,
+            )
+            results.append(result)
+            matrix[method][f"{density:g}"] = result.final_accuracy
+    return ExperimentOutput(
+        "table5", format_accuracy_matrix(matrix), results=results,
+        data={"matrix": matrix},
+    )

@@ -1,0 +1,97 @@
+"""Terminal (ASCII) line plots for experiment series.
+
+The paper's figures are line plots (accuracy vs density, accuracy vs
+alpha, cost vs pool size). This module renders the same series in a
+terminal so the benchmark harness and CLI can show the *shape* of each
+figure without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_line_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_line_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Args:
+        series: mapping of series name to (x, y) points.
+        log_x: plot x on a log10 axis (densities span decades).
+
+    Returns:
+        A multi-line string: the chart, axis ranges, and a legend
+        mapping each marker character to its series name.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    def transform_x(x: float) -> float:
+        if log_x:
+            if x <= 0:
+                raise ValueError("log_x requires positive x values")
+            return math.log10(x)
+        return x
+
+    points_by_name = {
+        name: [(transform_x(x), y) for x, y in sorted(points)]
+        for name, points in series.items()
+        if points
+    }
+    if not points_by_name:
+        raise ValueError("all series are empty")
+    all_x = [x for pts in points_by_name.values() for x, _ in pts]
+    all_y = [y for pts in points_by_name.values() for _, y in pts]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, points) in enumerate(points_by_name.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in points:
+            col = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:8.3f} |"
+        elif row_index == height - 1:
+            label = f"{y_low:8.3f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_low_label = 10 ** x_low if log_x else x_low
+    x_high_label = 10 ** x_high if log_x else x_high
+    axis = f"{x_label}: {x_low_label:g} .. {x_high_label:g}"
+    if log_x:
+        axis += " (log scale)"
+    lines.append(f"          {axis}   [{y_label}]")
+    lines.append("          " + "   ".join(legend))
+    return "\n".join(lines)

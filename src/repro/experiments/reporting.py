@@ -1,0 +1,102 @@
+"""Paper-style table and series formatting for experiment results."""
+
+from __future__ import annotations
+
+from ..metrics.tracker import RunResult
+from ..sparse.storage import bytes_to_mb
+
+__all__ = [
+    "format_table",
+    "table1_row",
+    "format_table1",
+    "format_density_series",
+    "format_accuracy_matrix",
+]
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table with aligned columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table1_row(
+    result: RunResult, dense_flops_per_round: float
+) -> list[str]:
+    """One Table-I row: method, accuracy, relative FLOPs, memory MB."""
+    relative = (
+        result.max_training_flops_per_round / dense_flops_per_round
+        if dense_flops_per_round > 0
+        else float("nan")
+    )
+    return [
+        result.method,
+        f"{result.final_accuracy:.4f}",
+        f"{relative:.3f}x",
+        f"{bytes_to_mb(result.memory_footprint_bytes):.2f}MB",
+    ]
+
+
+def format_table1(
+    results_by_density: dict[float, list[RunResult]],
+    dense_flops_per_round: float,
+) -> str:
+    """The paper's Table I layout: one block per density."""
+    headers = ["Density", "Method", "Top-1 Acc", "Max Train FLOPs", "Memory"]
+    rows = []
+    for density in sorted(results_by_density, reverse=True):
+        for result in results_by_density[density]:
+            cells = table1_row(result, dense_flops_per_round)
+            rows.append([f"{density:g}"] + cells)
+    return format_table(headers, rows)
+
+
+def format_density_series(
+    series: dict[str, dict[float, float]]
+) -> str:
+    """Fig.-3-style series: accuracy per method per density."""
+    densities = sorted(
+        {d for per_method in series.values() for d in per_method}
+    )
+    headers = ["Method"] + [f"d={d:g}" for d in densities]
+    rows = []
+    for method in sorted(series):
+        row = [method]
+        for density in densities:
+            value = series[method].get(density)
+            row.append("-" if value is None else f"{value:.4f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_accuracy_matrix(
+    matrix: dict[str, dict[str, float]], column_label: str = "Dataset"
+) -> str:
+    """Table-IV/V-style matrix: method rows, named columns."""
+    columns: list[str] = []
+    for per_method in matrix.values():
+        for key in per_method:
+            if key not in columns:
+                columns.append(key)
+    headers = ["Method"] + list(columns)
+    rows = []
+    for method in matrix:
+        row = [method]
+        for column in columns:
+            value = matrix[method].get(column)
+            row.append("-" if value is None else f"{value:.4f}")
+        rows.append(row)
+    return format_table(headers, rows)

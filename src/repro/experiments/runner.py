@@ -1,0 +1,186 @@
+"""Build and run a named (method, model, dataset, density) experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import (
+    FedAvgBaseline,
+    FedDSTBaseline,
+    FLPQSUBaseline,
+    LotteryFLBaseline,
+    PruneFLBaseline,
+    SmallModelBaseline,
+    SNIPBaseline,
+    SynFlowBaseline,
+    build_small_model_context,
+)
+from ..core import FedTiny, FedTinyConfig
+from ..data.dataset import Dataset
+from ..data.synthetic import build_dataset
+from ..fl.simulation import FederatedContext
+from ..metrics.tracker import RunResult
+from ..nn.models import build_model
+from ..pruning.schedule import PruningSchedule
+from .configs import ScalePreset, get_scale
+
+__all__ = ["prepare_data", "make_context", "build_method", "run_experiment"]
+
+
+def prepare_data(
+    dataset_name: str, scale: ScalePreset, seed: int = 0
+) -> tuple[Dataset, Dataset, Dataset]:
+    """(public D_s, federated train, test) splits for a named dataset."""
+    train, test = build_dataset(
+        dataset_name,
+        num_train=scale.num_train,
+        num_test=scale.num_test,
+        image_size=scale.image_size,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 777)
+    public, federated = train.split(scale.public_fraction, rng)
+    return public, federated, test
+
+
+def make_context(
+    model_name: str,
+    dataset_name: str,
+    scale: ScalePreset,
+    dirichlet_alpha: float | None = 0.5,
+    seed: int = 0,
+    rounds: int | None = None,
+) -> tuple[FederatedContext, Dataset]:
+    """A fresh federated context plus the server's public dataset."""
+    public, federated, test = prepare_data(dataset_name, scale, seed)
+    model = build_model(
+        model_name,
+        num_classes=test.num_classes,
+        width_multiplier=scale.width_multiplier,
+        image_size=scale.image_size,
+        seed=seed + 1,
+    )
+    ctx = FederatedContext(
+        model,
+        federated,
+        test,
+        scale.fl_config(dirichlet_alpha=dirichlet_alpha, seed=seed,
+                        rounds=rounds),
+        dataset_name=dataset_name,
+        model_name=model_name,
+    )
+    return ctx, public
+
+
+def build_method(
+    method_name: str,
+    target_density: float,
+    scale: ScalePreset,
+    schedule: PruningSchedule | None = None,
+    pool_size: int | None = None,
+):
+    """Instantiate a method object exposing ``run(ctx, public_data)``."""
+    if schedule is None:
+        schedule = scale.schedule()
+    name = method_name.lower()
+    if name == "fedavg":
+        return FedAvgBaseline(pretrain_epochs=scale.pretrain_epochs)
+    if name == "fl-pqsu":
+        return FLPQSUBaseline(
+            target_density, pretrain_epochs=scale.pretrain_epochs
+        )
+    if name == "snip":
+        return SNIPBaseline(
+            target_density,
+            pretrain_epochs=scale.pretrain_epochs,
+            iterations=scale.snip_iterations,
+        )
+    if name == "synflow":
+        return SynFlowBaseline(
+            target_density,
+            pretrain_epochs=scale.pretrain_epochs,
+            iterations=scale.synflow_iterations,
+        )
+    if name == "prunefl":
+        return PruneFLBaseline(
+            target_density,
+            schedule=schedule,
+            pretrain_epochs=scale.pretrain_epochs,
+        )
+    if name == "feddst":
+        return FedDSTBaseline(
+            target_density,
+            schedule=schedule,
+            pretrain_epochs=scale.pretrain_epochs,
+        )
+    if name == "lotteryfl":
+        return LotteryFLBaseline(
+            target_density,
+            schedule=schedule,
+            pretrain_epochs=scale.pretrain_epochs,
+        )
+    if name == "small_model":
+        return SmallModelBaseline(
+            target_density, pretrain_epochs=scale.pretrain_epochs
+        )
+    ablations = {
+        "fedtiny": (True, True),
+        "vanilla": (False, False),
+        "adaptive_bn_only": (True, False),
+        "vanilla+progressive": (False, True),
+    }
+    if name in ablations:
+        use_bn, use_progressive = ablations[name]
+        if pool_size is None:
+            # Cap the paper's C* = 0.1/d rule by the preset's budget so
+            # reduced-scale runs don't spend all their time in selection.
+            from ..core.fedtiny import optimal_pool_size
+
+            pool_size = min(
+                optimal_pool_size(target_density), scale.max_pool_size
+            )
+        return FedTiny(
+            FedTinyConfig(
+                target_density=target_density,
+                pool_size=pool_size,
+                use_adaptive_bn=use_bn,
+                use_progressive=use_progressive,
+                schedule=schedule,
+                pretrain_epochs=scale.pretrain_epochs,
+            )
+        )
+    raise KeyError(f"unknown method {method_name!r}")
+
+
+def run_experiment(
+    method_name: str,
+    model_name: str,
+    dataset_name: str,
+    target_density: float,
+    scale: str | ScalePreset = "bench",
+    dirichlet_alpha: float | None = 0.5,
+    seed: int = 0,
+    schedule: PruningSchedule | None = None,
+    pool_size: int | None = None,
+    rounds: int | None = None,
+) -> RunResult:
+    """End-to-end: build data, context and method, then run it."""
+    preset = get_scale(scale) if isinstance(scale, str) else scale
+    ctx, public = make_context(
+        model_name, dataset_name, preset,
+        dirichlet_alpha=dirichlet_alpha, seed=seed, rounds=rounds,
+    )
+    method = build_method(
+        method_name, target_density, preset,
+        schedule=schedule, pool_size=pool_size,
+    )
+    if method_name.lower() == "small_model":
+        # The small model replaces the big one entirely.
+        public2, federated, test = prepare_data(dataset_name, preset, seed)
+        small_ctx = build_small_model_context(
+            ctx, target_density, federated, test,
+            preset.fl_config(dirichlet_alpha=dirichlet_alpha, seed=seed,
+                             rounds=rounds),
+        )
+        return method.run(small_ctx, public2)
+    return method.run(ctx, public)

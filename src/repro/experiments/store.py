@@ -1,0 +1,88 @@
+"""Persist experiment results to JSON for later analysis.
+
+Benchmark runs are expensive; this module saves :class:`RunResult`
+records (including the full per-round trajectory) so tables and plots
+can be regenerated without re-running the federation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..metrics.tracker import RoundRecord, RunResult
+
+__all__ = ["save_results", "load_results", "result_to_record",
+           "record_to_result"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_record(result: RunResult) -> dict:
+    """Full JSON-safe dict including the per-round trajectory."""
+    record = result.to_dict()
+    record["rounds"] = [
+        {
+            "round_index": r.round_index,
+            "test_accuracy": r.test_accuracy,
+            "test_loss": r.test_loss,
+            "density": r.density,
+            "upload_bytes": r.upload_bytes,
+            "download_bytes": r.download_bytes,
+            "train_flops": r.train_flops,
+        }
+        for r in result.rounds
+    ]
+    return record
+
+
+def record_to_result(record: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_record` output."""
+    result = RunResult(
+        method=record["method"],
+        dataset=record["dataset"],
+        model=record["model"],
+        target_density=record["target_density"],
+    )
+    for row in record.get("rounds", []):
+        result.record_round(
+            RoundRecord(
+                round_index=row["round_index"],
+                test_accuracy=row["test_accuracy"],
+                test_loss=row["test_loss"],
+                density=row["density"],
+                upload_bytes=row["upload_bytes"],
+                download_bytes=row["download_bytes"],
+                train_flops=row["train_flops"],
+            )
+        )
+    result.memory_footprint_bytes = record.get("memory_footprint_bytes", 0)
+    result.selection_comm_bytes = record.get("selection_comm_bytes", 0)
+    result.selection_flops = record.get("selection_flops", 0.0)
+    result.metadata = dict(record.get("metadata", {}))
+    return result
+
+
+def save_results(results: list[RunResult], path: str | Path) -> None:
+    """Write a list of results to a JSON file (creates parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "results": [result_to_record(r) for r in results],
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+def load_results(path: str | Path) -> list[RunResult]:
+    """Read results written by :func:`save_results` (strict on version)."""
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return [record_to_result(r) for r in payload["results"]]

@@ -1,0 +1,64 @@
+"""Federated-learning substrate: clients, server, aggregation, rounds."""
+
+from .aggregation import (
+    aggregate_bn_statistics,
+    aggregate_sparse_gradients,
+    normalized_weights,
+    weighted_average_states,
+)
+from .bn import (
+    bn_layers,
+    get_bn_statistics,
+    recalibrate_bn_statistics,
+    set_bn_statistics,
+)
+from .client import Client, LocalTrainResult
+from .comm import CommTracker
+from .latency import (
+    DeviceProfile,
+    heterogeneous_fleet,
+    round_latency,
+    straggler_slowdown,
+)
+from .server import Server
+from .simulation import FederatedContext, FLConfig
+from .state import (
+    get_buffers,
+    get_parameters,
+    get_state,
+    set_buffers,
+    set_parameters,
+    set_state,
+    zeros_like_state,
+)
+from .training import server_pretrain, train_centralized
+
+__all__ = [
+    "Client",
+    "CommTracker",
+    "DeviceProfile",
+    "FLConfig",
+    "FederatedContext",
+    "LocalTrainResult",
+    "Server",
+    "aggregate_bn_statistics",
+    "aggregate_sparse_gradients",
+    "bn_layers",
+    "get_bn_statistics",
+    "get_buffers",
+    "get_parameters",
+    "get_state",
+    "heterogeneous_fleet",
+    "normalized_weights",
+    "recalibrate_bn_statistics",
+    "round_latency",
+    "server_pretrain",
+    "straggler_slowdown",
+    "set_bn_statistics",
+    "set_buffers",
+    "set_parameters",
+    "set_state",
+    "train_centralized",
+    "weighted_average_states",
+    "zeros_like_state",
+]

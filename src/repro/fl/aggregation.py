@@ -1,0 +1,119 @@
+"""Server-side aggregation rules.
+
+Weighted FedAvg over parameter states (paper Algorithm 2 line 18), the
+BN-statistics aggregation of Algorithm 1 (Eq. 4), and the sparse top-K
+gradient aggregation of Algorithm 2 (Eq. 7, implicit zeros for indices
+a device did not report).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalized_weights",
+    "weighted_average_states",
+    "aggregate_bn_statistics",
+    "aggregate_sparse_gradients",
+]
+
+
+def normalized_weights(sample_counts: list[int] | np.ndarray) -> np.ndarray:
+    """|D_k| / sum |D_k| weights used throughout the paper."""
+    counts = np.asarray(sample_counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("sample_counts must be a non-empty 1-D sequence")
+    if (counts <= 0).any():
+        raise ValueError("sample counts must all be positive")
+    return counts / counts.sum()
+
+
+def weighted_average_states(
+    states: list[dict[str, np.ndarray]],
+    sample_counts: list[int] | np.ndarray,
+) -> dict[str, np.ndarray]:
+    """FedAvg: weighted mean of parameter/buffer dicts."""
+    if not states:
+        raise ValueError("no states to aggregate")
+    weights = normalized_weights(sample_counts)
+    if len(weights) != len(states):
+        raise ValueError(
+            f"{len(states)} states but {len(weights)} sample counts"
+        )
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise ValueError("states have mismatched keys")
+    aggregated: dict[str, np.ndarray] = {}
+    for key in states[0]:
+        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        for weight, state in zip(weights, states):
+            acc += weight * state[key]
+        aggregated[key] = acc.astype(np.float32)
+    return aggregated
+
+
+def aggregate_bn_statistics(
+    stats_list: list[dict[str, tuple[np.ndarray, np.ndarray]]],
+    sample_counts: list[int] | np.ndarray,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Paper Eq. 4: weighted mean of per-device BN (mean, var) pairs."""
+    if not stats_list:
+        raise ValueError("no statistics to aggregate")
+    weights = normalized_weights(sample_counts)
+    if len(weights) != len(stats_list):
+        raise ValueError(
+            f"{len(stats_list)} stat dicts but {len(weights)} sample counts"
+        )
+    keys = set(stats_list[0])
+    for stats in stats_list[1:]:
+        if set(stats) != keys:
+            raise ValueError("BN statistics have mismatched layer names")
+    aggregated = {}
+    for name in stats_list[0]:
+        mean = np.zeros_like(stats_list[0][name][0], dtype=np.float64)
+        var = np.zeros_like(stats_list[0][name][1], dtype=np.float64)
+        for weight, stats in zip(weights, stats_list):
+            mean += weight * stats[name][0]
+            var += weight * stats[name][1]
+        aggregated[name] = (mean.astype(np.float32), var.astype(np.float32))
+    return aggregated
+
+
+def aggregate_sparse_gradients(
+    per_device: list[dict[str, tuple[np.ndarray, np.ndarray]]],
+    sample_counts: list[int] | np.ndarray,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Paper Eq. 7 on sparse (indices, values) uploads.
+
+    Each device reports, per layer, the flat indices and values of its
+    top-K pruned-parameter gradients. The aggregate for an index is the
+    weighted sum over devices, a device contributing zero where it did
+    not report the index.
+    """
+    if not per_device:
+        raise ValueError("no gradients to aggregate")
+    weights = normalized_weights(sample_counts)
+    if len(weights) != len(per_device):
+        raise ValueError(
+            f"{len(per_device)} gradient dicts but {len(weights)} counts"
+        )
+    layer_names: set[str] = set()
+    for device in per_device:
+        layer_names.update(device)
+    aggregated: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name in sorted(layer_names):
+        sums: dict[int, float] = {}
+        for weight, device in zip(weights, per_device):
+            if name not in device:
+                continue
+            indices, values = device[name]
+            for index, value in zip(indices, values):
+                key = int(index)
+                sums[key] = sums.get(key, 0.0) + float(weight) * float(value)
+        if not sums:
+            continue
+        idx = np.array(sorted(sums), dtype=np.int64)
+        val = np.array([sums[i] for i in idx], dtype=np.float32)
+        aggregated[name] = (idx, val)
+    return aggregated

@@ -1,0 +1,82 @@
+"""Batch-normalization statistics collection and installation.
+
+Device-side recalibration for the adaptive BN selection module (paper
+Algorithm 1, lines 2-8): run stats-only forward passes over the local
+development dataset and report the resulting per-layer running
+statistics. Recalibration uses a cumulative-average momentum so the
+result is the equally-weighted mean of the per-batch statistics,
+independent of the stale global statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.layers import BatchNorm2d
+from ..nn.module import Module
+
+__all__ = [
+    "bn_layers",
+    "get_bn_statistics",
+    "set_bn_statistics",
+    "recalibrate_bn_statistics",
+]
+
+BNStats = dict[str, tuple[np.ndarray, np.ndarray]]
+
+
+def bn_layers(model: Module) -> list[tuple[str, BatchNorm2d]]:
+    """Ordered (name, layer) pairs of every BatchNorm2d in the model."""
+    return [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, BatchNorm2d)
+    ]
+
+
+def get_bn_statistics(model: Module) -> BNStats:
+    """Copies of the running (mean, var) of every BN layer."""
+    return {name: layer.get_stats() for name, layer in bn_layers(model)}
+
+
+def set_bn_statistics(model: Module, stats: BNStats) -> None:
+    """Install running statistics into every named BN layer (strict)."""
+    layers = dict(bn_layers(model))
+    unknown = set(stats) - set(layers)
+    if unknown:
+        raise KeyError(f"unknown BN layers: {sorted(unknown)}")
+    for name, (mean, var) in stats.items():
+        layers[name].set_stats(np.asarray(mean), np.asarray(var))
+
+
+def recalibrate_bn_statistics(
+    model: Module, dataset: Dataset, batch_size: int = 64
+) -> BNStats:
+    """Reset and re-estimate BN statistics from ``dataset``.
+
+    Runs forward passes in training mode (no gradients, no parameter
+    updates — "evaluating a pruned model is much cheaper than training
+    and pruning"). The momentum of every BN layer is temporarily set to
+    the cumulative-average schedule ``i / (i + 1)`` so the final running
+    statistics equal the mean of the per-batch statistics.
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot recalibrate on an empty dataset")
+    layers = bn_layers(model)
+    saved_momentum = [(layer, layer.momentum) for _, layer in layers]
+    was_training = model.training
+    model.train(True)
+    try:
+        for _, layer in layers:
+            layer.reset_stats()
+        for index, (images, _) in enumerate(dataset.batches(batch_size)):
+            momentum = index / (index + 1.0)
+            for _, layer in layers:
+                layer.momentum = momentum
+            model(images)
+    finally:
+        for layer, momentum in saved_momentum:
+            layer.momentum = momentum
+        model.train(was_training)
+    return get_bn_statistics(model)

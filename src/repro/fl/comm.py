@@ -1,0 +1,48 @@
+"""Communication cost accounting.
+
+Every byte moved between the server and any device is recorded here;
+the experiment harness reads totals per phase (selection vs training)
+to reproduce the paper's communication-cost analysis (Fig. 5 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CommTracker"]
+
+
+@dataclass
+class CommTracker:
+    """Byte counters for uploads and downloads, split by phase label."""
+
+    upload_bytes: int = 0
+    download_bytes: int = 0
+    by_phase: dict[str, int] = field(default_factory=dict)
+
+    def record_download(self, num_bytes: int, phase: str = "training") -> None:
+        """Server -> device transfer."""
+        self._record(num_bytes, phase)
+        self.download_bytes += int(num_bytes)
+
+    def record_upload(self, num_bytes: int, phase: str = "training") -> None:
+        """Device -> server transfer."""
+        self._record(num_bytes, phase)
+        self.upload_bytes += int(num_bytes)
+
+    def _record(self, num_bytes: int, phase: str) -> None:
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be >= 0, got {num_bytes}")
+        self.by_phase[phase] = self.by_phase.get(phase, 0) + int(num_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.upload_bytes + self.download_bytes
+
+    def phase_bytes(self, phase: str) -> int:
+        return self.by_phase.get(phase, 0)
+
+    def reset(self) -> None:
+        self.upload_bytes = 0
+        self.download_bytes = 0
+        self.by_phase.clear()

@@ -1,0 +1,128 @@
+"""Device latency and straggler analysis.
+
+The paper repeatedly argues that methods requiring dense on-device
+computation (PruneFL's full gradients, FedDST's extra local epochs,
+LotteryFL's dense training) "may lead to straggling issues in federated
+learning". This module makes that argument quantitative: given a
+population of devices with heterogeneous compute speed and bandwidth,
+it estimates the wall-clock time of a synchronous round as the *slowest*
+device's compute+transfer time, so per-method FLOPs/bytes translate
+into round latency and straggler slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DeviceProfile",
+    "heterogeneous_fleet",
+    "round_latency",
+    "straggler_slowdown",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute and network capability of one device."""
+
+    device_id: int
+    flops_per_second: float
+    upload_bytes_per_second: float
+    download_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        if self.upload_bytes_per_second <= 0:
+            raise ValueError("upload_bytes_per_second must be positive")
+        if self.download_bytes_per_second <= 0:
+            raise ValueError("download_bytes_per_second must be positive")
+
+    def time_for(
+        self,
+        compute_flops: float,
+        upload_bytes: float,
+        download_bytes: float,
+    ) -> float:
+        """Seconds this device needs for one round's work."""
+        if compute_flops < 0 or upload_bytes < 0 or download_bytes < 0:
+            raise ValueError("work amounts must be non-negative")
+        return (
+            compute_flops / self.flops_per_second
+            + upload_bytes / self.upload_bytes_per_second
+            + download_bytes / self.download_bytes_per_second
+        )
+
+
+def heterogeneous_fleet(
+    num_devices: int,
+    rng: np.random.Generator,
+    base_flops_per_second: float = 5e9,
+    base_bandwidth_bytes_per_second: float = 1.25e6,
+    speed_spread: float = 4.0,
+) -> list[DeviceProfile]:
+    """A fleet with log-uniform speed spread (weakest ~1/spread of base).
+
+    Models the paper's setting: phones and embedded boards collaborating
+    with a ``speed_spread``x gap between the fastest and slowest device.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    if speed_spread < 1.0:
+        raise ValueError("speed_spread must be >= 1")
+    factors = np.exp(
+        rng.uniform(-np.log(speed_spread), 0.0, size=num_devices)
+    )
+    return [
+        DeviceProfile(
+            device_id=index,
+            flops_per_second=base_flops_per_second * factor,
+            upload_bytes_per_second=base_bandwidth_bytes_per_second * factor,
+            download_bytes_per_second=(
+                base_bandwidth_bytes_per_second * factor * 4
+            ),
+        )
+        for index, factor in enumerate(factors)
+    ]
+
+
+def round_latency(
+    fleet: list[DeviceProfile],
+    compute_flops: float,
+    upload_bytes: float,
+    download_bytes: float,
+) -> float:
+    """Synchronous-round latency: the slowest device gates the round."""
+    if not fleet:
+        raise ValueError("fleet is empty")
+    return max(
+        device.time_for(compute_flops, upload_bytes, download_bytes)
+        for device in fleet
+    )
+
+
+def straggler_slowdown(
+    fleet: list[DeviceProfile],
+    compute_flops: float,
+    upload_bytes: float,
+    download_bytes: float,
+) -> float:
+    """Ratio of the slowest device's round time to the fleet median.
+
+    A method whose per-round work is heavy amplifies device
+    heterogeneity; values near 1 mean the round is insensitive to
+    stragglers.
+    """
+    if not fleet:
+        raise ValueError("fleet is empty")
+    times = sorted(
+        device.time_for(compute_flops, upload_bytes, download_bytes)
+        for device in fleet
+    )
+    median = times[len(times) // 2]
+    if median == 0.0:
+        return 1.0
+    return times[-1] / median

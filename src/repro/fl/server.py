@@ -1,0 +1,65 @@
+"""Server-side state: the global model, its masks, and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.mask import MaskSet
+from .aggregation import weighted_average_states
+from .state import get_state, set_state
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Holds the authoritative global model state and mask structure."""
+
+    def __init__(self, model: Module, masks: MaskSet | None = None) -> None:
+        self.model = model
+        self.masks = masks if masks is not None else MaskSet.dense(model)
+        self.masks.apply(model)
+        self._state = get_state(model)
+
+    # ------------------------------------------------------------------
+    # State movement
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> dict[str, np.ndarray]:
+        """The current global state (parameters + buffers)."""
+        return self._state
+
+    def load_into_model(self) -> Module:
+        """Install the global state and masks into the shared model."""
+        self.masks.apply(self.model)
+        set_state(self.model, self._state)
+        return self.model
+
+    def commit_state(self, state: dict[str, np.ndarray]) -> None:
+        """Replace the global state (masking prunable parameters)."""
+        self._state = state
+        self.load_into_model()
+        self._state = get_state(self.model)
+
+    # ------------------------------------------------------------------
+    # Aggregation and mask updates
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        client_states: list[dict[str, np.ndarray]],
+        sample_counts: list[int],
+    ) -> None:
+        """FedAvg the uploaded states into the global state."""
+        self.commit_state(
+            weighted_average_states(client_states, sample_counts)
+        )
+
+    def set_masks(self, masks: MaskSet) -> None:
+        """Install a new mask structure and re-apply it to the state."""
+        self.masks = masks
+        self.load_into_model()
+        self._state = get_state(self.model)
+
+    @property
+    def density(self) -> float:
+        return self.masks.density

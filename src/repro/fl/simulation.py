@@ -1,0 +1,276 @@
+"""Federated experiment context and the shared round loop.
+
+Every method (FedTiny and each baseline) runs against a
+:class:`FederatedContext`: a shared model instance, the client
+population, the test set, cost profiles, and a communication tracker.
+The context provides the one primitive all methods share — a FedAvg
+training round over sparse models — while mask manipulation stays in
+the method implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..data.partition import partition_dataset
+from ..metrics.accuracy import evaluate
+from ..metrics.flops import ModelProfile, profile_model
+from ..metrics.tracker import RoundRecord, RunResult
+from ..nn.module import Module
+from ..sparse.mask import MaskSet
+from ..sparse.storage import mask_set_bytes
+from .client import Client
+from .comm import CommTracker
+from .server import Server
+from .state import set_state
+
+__all__ = ["FLConfig", "FederatedContext"]
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyper-parameters of the federated protocol (paper Section IV-A1)."""
+
+    num_clients: int = 10
+    rounds: int = 300
+    local_epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    dirichlet_alpha: float | None = 0.5
+    dev_fraction: float = 0.1
+    participation_fraction: float = 1.0
+    quantize_upload_bits: int | None = None
+    eval_every: int = 1
+    augment: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be >= 1")
+        if not 0.0 < self.dev_fraction <= 1.0:
+            raise ValueError("dev_fraction must be in (0, 1]")
+        if not 0.0 < self.participation_fraction <= 1.0:
+            raise ValueError("participation_fraction must be in (0, 1]")
+        if self.quantize_upload_bits is not None and not (
+            2 <= self.quantize_upload_bits <= 16
+        ):
+            raise ValueError("quantize_upload_bits must be in [2, 16]")
+
+
+class FederatedContext:
+    """Everything a federated pruning method needs to run."""
+
+    def __init__(
+        self,
+        model: Module,
+        train_data: Dataset,
+        test_data: Dataset,
+        config: FLConfig,
+        dataset_name: str = "synthetic",
+        model_name: str = "model",
+    ) -> None:
+        self.model = model
+        self.test_data = test_data
+        self.config = config
+        self.dataset_name = dataset_name
+        self.model_name = model_name
+        self.comm = CommTracker()
+        self.rng = np.random.default_rng(config.seed)
+
+        shards = partition_dataset(
+            train_data, config.num_clients, config.dirichlet_alpha, self.rng
+        )
+        self.clients = [
+            Client(
+                client_id=index,
+                train_data=shard,
+                dev_fraction=config.dev_fraction,
+                seed=config.seed,
+            )
+            for index, shard in enumerate(shards)
+        ]
+        self.profile: ModelProfile = profile_model(
+            model, train_data.image_shape
+        )
+        self.server = Server(model)
+        self.last_participants: list[Client] = list(self.clients)
+        # Comm totals already folded into earlier round records, so each
+        # record holds this round's delta (RunResult sums them back up).
+        self._recorded_upload = 0
+        self._recorded_download = 0
+
+    # ------------------------------------------------------------------
+    # Shared primitives
+    # ------------------------------------------------------------------
+    @property
+    def sample_counts(self) -> list[int]:
+        return [client.num_samples for client in self.clients]
+
+    def new_result(self, method: str, target_density: float) -> RunResult:
+        return RunResult(
+            method=method,
+            dataset=self.dataset_name,
+            model=self.model_name,
+            target_density=target_density,
+        )
+
+    def sample_participants(self) -> list[Client]:
+        """Clients taking part in the next round.
+
+        With ``participation_fraction < 1`` a random subset (at least
+        one client) is drawn each round, as in standard FedAvg client
+        sampling; the selection is stored on ``last_participants`` so
+        mask-adjustment protocols query the same devices that trained.
+        """
+        fraction = self.config.participation_fraction
+        if fraction >= 1.0:
+            return list(self.clients)
+        count = max(1, int(round(fraction * len(self.clients))))
+        chosen = self.rng.choice(
+            len(self.clients), size=count, replace=False
+        )
+        return [self.clients[i] for i in sorted(chosen)]
+
+    def run_fedavg_round(self) -> list[dict[str, np.ndarray]]:
+        """One synchronous round: broadcast, local train, aggregate.
+
+        Returns the uploaded states of the participating clients
+        (aligned with ``last_participants``; some methods inspect them
+        before they are discarded).
+        """
+        cfg = self.config
+        participants = self.sample_participants()
+        self.last_participants = participants
+        states = []
+        download = self.model_exchange_bytes()
+        upload = self.upload_bytes_per_client()
+        for client in participants:
+            self.server.load_into_model()
+            result = client.train(
+                self.model,
+                epochs=cfg.local_epochs,
+                batch_size=cfg.batch_size,
+                lr=cfg.lr,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+                augment=cfg.augment,
+            )
+            state = result.state
+            if cfg.quantize_upload_bits is not None:
+                # Lossy round trip: the server only ever sees the
+                # dequantized upload (FL-PQSU's quantization stage).
+                from ..sparse.quantize import (
+                    dequantize_state,
+                    quantize_state,
+                )
+
+                state = dequantize_state(
+                    quantize_state(state, cfg.quantize_upload_bits)
+                )
+            states.append(state)
+            self.comm.record_download(download)
+            self.comm.record_upload(upload)
+        self.server.aggregate(
+            states, [client.num_samples for client in participants]
+        )
+        return states
+
+    def model_exchange_bytes(self) -> int:
+        """Bytes to move the current sparse model one way (float32)."""
+        sparse = mask_set_bytes(self.server.masks)
+        dense_rest = 0
+        masked = set(self.server.masks.layer_names())
+        for name, param in self.model.named_parameters():
+            if name not in masked:
+                dense_rest += param.size * 4
+        for _, buf in self.model.named_buffers():
+            dense_rest += int(buf.size) * 4
+        return sparse + dense_rest
+
+    def upload_bytes_per_client(self) -> int:
+        """Upload size, honoring ``quantize_upload_bits`` if enabled.
+
+        Quantization shrinks only the *value* payload; the 4-byte flat
+        indices of sparse tensors are unaffected.
+        """
+        bits = self.config.quantize_upload_bits
+        if bits is None:
+            return self.model_exchange_bytes()
+        value_bytes = max(1, bits // 8)
+        total = 0
+        masked = set(self.server.masks.layer_names())
+        for name, param in self.model.named_parameters():
+            if name in masked:
+                active = self.server.masks.layer_active(name)
+                total += min(
+                    active * (value_bytes + 4), param.size * value_bytes
+                )
+            else:
+                total += param.size * value_bytes
+        for _, buf in self.model.named_buffers():
+            total += int(buf.size) * value_bytes
+        return total
+
+    def evaluate_global(self) -> tuple[float, float]:
+        """(accuracy, loss) of the global model on the test set."""
+        self.server.load_into_model()
+        result = evaluate(self.model, self.test_data, self.config.batch_size)
+        return result.accuracy, result.loss
+
+    def record_round(
+        self,
+        result: RunResult,
+        round_index: int,
+        train_flops: float,
+    ) -> None:
+        """Evaluate (if scheduled) and append a round record."""
+        if (
+            round_index % self.config.eval_every != 0
+            and round_index != self.config.rounds
+        ):
+            return
+        accuracy, loss = self.evaluate_global()
+        upload_delta = self.comm.upload_bytes - self._recorded_upload
+        download_delta = self.comm.download_bytes - self._recorded_download
+        self._recorded_upload = self.comm.upload_bytes
+        self._recorded_download = self.comm.download_bytes
+        result.record_round(
+            RoundRecord(
+                round_index=round_index,
+                test_accuracy=accuracy,
+                test_loss=loss,
+                density=self.server.masks.density,
+                upload_bytes=upload_delta,
+                download_bytes=download_delta,
+                train_flops=train_flops,
+            )
+        )
+
+    def sync_comm_baseline(self) -> None:
+        """Exclude traffic recorded so far from future round deltas.
+
+        Called after one-off phases (candidate selection) whose bytes
+        are accounted separately on the run result.
+        """
+        self._recorded_upload = self.comm.upload_bytes
+        self._recorded_download = self.comm.download_bytes
+
+    # ------------------------------------------------------------------
+    # Mask plumbing
+    # ------------------------------------------------------------------
+    def install_masks(self, masks: MaskSet) -> None:
+        self.server.set_masks(masks)
+
+    def reset_model_state(self, state: dict[str, np.ndarray]) -> None:
+        """Overwrite the global state (e.g. rewind for LotteryFL)."""
+        set_state(self.model, state)
+        self.server.commit_state(state)

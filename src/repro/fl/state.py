@@ -1,0 +1,83 @@
+"""Flat state extraction/installation for model exchange.
+
+Federated rounds move parameter values (and BN buffers) between the
+server and devices. These helpers convert a model to and from plain
+``{name: array}`` dicts without touching masks, which travel separately
+as :class:`~repro.sparse.MaskSet` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = [
+    "get_parameters",
+    "set_parameters",
+    "get_buffers",
+    "set_buffers",
+    "get_state",
+    "set_state",
+    "zeros_like_state",
+]
+
+
+def get_parameters(model: Module) -> dict[str, np.ndarray]:
+    """Copies of all parameter values."""
+    return {name: p.data.copy() for name, p in model.named_parameters()}
+
+
+def set_parameters(model: Module, values: dict[str, np.ndarray]) -> None:
+    """Install parameter values (strict on names and shapes)."""
+    params = dict(model.named_parameters())
+    for name, value in values.items():
+        if name not in params:
+            raise KeyError(f"unknown parameter {name!r}")
+        if params[name].data.shape != value.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: "
+                f"{params[name].data.shape} vs {value.shape}"
+            )
+        params[name].data = value.astype(np.float32).copy()
+        params[name].apply_mask()
+
+
+def get_buffers(model: Module) -> dict[str, np.ndarray]:
+    """Copies of all registered buffers (BN running statistics)."""
+    return {name: buf.copy() for name, buf in model.named_buffers()}
+
+
+def set_buffers(model: Module, values: dict[str, np.ndarray]) -> None:
+    """Install buffer values (strict)."""
+    known = {name for name, _ in model.named_buffers()}
+    unknown = set(values) - known
+    if unknown:
+        raise KeyError(f"unknown buffers: {sorted(unknown)}")
+    for name, value in values.items():
+        model._assign_buffer(name, value)
+
+
+def get_state(model: Module) -> dict[str, np.ndarray]:
+    """Parameters and buffers in one flat dict (buffer keys prefixed)."""
+    state = get_parameters(model)
+    for name, buf in get_buffers(model).items():
+        state["buffer::" + name] = buf
+    return state
+
+
+def set_state(model: Module, state: dict[str, np.ndarray]) -> None:
+    """Install a dict produced by :func:`get_state`."""
+    params = {k: v for k, v in state.items() if not k.startswith("buffer::")}
+    buffers = {
+        k[len("buffer::") :]: v
+        for k, v in state.items()
+        if k.startswith("buffer::")
+    }
+    set_parameters(model, params)
+    set_buffers(model, buffers)
+
+
+def zeros_like_state(state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """A zero-filled state with the same keys and shapes."""
+    return {name: np.zeros_like(value) for name, value in state.items()}

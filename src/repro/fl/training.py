@@ -1,0 +1,69 @@
+"""Centralized training helpers (server-side pretraining).
+
+The paper gives every method a model pre-trained on a small public
+one-shot dataset ``D_s`` held by the server (Section IV-A3); magnitude
+and SNIP-style scores are meaningless on random weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.loss import CrossEntropyLoss
+from ..nn.module import Module
+from ..nn.optim import SGD
+
+__all__ = ["train_centralized", "server_pretrain"]
+
+
+def train_centralized(
+    model: Module,
+    dataset: Dataset,
+    epochs: int,
+    batch_size: int = 64,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    seed: int = 0,
+) -> float:
+    """Plain SGD training; returns the final mean epoch loss."""
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    rng = np.random.default_rng(seed)
+    optimizer = SGD(model, lr=lr, momentum=momentum,
+                    weight_decay=weight_decay)
+    loss_fn = CrossEntropyLoss()
+    model.train(True)
+    mean_loss = float("nan")
+    for _ in range(epochs):
+        loss_sum = 0.0
+        batches = 0
+        for images, labels in dataset.batches(batch_size, rng=rng):
+            loss = loss_fn(model(images), labels)
+            model.zero_grad()
+            model.backward(loss_fn.backward())
+            optimizer.step()
+            loss_sum += loss
+            batches += 1
+        mean_loss = loss_sum / max(1, batches)
+    return mean_loss
+
+
+def server_pretrain(
+    model: Module,
+    public_data: Dataset,
+    epochs: int = 2,
+    batch_size: int = 64,
+    lr: float = 0.05,
+    seed: int = 0,
+) -> float:
+    """Pretrain on the public one-shot dataset D_s (paper IV-A3)."""
+    return train_centralized(
+        model,
+        public_data,
+        epochs=epochs,
+        batch_size=batch_size,
+        lr=lr,
+        seed=seed,
+    )

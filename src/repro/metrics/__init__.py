@@ -1,0 +1,28 @@
+"""Cost and quality metrics: FLOPs, memory, accuracy, run tracking."""
+
+from .accuracy import EvalResult, evaluate
+from .flops import (
+    LayerProfile,
+    ModelProfile,
+    bn_update_flops_per_sample,
+    forward_flops,
+    profile_model,
+    training_flops_per_sample,
+)
+from .memory import MemoryBreakdown, device_memory_footprint
+from .tracker import RoundRecord, RunResult
+
+__all__ = [
+    "EvalResult",
+    "LayerProfile",
+    "MemoryBreakdown",
+    "ModelProfile",
+    "RoundRecord",
+    "RunResult",
+    "bn_update_flops_per_sample",
+    "device_memory_footprint",
+    "evaluate",
+    "forward_flops",
+    "profile_model",
+    "training_flops_per_sample",
+]

@@ -1,0 +1,46 @@
+"""Model evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.loss import CrossEntropyLoss
+from ..nn.module import Module
+
+__all__ = ["evaluate", "EvalResult"]
+
+
+class EvalResult:
+    """Top-1 accuracy and mean loss over a dataset."""
+
+    def __init__(self, accuracy: float, loss: float, num_samples: int) -> None:
+        self.accuracy = accuracy
+        self.loss = loss
+        self.num_samples = num_samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EvalResult(accuracy={self.accuracy:.4f}, loss={self.loss:.4f}, "
+            f"n={self.num_samples})"
+        )
+
+
+def evaluate(
+    model: Module, dataset: Dataset, batch_size: int = 128
+) -> EvalResult:
+    """Top-1 accuracy and mean cross-entropy loss in eval mode."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    was_training = model.training
+    model.eval()
+    loss_fn = CrossEntropyLoss()
+    correct = 0
+    loss_sum = 0.0
+    for images, labels in dataset.batches(batch_size):
+        logits = model(images)
+        loss_sum += loss_fn(logits, labels) * len(labels)
+        correct += int((logits.argmax(axis=1) == labels).sum())
+    model.train(was_training)
+    n = len(dataset)
+    return EvalResult(correct / n, loss_sum / n, n)

@@ -1,0 +1,202 @@
+"""Analytic FLOPs model for the framework's layers.
+
+The paper reports "Max Training FLOPs" per device per round (Table I)
+and the extra FLOPs of the adaptive BN selection module (Table II). We
+compute both from a shape trace of the actual model:
+
+- a multiply-accumulate counts as 2 FLOPs;
+- backward costs twice the forward pass (one pass for the input
+  gradient, one for the weight gradient), the standard estimate;
+- sparse layers scale their compute by the layer's mask density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import Module
+from ..sparse.mask import MaskSet
+
+__all__ = [
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "forward_flops",
+    "training_flops_per_sample",
+    "bn_update_flops_per_sample",
+]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Shape and cost information for one leaf layer."""
+
+    name: str
+    kind: str
+    weight_name: str | None
+    forward_macs: float  # multiply-accumulates of the weight op
+    elementwise_flops: float  # non-GEMM work (BN, ReLU, pooling)
+    output_elements: int
+
+
+class ModelProfile:
+    """Per-layer FLOPs profile of a model at batch size one."""
+
+    def __init__(self, layers: list[LayerProfile]) -> None:
+        self.layers = layers
+
+    def layer(self, name: str) -> LayerProfile:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no profiled layer named {name!r}")
+
+    def weighted_layers(self) -> list[LayerProfile]:
+        return [l for l in self.layers if l.weight_name is not None]
+
+    def dense_forward_flops(self) -> float:
+        """Forward FLOPs per sample with all layers dense."""
+        return sum(
+            2.0 * l.forward_macs + l.elementwise_flops for l in self.layers
+        )
+
+
+def profile_model(model: Module, input_shape: tuple[int, ...]) -> ModelProfile:
+    """Trace a forward pass and build per-layer profiles.
+
+    ``input_shape`` excludes the batch dimension, e.g. ``(3, 32, 32)``.
+    """
+    records: list[LayerProfile] = []
+    leaves = [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(
+            module,
+            (Conv2d, Linear, BatchNorm2d, ReLU, MaxPool2d, GlobalAvgPool2d),
+        )
+    ]
+    originals = {}
+
+    def make_wrapper(name: str, module: Module):
+        original_forward = module.forward
+
+        def wrapped(x):
+            out = original_forward(x)
+            records.append(_profile_layer(name, module, x.shape, out.shape))
+            return out
+
+        return original_forward, wrapped
+
+    try:
+        for name, module in leaves:
+            original, wrapped = make_wrapper(name, module)
+            originals[(name, id(module))] = (module, original)
+            object.__setattr__(module, "forward", wrapped)
+        dummy = np.zeros((1,) + tuple(input_shape), dtype=np.float32)
+        was_training = model.training
+        model.eval()
+        model(dummy)
+        model.train(was_training)
+    finally:
+        for module, original in originals.values():
+            if "forward" in module.__dict__:
+                object.__delattr__(module, "forward")
+    return ModelProfile(records)
+
+
+def _profile_layer(
+    name: str, module: Module, in_shape: tuple, out_shape: tuple
+) -> LayerProfile:
+    out_elements = int(np.prod(out_shape[1:]))
+    if isinstance(module, Conv2d):
+        k = module.kernel_size
+        macs = float(
+            k * k * module.in_channels * module.out_channels
+            * out_shape[2] * out_shape[3]
+        )
+        return LayerProfile(name, "conv", name + ".weight", macs, 0.0,
+                            out_elements)
+    if isinstance(module, Linear):
+        macs = float(module.in_features * module.out_features)
+        return LayerProfile(name, "linear", name + ".weight", macs, 0.0,
+                            out_elements)
+    if isinstance(module, BatchNorm2d):
+        return LayerProfile(name, "batchnorm", None, 0.0,
+                            4.0 * out_elements, out_elements)
+    if isinstance(module, ReLU):
+        return LayerProfile(name, "relu", None, 0.0, float(out_elements),
+                            out_elements)
+    if isinstance(module, MaxPool2d):
+        k = module.kernel_size
+        return LayerProfile(name, "maxpool", None, 0.0,
+                            float(k * k * out_elements), out_elements)
+    if isinstance(module, GlobalAvgPool2d):
+        in_elements = int(np.prod(in_shape[1:]))
+        return LayerProfile(name, "gap", None, 0.0, float(in_elements),
+                            out_elements)
+    raise TypeError(f"unsupported layer type {type(module).__name__}")
+
+
+def _layer_density(profile: LayerProfile, masks: MaskSet | None) -> float:
+    if masks is None or profile.weight_name is None:
+        return 1.0
+    if profile.weight_name not in masks:
+        return 1.0
+    return masks.layer_density(profile.weight_name)
+
+
+def forward_flops(profile: ModelProfile, masks: MaskSet | None = None) -> float:
+    """Forward FLOPs per sample with the given sparsity."""
+    total = 0.0
+    for layer in profile.layers:
+        density = _layer_density(layer, masks)
+        total += 2.0 * layer.forward_macs * density + layer.elementwise_flops
+    return total
+
+
+def training_flops_per_sample(
+    profile: ModelProfile,
+    masks: MaskSet | None = None,
+    dense_grad_layers: set[str] | frozenset[str] = frozenset(),
+) -> float:
+    """Forward + backward FLOPs per sample.
+
+    ``dense_grad_layers`` names weight parameters whose *weight gradient*
+    must be computed densely (e.g. PruneFL's full-size importance scores
+    or FedTiny's grow-signal pass on the active block), overriding the
+    sparse scaling for that term only.
+    """
+    total = 0.0
+    for layer in profile.layers:
+        density = _layer_density(layer, masks)
+        forward = 2.0 * layer.forward_macs * density + layer.elementwise_flops
+        input_grad = forward
+        if (
+            layer.weight_name is not None
+            and layer.weight_name in dense_grad_layers
+        ):
+            weight_grad = 2.0 * layer.forward_macs + layer.elementwise_flops
+        else:
+            weight_grad = forward
+        total += forward + input_grad + weight_grad
+    return total
+
+
+def bn_update_flops_per_sample(profile: ModelProfile,
+                               masks: MaskSet | None = None) -> float:
+    """FLOPs of one stats-update forward pass (adaptive BN selection).
+
+    This is a plain forward pass: no gradients are computed, which is
+    why the selection module is cheap (paper Section III-C).
+    """
+    return forward_flops(profile, masks)

@@ -1,0 +1,107 @@
+"""Device memory-footprint model (paper Table I's "Memory Footprint").
+
+The footprint of local training is the storage for parameters plus
+gradients (masked tensors stored sparsely), plus any method-specific
+state:
+
+- PruneFL keeps full-size importance scores for every prunable
+  parameter (the paper's core criticism: dense memory on device);
+- FedTiny keeps only the O(a_t^l) top-K gradient buffer;
+- FedDST materializes a dense gradient for one layer at a time during
+  on-device mask adjustment;
+- dense methods (FedAvg, LotteryFL's local training) store everything
+  densely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.module import Module
+from ..sparse.mask import MaskSet, prunable_parameters
+from ..sparse.storage import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    bytes_to_mb,
+    dense_bytes,
+    sparse_bytes,
+)
+
+__all__ = ["MemoryBreakdown", "device_memory_footprint"]
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bytes per component of the on-device training footprint."""
+
+    parameter_bytes: int
+    gradient_bytes: int
+    extra_state_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.parameter_bytes + self.gradient_bytes +
+            self.extra_state_bytes
+        )
+
+    @property
+    def total_mb(self) -> float:
+        return bytes_to_mb(self.total_bytes)
+
+
+def device_memory_footprint(
+    model: Module,
+    masks: MaskSet | None = None,
+    dense_importance_scores: bool = False,
+    topk_buffer_entries: int = 0,
+    per_layer_dense_grad: bool = False,
+) -> MemoryBreakdown:
+    """Compute the on-device training footprint.
+
+    Args:
+        model: the (possibly masked) model being trained.
+        masks: mask set describing sparsity; ``None`` reads masks off the
+            model parameters directly.
+        dense_importance_scores: add a dense float per prunable
+            parameter (PruneFL-style adaptive pruning state).
+        topk_buffer_entries: number of (index, value) slots in streaming
+            top-K buffers (FedTiny's grow-signal state).
+        per_layer_dense_grad: add a dense gradient for the largest
+            prunable layer (FedDST's layer-at-a-time mask adjustment).
+    """
+    if masks is None:
+        masks = MaskSet.from_model(model)
+
+    param_bytes = 0
+    grad_bytes = 0
+    largest_layer = 0
+    total_prunable = 0
+    for name, param in model.named_parameters():
+        if param.prunable and name in masks:
+            active = masks.layer_active(name)
+            param_bytes += sparse_bytes(active, param.size)
+            # The gradient shares the sparsity pattern: values only.
+            grad_bytes += min(active * VALUE_BYTES, dense_bytes(param.size))
+            largest_layer = max(largest_layer, param.size)
+            total_prunable += param.size
+        else:
+            param_bytes += dense_bytes(param.size)
+            grad_bytes += dense_bytes(param.size)
+    # Buffers (BN running statistics) are parameters-without-gradients.
+    for _, buf in model.named_buffers():
+        param_bytes += dense_bytes(int(buf.size))
+
+    extra = 0
+    if dense_importance_scores:
+        extra += dense_bytes(total_prunable)
+    if topk_buffer_entries > 0:
+        extra += topk_buffer_entries * (VALUE_BYTES + INDEX_BYTES)
+    if per_layer_dense_grad:
+        extra += dense_bytes(largest_layer)
+    return MemoryBreakdown(param_bytes, grad_bytes, extra)
+
+
+def _unused_prunable_check(model: Module) -> int:
+    """Total prunable parameter count (kept for external callers)."""
+    return sum(p.size for _, p in prunable_parameters(model))

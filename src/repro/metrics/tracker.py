@@ -1,0 +1,98 @@
+"""Experiment bookkeeping: per-round records and run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundRecord", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics captured after one federated round."""
+
+    round_index: int
+    test_accuracy: float
+    test_loss: float
+    density: float
+    upload_bytes: int
+    download_bytes: int
+    train_flops: float
+
+
+@dataclass
+class RunResult:
+    """Full trajectory and summary statistics of one experiment run."""
+
+    method: str
+    dataset: str
+    model: str
+    target_density: float
+    rounds: list[RoundRecord] = field(default_factory=list)
+    max_training_flops_per_round: float = 0.0
+    memory_footprint_bytes: int = 0
+    selection_comm_bytes: int = 0
+    selection_flops: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def record_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+        self.max_training_flops_per_round = max(
+            self.max_training_flops_per_round, record.train_flops
+        )
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.rounds:
+            raise ValueError("run has no recorded rounds")
+        return self.rounds[-1].test_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.rounds:
+            raise ValueError("run has no recorded rounds")
+        return max(r.test_accuracy for r in self.rounds)
+
+    @property
+    def final_density(self) -> float:
+        if not self.rounds:
+            raise ValueError("run has no recorded rounds")
+        return self.rounds[-1].density
+
+    @property
+    def total_upload_bytes(self) -> int:
+        return sum(r.upload_bytes for r in self.rounds)
+
+    @property
+    def total_download_bytes(self) -> int:
+        return sum(r.download_bytes for r in self.rounds)
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return (
+            self.total_upload_bytes
+            + self.total_download_bytes
+            + self.selection_comm_bytes
+        )
+
+    def accuracy_curve(self) -> list[tuple[int, float]]:
+        return [(r.round_index, r.test_accuracy) for r in self.rounds]
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON dumps in EXPERIMENTS.md tooling."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "model": self.model,
+            "target_density": self.target_density,
+            "final_accuracy": self.final_accuracy if self.rounds else None,
+            "best_accuracy": self.best_accuracy if self.rounds else None,
+            "final_density": self.final_density if self.rounds else None,
+            "max_training_flops_per_round": self.max_training_flops_per_round,
+            "memory_footprint_bytes": self.memory_footprint_bytes,
+            "selection_comm_bytes": self.selection_comm_bytes,
+            "selection_flops": self.selection_flops,
+            "total_comm_bytes": self.total_comm_bytes if self.rounds else 0,
+            "num_rounds": len(self.rounds),
+            "metadata": dict(self.metadata),
+        }

@@ -1,0 +1,54 @@
+"""A compact NumPy deep-learning framework.
+
+Provides everything the FedTiny reproduction needs: layers with explicit
+forward/backward passes, prunable parameters with masks, losses,
+optimizers with masked updates, and weight initialization — the PyTorch
+surface the paper assumes, rebuilt from scratch.
+"""
+
+from . import functional, init
+from .checkpoint import load_model, save_model
+from .gradcheck import check_module_gradients, numerical_gradient
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from .loss import CrossEntropyLoss
+from .module import Module
+from .optim import SGD, ConstantLR, CosineLR, LRSchedule, StepLR
+from .parameter import Parameter
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "ConstantLR",
+    "CosineLR",
+    "CrossEntropyLoss",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "LRSchedule",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "StepLR",
+    "check_module_gradients",
+    "functional",
+    "load_model",
+    "init",
+    "numerical_gradient",
+    "save_model",
+]

@@ -1,0 +1,80 @@
+"""Model checkpointing to ``.npz`` archives.
+
+Saves parameters, masks and buffers so a pruned model (for example the
+tiny specialized model FedTiny produces for deployment) can be stored,
+shipped to a device, and reloaded without retraining.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+_MASK_SUFFIX = ".__mask__"
+_BUFFER_PREFIX = "buffer::"
+
+
+def save_model(model: Module, path: str | Path) -> None:
+    """Write parameters, masks and buffers to a compressed ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    for name, param in model.named_parameters():
+        arrays[name] = param.data
+        if param.mask is not None:
+            arrays[name + _MASK_SUFFIX] = param.mask
+    for name, buf in model.named_buffers():
+        arrays[_BUFFER_PREFIX + name] = buf
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(model: Module, path: str | Path) -> Module:
+    """Load a checkpoint written by :func:`save_model` (strict).
+
+    Masks present in the checkpoint are installed; parameters that were
+    saved without a mask have any existing mask removed, so the loaded
+    model reproduces the exact sparsity structure that was saved.
+    """
+    with np.load(Path(path)) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    params = dict(model.named_parameters())
+    buffers = {name for name, _ in model.named_buffers()}
+
+    param_keys = {
+        k for k in arrays
+        if not k.startswith(_BUFFER_PREFIX) and not k.endswith(_MASK_SUFFIX)
+    }
+    unknown = param_keys - set(params)
+    if unknown:
+        raise KeyError(f"checkpoint has unknown parameters: {sorted(unknown)}")
+    missing = set(params) - param_keys
+    if missing:
+        raise KeyError(f"checkpoint is missing parameters: {sorted(missing)}")
+
+    for name in param_keys:
+        value = arrays[name]
+        if params[name].data.shape != value.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: "
+                f"{params[name].data.shape} vs {value.shape}"
+            )
+        params[name].data = value.astype(np.float32).copy()
+        mask_key = name + _MASK_SUFFIX
+        if mask_key in arrays:
+            params[name].set_mask(arrays[mask_key])
+            params[name].apply_mask()
+        else:
+            params[name].set_mask(None)
+
+    for key in arrays:
+        if key.startswith(_BUFFER_PREFIX):
+            name = key[len(_BUFFER_PREFIX):]
+            if name not in buffers:
+                raise KeyError(f"checkpoint has unknown buffer {name!r}")
+            model._assign_buffer(name, arrays[key])
+    return model

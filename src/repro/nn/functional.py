@@ -1,0 +1,123 @@
+"""Stateless tensor operations used by the layer implementations.
+
+The convolution primitives use the classic im2col/col2im lowering: a
+convolution becomes a single large matrix multiplication, which is the
+only way to get acceptable throughput out of NumPy. All functions work
+on ``float32`` arrays in NCHW layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size {out} <= 0 "
+            f"(input={size}, kernel={kernel}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int
+) -> np.ndarray:
+    """Unfold image patches into a matrix.
+
+    Args:
+        x: input of shape ``(N, C, H, W)``.
+
+    Returns:
+        Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+        where each row is one receptive field.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    if pad > 0:
+        img = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    else:
+        img = x
+    col = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            col[:, :, i, j, :, :] = img[:, :, i:i_max:stride, j:j_max:stride]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold a patch matrix back into an image, accumulating overlaps.
+
+    This is the adjoint of :func:`im2col` and therefore computes the
+    gradient of a convolution with respect to its input.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    col = col.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    img = np.zeros(
+        (n, c, h + 2 * pad + stride - 1, w + 2 * pad + stride - 1),
+        dtype=col.dtype,
+    )
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            img[:, :, i:i_max:stride, j:j_max:stride] += col[:, :, i, j, :, :]
+    return img[:, :, pad : pad + h, pad : pad + w]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot ``float32`` matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

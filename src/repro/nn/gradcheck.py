@@ -1,0 +1,77 @@
+"""Numerical gradient checking for layer implementations.
+
+Used by the test suite to validate every analytic ``backward`` against a
+central-difference approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["numerical_gradient", "check_module_gradients"]
+
+
+def numerical_gradient(
+    f: Callable[[], float], array: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. ``array``.
+
+    ``f`` must recompute the scalar from the *current* contents of
+    ``array`` each time it is called.
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f()
+        flat[i] = original - eps
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_module_gradients(
+    module: Module,
+    x: np.ndarray,
+    rng: np.random.Generator,
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+) -> None:
+    """Assert analytic input and parameter gradients match numerics.
+
+    The scalar objective is ``sum(output * R)`` for a fixed random ``R``,
+    which exercises every output element.
+    """
+    x = x.astype(np.float64).astype(np.float32)
+    probe = rng.normal(size=module(x).shape).astype(np.float32)
+
+    def objective() -> float:
+        return float((module(x) * probe).sum())
+
+    # Analytic gradients.
+    module.zero_grad()
+    out = module(x)
+    grad_in = module.backward(probe * np.ones_like(out))
+    analytic_params = {
+        name: p.grad.copy() for name, p in module.named_parameters()
+    }
+
+    numeric_in = numerical_gradient(objective, x)
+    np.testing.assert_allclose(grad_in, numeric_in, atol=atol, rtol=rtol)
+
+    for name, param in module.named_parameters():
+        numeric = numerical_gradient(objective, param.data)
+        np.testing.assert_allclose(
+            analytic_params[name],
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for parameter {name!r}",
+        )

@@ -1,0 +1,57 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so every
+model build is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "fan_in_and_fan_out",
+]
+
+
+def fan_in_and_fan_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in / fan-out of a linear (out, in) or conv (out, in, kh, kw) shape."""
+    if len(shape) < 2:
+        raise ValueError(f"need at least 2 dimensions, got shape {shape}")
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """He-normal initialization for ReLU networks."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """He-uniform initialization for ReLU networks."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot-uniform initialization for linear output layers."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

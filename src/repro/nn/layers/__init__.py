@@ -1,0 +1,22 @@
+"""Layer implementations for the NumPy deep-learning framework."""
+
+from .activation import ReLU
+from .avgpool import AvgPool2d
+from .batchnorm import BatchNorm2d
+from .container import Flatten, Identity, Sequential
+from .conv import Conv2d
+from .linear import Linear
+from .pooling import GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+]

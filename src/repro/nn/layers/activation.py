@@ -1,0 +1,31 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["ReLU"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad_in = grad_out * self._mask
+        self._mask = None
+        return grad_in
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "ReLU()"

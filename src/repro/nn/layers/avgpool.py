@@ -1,0 +1,53 @@
+"""Average pooling layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["AvgPool2d"]
+
+
+class AvgPool2d(Module):
+    """Average pooling over NCHW inputs."""
+
+    def __init__(
+        self, kernel_size: int, stride: int | None = None, padding: int = 0
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = F.conv_output_size(h, k, s, p)
+        out_w = F.conv_output_size(w, k, s, p)
+        col = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
+        out = col.mean(axis=1).reshape(n, c, out_h, out_w)
+        self._cache = (x.shape, col.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, col_shape = self._cache
+        n, c, h, w = input_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        window = k * k
+        grad_col = np.repeat(
+            grad_out.reshape(-1, 1) / window, window, axis=1
+        ).astype(grad_out.dtype)
+        grad_in = F.col2im(grad_col, (n * c, 1, h, w), k, k, s, p)
+        self._cache = None
+        return grad_in.reshape(input_shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AvgPool2d(kernel_size={self.kernel_size}, "
+            f"stride={self.stride})"
+        )

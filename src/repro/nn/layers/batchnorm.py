@@ -1,0 +1,141 @@
+"""Batch normalization with explicit running-statistics control.
+
+Batch normalization is central to FedTiny: the adaptive BN selection
+module (paper Algorithm 1) recalibrates the running mean and variance of
+each coarse-pruned candidate model by running *stats-only* forward
+passes on device data, then aggregates the statistics on the server.
+
+The layer therefore supports three behaviours:
+
+- ``training=True``  — normalize with batch statistics and update the
+  running statistics with the paper's momentum rule (Eq. 3):
+  ``running = gamma * running + (1 - gamma) * batch``.
+- ``training=False`` — normalize with the frozen running statistics.
+- :meth:`BatchNorm2d.get_stats` / :meth:`BatchNorm2d.set_stats` — read
+  and install running statistics, used by the server-side aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+from ..parameter import Parameter
+
+__all__ = ["BatchNorm2d"]
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization for NCHW inputs."""
+
+    def __init__(
+        self, num_features: int, momentum: float = 0.9, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        # BN affine parameters are never pruned (paper Section IV-A2).
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer(
+            "running_mean", np.zeros(num_features, dtype=np.float32)
+        )
+        self.register_buffer(
+            "running_var", np.ones(num_features, dtype=np.float32)
+        )
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # Statistics access (used by adaptive BN selection)
+    # ------------------------------------------------------------------
+    def get_stats(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the running ``(mean, var)``."""
+        return self.running_mean.copy(), self.running_var.copy()
+
+    def set_stats(self, mean: np.ndarray, var: np.ndarray) -> None:
+        """Install aggregated running statistics."""
+        if mean.shape != (self.num_features,) or var.shape != (
+            self.num_features,
+        ):
+            raise ValueError(
+                f"stats must have shape ({self.num_features},), got "
+                f"{mean.shape} and {var.shape}"
+            )
+        self._set_buffer("running_mean", mean)
+        self._set_buffer("running_var", var)
+
+    def reset_stats(self) -> None:
+        """Reset running statistics to the identity transform."""
+        self._set_buffer(
+            "running_mean", np.zeros(self.num_features, dtype=np.float32)
+        )
+        self._set_buffer(
+            "running_var", np.ones(self.num_features, dtype=np.float32)
+        )
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected input (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            batch_mean = x.mean(axis=(0, 2, 3))
+            batch_var = x.var(axis=(0, 2, 3))
+            self._set_buffer(
+                "running_mean",
+                self.momentum * self.running_mean
+                + (1.0 - self.momentum) * batch_mean,
+            )
+            self._set_buffer(
+                "running_var",
+                self.momentum * self.running_var
+                + (1.0 - self.momentum) * batch_var,
+            )
+            mean, var = batch_mean, batch_var
+        else:
+            mean, var = self.running_mean, self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (
+            self.gamma.data[None, :, None, None] * x_hat
+            + self.beta.data[None, :, None, None]
+        )
+        self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, shape = self._cache
+        n, _, h, w = shape
+        m = n * h * w
+
+        self.gamma.grad += (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+
+        grad_x_hat = grad_out * self.gamma.data[None, :, None, None]
+        if self.training:
+            # Full batch-norm backward through the batch statistics.
+            sum_grad = grad_x_hat.sum(axis=(0, 2, 3), keepdims=True)
+            sum_grad_xhat = (grad_x_hat * x_hat).sum(
+                axis=(0, 2, 3), keepdims=True
+            )
+            grad_in = (
+                inv_std[None, :, None, None]
+                / m
+                * (m * grad_x_hat - sum_grad - x_hat * sum_grad_xhat)
+            )
+        else:
+            grad_in = grad_x_hat * inv_std[None, :, None, None]
+        self._cache = None
+        return grad_in
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"BatchNorm2d({self.num_features}, momentum={self.momentum})"

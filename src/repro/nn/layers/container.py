@@ -1,0 +1,76 @@
+"""Container modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["Sequential", "Flatten", "Identity"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = f"m{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def __iter__(self):
+        for name in self._order:
+            yield getattr(self, name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = f"m{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self:
+            x = module(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for module in reversed(list(self)):
+            grad_out = module.backward(grad_out)
+        return grad_out
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_in = grad_out.reshape(self._shape)
+        self._shape = None
+        return grad_in
+
+
+class Identity(Module):
+    """No-op module (useful as a residual shortcut placeholder)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

@@ -1,0 +1,103 @@
+"""2-D convolution implemented with the im2col lowering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..init import kaiming_normal
+from ..module import Module
+from ..parameter import Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution over NCHW inputs.
+
+    The weight is a prunable :class:`Parameter` of shape
+    ``(out_channels, in_channels, kernel, kernel)``. The forward pass
+    always uses the *effective* (masked) weight, and ``backward`` writes
+    the gradient with respect to the effective weight, which is the RigL
+    growth signal the progressive-pruning module consumes.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), rng
+            ),
+            prunable=True,
+        )
+        self.bias = (
+            Parameter(np.zeros(out_channels, dtype=np.float32))
+            if bias
+            else None
+        )
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = F.conv_output_size(h, k, s, p)
+        out_w = F.conv_output_size(w, k, s, p)
+        col = F.im2col(x, k, k, s, p)  # (N*out_h*out_w, C*k*k)
+        w_eff = self.weight.effective.reshape(self.out_channels, -1)
+        out = col @ w_eff.T
+        if self.bias is not None:
+            out += self.bias.data
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+        self._cache = (x.shape, col)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, col = self._cache
+        n, c_out, out_h, out_w = grad_out.shape
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if self.bias is not None:
+            self.bias.grad += grad_flat.sum(axis=0)
+        self.weight.grad += (grad_flat.T @ col).reshape(self.weight.shape)
+        w_eff = self.weight.effective.reshape(self.out_channels, -1)
+        grad_col = grad_flat @ w_eff
+        grad_in = F.col2im(
+            grad_col,
+            input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        self._cache = None
+        return grad_in
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding})"
+        )

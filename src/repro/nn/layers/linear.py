@@ -1,0 +1,63 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..init import kaiming_normal
+from ..module import Module
+from ..parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with a prunable weight."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), rng), prunable=True
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features, dtype=np.float32))
+            if bias
+            else None
+        )
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._cache = x
+        out = x @ self.weight.effective.T
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache
+        self.weight.grad += grad_out.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        grad_in = grad_out @ self.weight.effective
+        self._cache = None
+        return grad_in
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Linear({self.in_features}, {self.out_features})"

@@ -1,0 +1,77 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["MaxPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling over NCHW inputs."""
+
+    def __init__(
+        self, kernel_size: int, stride: int | None = None, padding: int = 0
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = F.conv_output_size(h, k, s, p)
+        out_w = F.conv_output_size(w, k, s, p)
+        # Pool each channel independently by folding channels into the
+        # batch dimension before the im2col lowering.
+        col = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
+        argmax = col.argmax(axis=1)
+        out = col[np.arange(col.shape[0]), argmax]
+        out = out.reshape(n, c, out_h, out_w)
+        self._cache = (x.shape, argmax, col.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, argmax, col_shape = self._cache
+        n, c, h, w = input_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        grad_col = np.zeros(col_shape, dtype=grad_out.dtype)
+        grad_col[np.arange(col_shape[0]), argmax] = grad_out.reshape(-1)
+        grad_in = F.col2im(grad_col, (n * c, 1, h, w), k, k, s, p)
+        self._cache = None
+        return grad_in.reshape(input_shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions, producing (N, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._shape
+        grad_in = np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), self._shape
+        ).astype(grad_out.dtype)
+        self._shape = None
+        return grad_in.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "GlobalAvgPool2d()"

@@ -1,0 +1,46 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["CrossEntropyLoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels (mean reduction)."""
+
+    def __init__(self) -> None:
+        self._cache: tuple | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: {logits.shape[0]} logits vs "
+                f"{labels.shape[0]} labels"
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        n = logits.shape[0]
+        loss = -log_probs[np.arange(n), labels].mean()
+        self._cache = (log_probs, labels)
+        return float(loss)
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        log_probs, labels = self._cache
+        n = log_probs.shape[0]
+        grad = np.exp(log_probs)
+        grad[np.arange(n), labels] -= 1.0
+        grad /= n
+        self._cache = None
+        return grad.astype(np.float32)

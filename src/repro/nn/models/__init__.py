@@ -1,0 +1,21 @@
+"""Model zoo: the paper's evaluation architectures."""
+
+from .registry import available_models, build_model, register_model
+from .resnet import BasicBlock, ResNet18, resnet18
+from .small_cnn import SmallCNN, small_cnn, small_cnn_matching_params
+from .vgg import VGG11, VGG11_CONFIG, vgg11
+
+__all__ = [
+    "BasicBlock",
+    "ResNet18",
+    "SmallCNN",
+    "VGG11",
+    "VGG11_CONFIG",
+    "available_models",
+    "build_model",
+    "register_model",
+    "resnet18",
+    "small_cnn",
+    "small_cnn_matching_params",
+    "vgg11",
+]

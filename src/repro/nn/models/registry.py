@@ -1,0 +1,101 @@
+"""Model registry: build models by name from experiment configs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..module import Module
+from .resnet import resnet18
+from .small_cnn import small_cnn
+from .vgg import vgg11
+
+__all__ = ["build_model", "available_models", "register_model"]
+
+_BUILDERS: dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, builder: Callable[..., Module]) -> None:
+    """Register a model builder under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _BUILDERS:
+        raise ValueError(f"model {name!r} already registered")
+    _BUILDERS[key] = builder
+
+
+def available_models() -> list[str]:
+    """Sorted names of registered models."""
+    return sorted(_BUILDERS)
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    image_size: int = 32,
+    in_channels: int = 3,
+    seed: int = 0,
+    **kwargs,
+) -> Module:
+    """Build a registered model.
+
+    ``seed`` controls weight initialization so that repeated builds are
+    bit-identical (required for LotteryFL's rewind-to-init step).
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    rng = np.random.default_rng(seed)
+    return _BUILDERS[key](
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        image_size=image_size,
+        in_channels=in_channels,
+        rng=rng,
+        **kwargs,
+    )
+
+
+def _build_resnet18(num_classes, width_multiplier, image_size, in_channels,
+                    rng, **kwargs):
+    del image_size  # ResNet is size-agnostic thanks to global pooling.
+    return resnet18(
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        in_channels=in_channels,
+        rng=rng,
+        **kwargs,
+    )
+
+
+def _build_vgg11(num_classes, width_multiplier, image_size, in_channels, rng,
+                 **kwargs):
+    return vgg11(
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        image_size=image_size,
+        in_channels=in_channels,
+        rng=rng,
+        **kwargs,
+    )
+
+
+def _build_small_cnn(num_classes, width_multiplier, image_size, in_channels,
+                     rng, **kwargs):
+    del image_size
+    base_width = max(1, int(round(16 * width_multiplier)))
+    return small_cnn(
+        num_classes=num_classes,
+        base_width=kwargs.pop("base_width", base_width),
+        in_channels=in_channels,
+        rng=rng,
+        **kwargs,
+    )
+
+
+register_model("resnet18", _build_resnet18)
+register_model("vgg11", _build_vgg11)
+register_model("small_cnn", _build_small_cnn)

@@ -1,0 +1,168 @@
+"""CIFAR-style ResNet-18 (paper's primary evaluation model).
+
+The architecture follows He et al. adapted for 32x32 inputs: a 3x3 stem
+(no initial max-pool), four stages of two BasicBlocks each with channel
+widths ``[64, 128, 256, 512] * width_multiplier``, global average
+pooling, and a linear classifier. ``width_multiplier`` lets tests and
+benchmarks run the same topology at reduced cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+)
+from ..module import Module
+
+__all__ = ["BasicBlock", "ResNet18", "resnet18"]
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(1, int(round(channels * multiplier)))
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(
+            in_channels,
+            out_channels,
+            3,
+            stride=stride,
+            padding=1,
+            bias=False,
+            rng=rng,
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False,
+            rng=rng,
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Sequential(
+                Conv2d(
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride=stride,
+                    bias=False,
+                    rng=rng,
+                ),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.relu1(self.bn1(self.conv1(x)))
+        main = self.bn2(self.conv2(main))
+        return self.relu2(main + self.shortcut(x))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_out)
+        grad_main = self.conv1.backward(
+            self.bn1.backward(
+                self.relu1.backward(
+                    self.conv2.backward(self.bn2.backward(grad_sum))
+                )
+            )
+        )
+        grad_short = self.shortcut.backward(grad_sum)
+        return grad_main + grad_short
+
+
+class ResNet18(Module):
+    """ResNet-18 for small images."""
+
+    STAGE_CHANNELS = (64, 128, 256, 512)
+    BLOCKS_PER_STAGE = 2
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        in_channels: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        widths = [_scaled(c, width_multiplier) for c in self.STAGE_CHANNELS]
+        self.num_classes = num_classes
+        self.width_multiplier = width_multiplier
+
+        self.stem_conv = Conv2d(
+            in_channels, widths[0], 3, stride=1, padding=1, bias=False,
+            rng=rng,
+        )
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.stem_relu = ReLU()
+
+        stages = []
+        in_ch = widths[0]
+        for stage_index, out_ch in enumerate(widths):
+            blocks = []
+            for block_index in range(self.BLOCKS_PER_STAGE):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                blocks.append(BasicBlock(in_ch, out_ch, stride, rng))
+                in_ch = out_ch
+            stages.append(Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3, self.stage4 = stages
+
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(widths[3], num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem_relu(self.stem_bn(self.stem_conv(x)))
+        x = self.stage1(x)
+        x = self.stage2(x)
+        x = self.stage3(x)
+        x = self.stage4(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.stage4.backward(grad)
+        grad = self.stage3.backward(grad)
+        grad = self.stage2.backward(grad)
+        grad = self.stage1.backward(grad)
+        grad = self.stem_conv.backward(
+            self.stem_bn.backward(self.stem_relu.backward(grad))
+        )
+        return grad
+
+
+def resnet18(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    in_channels: int = 3,
+    rng: np.random.Generator | None = None,
+) -> ResNet18:
+    """Build a CIFAR-style ResNet-18."""
+    return ResNet18(
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        in_channels=in_channels,
+        rng=rng,
+    )

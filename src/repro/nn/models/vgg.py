@@ -1,0 +1,113 @@
+"""VGG-11 with batch normalization (the paper's second model).
+
+The feature extractor follows the classic "A" configuration
+``64 M 128 M 256 256 M 512 512 M 512 512 M``. Max-pool stages are
+skipped once the spatial size would drop below 1 so the same topology
+runs on reduced image sizes in tests/benchmarks. The classifier keeps
+the two wide hidden layers of the original VGG (making VGG-11 much
+larger than ResNet-18, as in the paper's memory-footprint column);
+``classifier_hidden=()`` gives the compact CIFAR variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from ..module import Module
+
+__all__ = ["VGG11", "vgg11", "VGG11_CONFIG"]
+
+VGG11_CONFIG: tuple = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512,
+                       512, "M")
+
+
+def _scaled(channels: int, multiplier: float) -> int:
+    return max(1, int(round(channels * multiplier)))
+
+
+class VGG11(Module):
+    """VGG-11 (configuration A) with batch normalization."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        classifier_hidden: tuple[int, ...] = (4096, 4096),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.num_classes = num_classes
+        self.width_multiplier = width_multiplier
+
+        layers: list[Module] = []
+        channels = in_channels
+        spatial = image_size
+        for item in VGG11_CONFIG:
+            if item == "M":
+                if spatial >= 2:
+                    layers.append(MaxPool2d(2, 2))
+                    spatial //= 2
+                continue
+            out_ch = _scaled(int(item), width_multiplier)
+            layers.append(
+                Conv2d(channels, out_ch, 3, padding=1, bias=False, rng=rng)
+            )
+            layers.append(BatchNorm2d(out_ch))
+            layers.append(ReLU())
+            channels = out_ch
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d() if spatial > 1 else Flatten()
+        self._final_spatial = spatial
+
+        classifier_layers: list[Module] = []
+        in_dim = channels
+        for hidden in classifier_hidden:
+            hidden_dim = _scaled(hidden, width_multiplier)
+            classifier_layers.append(Linear(in_dim, hidden_dim, rng=rng))
+            classifier_layers.append(ReLU())
+            in_dim = hidden_dim
+        classifier_layers.append(Linear(in_dim, num_classes, rng=rng))
+        self.classifier = Sequential(*classifier_layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.features(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        grad = self.pool.backward(grad)
+        return self.features.backward(grad)
+
+
+def vgg11(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    in_channels: int = 3,
+    image_size: int = 32,
+    classifier_hidden: tuple[int, ...] = (4096, 4096),
+    rng: np.random.Generator | None = None,
+) -> VGG11:
+    """Build a VGG-11 with batch normalization."""
+    return VGG11(
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        in_channels=in_channels,
+        image_size=image_size,
+        classifier_hidden=classifier_hidden,
+        rng=rng,
+    )

@@ -1,0 +1,203 @@
+"""Base class for layers and models.
+
+Modules form a tree. Assigning a :class:`Parameter`, a ``Module``, or a
+buffer (via :meth:`Module.register_buffer`) to an attribute registers it
+so that ``named_parameters`` / ``state_dict`` traverse the whole tree,
+mirroring the registration convention users know from mainstream deep
+learning frameworks.
+
+Every module implements an explicit ``forward``/``backward`` pair.
+``forward`` caches whatever the matching ``backward`` needs; ``backward``
+consumes the cache, accumulates parameter gradients, and returns the
+gradient with respect to the module input.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_params", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_children", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        params = self.__dict__.get("_params")
+        if params is None:
+            raise RuntimeError(
+                "call Module.__init__() before assigning attributes"
+            )
+        # Remove any previous registration under this name.
+        self._params.pop(name, None)
+        self._children.pop(name, None)
+        self._buffers.pop(name, None)
+        if isinstance(value, Parameter):
+            self._params[name] = value
+        elif isinstance(value, Module):
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register persistent, non-trainable state (e.g. BN running stats)."""
+        self._buffers[name] = name
+        object.__setattr__(self, name, np.asarray(value, dtype=np.float32))
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"{name!r} is not a registered buffer")
+        object.__setattr__(self, name, np.asarray(value, dtype=np.float32))
+
+    # ------------------------------------------------------------------
+    # Forward / backward contract
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        yield from self._children.items()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._children.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(
+        self, prefix: str = ""
+    ) -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._params.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._children.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            full = f"{prefix}.{name}" if prefix else name
+            yield full, getattr(self, name)
+        for name, child in self._children.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", bool(mode))
+        for child in self._children.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Counting helpers
+    # ------------------------------------------------------------------
+    def num_parameters(self, prunable_only: bool = False) -> int:
+        """Total scalar parameter count."""
+        return sum(
+            p.size
+            for p in self.parameters()
+            if not prunable_only or p.prunable
+        )
+
+    def num_active_parameters(self, prunable_only: bool = False) -> int:
+        """Parameter count after masking."""
+        return sum(
+            p.num_active
+            for p in self.parameters()
+            if not prunable_only or p.prunable
+        )
+
+    def density(self) -> float:
+        """Overall density of the prunable parameters."""
+        total = self.num_parameters(prunable_only=True)
+        if total == 0:
+            return 1.0
+        return self.num_active_parameters(prunable_only=True) / total
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter values, masks and buffers."""
+        state: dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+            if param.mask is not None:
+                state[name + ".__mask__"] = param.mask.copy()
+        for name, buf in self.named_buffers():
+            state["buffer::" + name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict` (strict)."""
+        params = dict(self.named_parameters())
+        buffers = {name: name for name, _ in self.named_buffers()}
+        for key, value in state.items():
+            if key.startswith("buffer::"):
+                name = key[len("buffer::") :]
+                if name not in buffers:
+                    raise KeyError(f"unexpected buffer {name!r}")
+                self._assign_buffer(name, value)
+            elif key.endswith(".__mask__"):
+                name = key[: -len(".__mask__")]
+                if name not in params:
+                    raise KeyError(f"mask for unknown parameter {name!r}")
+                params[name].set_mask(value.copy())
+            else:
+                if key not in params:
+                    raise KeyError(f"unexpected parameter {key!r}")
+                if params[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{params[key].data.shape} vs {value.shape}"
+                    )
+                params[key].data = value.astype(np.float32).copy()
+        # Parameters not mentioned with a mask key become dense again only
+        # if the caller explicitly cleared them; loading is otherwise
+        # non-destructive for masks.
+
+    def _assign_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._children[part]
+        module._set_buffer(parts[-1], value.copy())

@@ -1,0 +1,149 @@
+"""Optimizers and learning-rate schedules.
+
+The :class:`SGD` optimizer implements the sparse update of the paper's
+Eq. 5: ``theta <- theta - lr * (grad(L) * mask)``. Gradients are always
+computed with respect to the effective weight, so masking happens here,
+at update time, and the raw gradient at pruned positions survives as the
+growth signal for progressive pruning.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .module import Module
+from .parameter import Parameter
+
+__all__ = [
+    "SGD",
+    "LRSchedule",
+    "ConstantLR",
+    "CosineLR",
+    "StepLR",
+]
+
+
+class LRSchedule:
+    """Base class: maps a global step index to a learning rate."""
+
+    def lr(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self._lr = lr
+
+    def lr(self, step: int) -> float:
+        return self._lr
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``lr_max`` to ``lr_min`` over ``total_steps``."""
+
+    def __init__(
+        self, lr_max: float, total_steps: int, lr_min: float = 0.0
+    ) -> None:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if lr_max <= lr_min:
+            raise ValueError("lr_max must exceed lr_min")
+        self.lr_max = lr_max
+        self.lr_min = lr_min
+        self.total_steps = total_steps
+
+    def lr(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        return self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.base_lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Updates are masked for sparse parameters, and momentum buffers are
+    zeroed at pruned positions so that a weight regrown later starts
+    with no stale velocity.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float | LRSchedule = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if isinstance(lr, LRSchedule):
+            self.schedule = lr
+        else:
+            self.schedule = ConstantLR(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(
+                f"weight_decay must be non-negative, got {weight_decay}"
+            )
+        self.module = module
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._velocity: dict[int, object] = {}
+
+    @property
+    def current_lr(self) -> float:
+        return self.schedule.lr(self.step_count)
+
+    def zero_grad(self) -> None:
+        self.module.zero_grad()
+
+    def step(self) -> None:
+        """Apply one masked SGD update to every parameter."""
+        lr = self.current_lr
+        for param in self.module.parameters():
+            self._update_param(param, lr)
+        self.step_count += 1
+
+    def _update_param(self, param: Parameter, lr: float) -> None:
+        grad = param.grad
+        if self.weight_decay > 0.0:
+            grad = grad + self.weight_decay * param.data
+        if param.mask is not None:
+            grad = grad * param.mask
+        if self.momentum > 0.0:
+            velocity = self._velocity.get(id(param))
+            if velocity is None or velocity.shape != grad.shape:
+                velocity = grad.copy()
+            else:
+                velocity = self.momentum * velocity + grad
+            if param.mask is not None:
+                velocity *= param.mask
+            self._velocity[id(param)] = velocity
+            update = velocity
+        else:
+            update = grad
+        param.data -= lr * update
+        if param.mask is not None:
+            # Keep pruned positions exactly zero (weight decay and
+            # floating-point drift would otherwise leak values back in).
+            param.data *= param.mask
+
+    def reset_velocity(self) -> None:
+        """Drop all momentum state (used when masks change globally)."""
+        self._velocity.clear()

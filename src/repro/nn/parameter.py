@@ -1,0 +1,97 @@
+"""Trainable parameters with optional sparsity masks.
+
+A :class:`Parameter` owns three arrays:
+
+``data``
+    The dense value of the parameter.
+``grad``
+    The gradient with respect to the *effective* (masked) value. Layers
+    always write gradients of the effective weight, so the gradient at a
+    pruned position is exactly the growth signal RigL-style algorithms
+    need (paper Eq. 6): "what would this connection receive if it were
+    re-grown".
+``mask``
+    Optional binary array of the same shape. ``None`` means dense. The
+    effective value used in the forward pass is ``data * mask``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named, optionally masked, trainable array."""
+
+    def __init__(self, data: np.ndarray, prunable: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.mask: np.ndarray | None = None
+        self.prunable = bool(prunable)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    # ------------------------------------------------------------------
+    # Sparsity
+    # ------------------------------------------------------------------
+    @property
+    def effective(self) -> np.ndarray:
+        """Value used in the forward pass (``data * mask`` when masked)."""
+        if self.mask is None:
+            return self.data
+        return self.data * self.mask
+
+    def set_mask(self, mask: np.ndarray | None) -> None:
+        """Install a binary mask (or remove it with ``None``)."""
+        if mask is None:
+            self.mask = None
+            return
+        mask = np.asarray(mask)
+        if mask.shape != self.data.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match parameter shape "
+                f"{self.data.shape}"
+            )
+        self.mask = (mask != 0).astype(np.float32)
+
+    def apply_mask(self) -> None:
+        """Zero the stored data at pruned positions (paper: theta = Theta * m)."""
+        if self.mask is not None:
+            self.data *= self.mask
+
+    @property
+    def num_active(self) -> int:
+        """Number of unpruned entries."""
+        if self.mask is None:
+            return self.size
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        """Fraction of unpruned entries in [0, 1]."""
+        if self.size == 0:
+            return 1.0
+        return self.num_active / self.size
+
+    # ------------------------------------------------------------------
+    # Gradients
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Parameter(shape={self.shape}, prunable={self.prunable}, "
+            f"density={self.density:.4f})"
+        )

@@ -1,0 +1,52 @@
+"""Pruning algorithms, candidate pools, schedules and block partitions."""
+
+from .blocks import DEFAULT_NUM_BLOCKS, even_blocks, model_blocks
+from .candidate_pool import Candidate, generate_candidate_pool
+from .erk import erk_densities, erk_mask, random_mask_erk
+from .magnitude import (
+    magnitude_mask_global,
+    magnitude_mask_layerwise,
+    magnitude_mask_uniform,
+    random_mask_uniform,
+    random_scores,
+    weight_magnitude_scores,
+)
+from .protection import io_layer_names, resolve_protected_layers
+from .schedule import PruningSchedule, cosine_adjustment_count
+from .scores import (
+    global_score_mask,
+    layerwise_density_mask,
+    topk_bool_mask,
+    uniform_density_mask,
+)
+from .snip import snip_mask, snip_scores
+from .synflow import synflow_mask, synflow_scores
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_NUM_BLOCKS",
+    "PruningSchedule",
+    "cosine_adjustment_count",
+    "erk_densities",
+    "erk_mask",
+    "even_blocks",
+    "generate_candidate_pool",
+    "global_score_mask",
+    "io_layer_names",
+    "layerwise_density_mask",
+    "magnitude_mask_global",
+    "magnitude_mask_layerwise",
+    "magnitude_mask_uniform",
+    "model_blocks",
+    "random_mask_erk",
+    "random_mask_uniform",
+    "random_scores",
+    "resolve_protected_layers",
+    "snip_mask",
+    "snip_scores",
+    "synflow_mask",
+    "synflow_scores",
+    "topk_bool_mask",
+    "uniform_density_mask",
+    "weight_magnitude_scores",
+]

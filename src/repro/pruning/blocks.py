@@ -1,0 +1,94 @@
+"""Model block partition for progressive pruning (paper Fig. 2).
+
+FedTiny divides the model's prunable layers into five blocks and
+adjusts one block per pruning round, iterating backward from the output
+(Section IV-A2). ResNet-18 splits at its four stages (stem joins stage
+1, the classifier joins stage 4's block); VGG-11 splits at its max-pool
+boundaries. Any other architecture falls back to an even split.
+"""
+
+from __future__ import annotations
+
+from ..nn.models.resnet import ResNet18
+from ..nn.models.vgg import VGG11
+from ..nn.module import Module
+from ..sparse.mask import prunable_parameters
+
+__all__ = ["model_blocks", "even_blocks"]
+
+DEFAULT_NUM_BLOCKS = 5
+
+
+def even_blocks(model: Module, num_blocks: int = DEFAULT_NUM_BLOCKS):
+    """Evenly split the ordered prunable layers into contiguous blocks."""
+    if num_blocks < 1:
+        raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+    names = [name for name, _ in prunable_parameters(model)]
+    if not names:
+        raise ValueError("model has no prunable parameters")
+    num_blocks = min(num_blocks, len(names))
+    blocks: list[list[str]] = [[] for _ in range(num_blocks)]
+    # Distribute as evenly as possible, earlier blocks taking the
+    # remainder (matches numpy.array_split).
+    base, remainder = divmod(len(names), num_blocks)
+    start = 0
+    for index in range(num_blocks):
+        size = base + (1 if index < remainder else 0)
+        blocks[index] = names[start : start + size]
+        start += size
+    return blocks
+
+
+def _resnet18_blocks(model: ResNet18) -> list[list[str]]:
+    names = [name for name, _ in prunable_parameters(model)]
+    stage_prefixes = ["stage1", "stage2", "stage3", "stage4"]
+    blocks: list[list[str]] = [[] for _ in range(5)]
+    for name in names:
+        if name.startswith("stem"):
+            blocks[0].append(name)
+        elif name.startswith("fc"):
+            blocks[4].append(name)
+        else:
+            for index, prefix in enumerate(stage_prefixes):
+                if name.startswith(prefix):
+                    # Stem rides with stage 1; fc shares block 5 with
+                    # stage 4's tail handled below.
+                    blocks[min(index, 4)].append(name)
+                    break
+            else:
+                raise ValueError(f"unexpected ResNet-18 layer {name!r}")
+    # Five blocks: [stem+stage1, stage2, stage3, stage4, fc]; merge the
+    # classifier into the last block if it would otherwise be alone with
+    # no convs (it is the output layer and typically protected).
+    return [b for b in blocks if b]
+
+
+def _vgg11_blocks(model: VGG11) -> list[list[str]]:
+    """Split VGG-11 convs at pool boundaries: 64 | 128 | 256x2 | 512x2 |
+    512x2 + classifier."""
+    names = [name for name, _ in prunable_parameters(model)]
+    conv_names = [n for n in names if n.startswith("features")]
+    classifier_names = [n for n in names if n.startswith("classifier")]
+    groups = [1, 1, 2, 2, 2]  # convs per stage in configuration A
+    blocks: list[list[str]] = []
+    cursor = 0
+    for count in groups:
+        blocks.append(conv_names[cursor : cursor + count])
+        cursor += count
+    if cursor != len(conv_names):  # width variants never change depth
+        raise ValueError(
+            f"expected {sum(groups)} VGG convs, found {len(conv_names)}"
+        )
+    blocks[-1].extend(classifier_names)
+    return [b for b in blocks if b]
+
+
+def model_blocks(
+    model: Module, num_blocks: int = DEFAULT_NUM_BLOCKS
+) -> list[list[str]]:
+    """Block partition of ``model`` (paper Fig. 2 for the known models)."""
+    if isinstance(model, ResNet18):
+        return _resnet18_blocks(model)
+    if isinstance(model, VGG11):
+        return _vgg11_blocks(model)
+    return even_blocks(model, num_blocks)

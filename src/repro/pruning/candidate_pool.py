@@ -1,0 +1,124 @@
+"""Coarse-pruned candidate generation (paper Section IV-A2).
+
+The server builds a pool of C candidate structures by magnitude pruning
+with *noisy layer-wise densities*: each free layer's density is the
+shared base density perturbed by uniform noise, and a candidate is
+accepted only if its overall density stays within the target
+(rejection sampling, per the paper: "a candidate can be added to the
+candidate pool only if its total density d satisfies d <= d_target").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.mask import MaskSet, prunable_parameters
+from .magnitude import magnitude_mask_layerwise
+
+__all__ = ["Candidate", "generate_candidate_pool"]
+
+_MAX_REJECTION_ATTEMPTS = 200
+
+
+@dataclass
+class Candidate:
+    """One coarse-pruned structure: mask plus its layer densities."""
+
+    index: int
+    masks: MaskSet
+    layer_densities: dict[str, float]
+
+    @property
+    def density(self) -> float:
+        return self.masks.density
+
+
+def _noisy_densities(
+    free_names: list[str],
+    sizes: dict[str, int],
+    protected: frozenset[str],
+    base_density: float,
+    budget: int,
+    noise: float,
+    rng: np.random.Generator,
+) -> dict[str, float] | None:
+    """One noisy layer-wise density draw, or None if it busts the budget."""
+    densities: dict[str, float] = {name: 1.0 for name in protected}
+    keep_total = sum(sizes[name] for name in protected)
+    for name in free_names:
+        perturbed = base_density * (1.0 + rng.uniform(-noise, noise))
+        perturbed = float(np.clip(perturbed, 0.0, 1.0))
+        densities[name] = perturbed
+        keep_total += int(round(perturbed * sizes[name]))
+    if keep_total > budget:
+        return None
+    return densities
+
+
+def generate_candidate_pool(
+    model: Module,
+    target_density: float,
+    pool_size: int,
+    rng: np.random.Generator,
+    noise: float = 0.9,
+    protected: frozenset[str] = frozenset(),
+) -> list[Candidate]:
+    """Magnitude-pruned candidates with uniform-noise layer densities.
+
+    The first candidate is always the noise-free uniform allocation so
+    the pool contains the vanilla baseline structure; the rest are
+    rejection-sampled noisy draws. If a draw keeps getting rejected the
+    noise is recentered slightly below the base density so sampling
+    terminates.
+    """
+    if pool_size < 1:
+        raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+    if not 0.0 < target_density <= 1.0:
+        raise ValueError(
+            f"target_density must be in (0, 1], got {target_density}"
+        )
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be in [0, 1], got {noise}")
+
+    params = prunable_parameters(model)
+    sizes = {name: param.size for name, param in params}
+    total = sum(sizes.values())
+    budget = int(round(target_density * total))
+    free_names = [name for name, _ in params if name not in protected]
+    protected_size = sum(sizes[name] for name in protected)
+    free_size = max(1, total - protected_size)
+    # Density the free layers share once protected layers take their cut.
+    base_density = max(0.0, (budget - protected_size) / free_size)
+
+    candidates: list[Candidate] = []
+    uniform = {name: 1.0 for name in protected}
+    uniform.update({name: base_density for name in free_names})
+    candidates.append(
+        Candidate(0, magnitude_mask_layerwise(model, uniform), uniform)
+    )
+
+    effective_base = base_density
+    while len(candidates) < pool_size:
+        densities = None
+        for _ in range(_MAX_REJECTION_ATTEMPTS):
+            densities = _noisy_densities(
+                free_names, sizes, frozenset(protected), effective_base,
+                budget, noise, rng,
+            )
+            if densities is not None:
+                break
+        if densities is None:
+            # Recenter below the base so the budget check can pass.
+            effective_base *= 0.95
+            continue
+        candidates.append(
+            Candidate(
+                len(candidates),
+                magnitude_mask_layerwise(model, densities),
+                densities,
+            )
+        )
+    return candidates

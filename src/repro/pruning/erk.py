@@ -1,0 +1,90 @@
+"""Erdős–Rényi-Kernel (ERK) layer-wise density allocation.
+
+ERK is the sparsity distribution used by the original FedDST and RigL:
+a layer's density is proportional to ``(fan_in + fan_out + kh + kw) /
+(fan_in * fan_out * kh * kw)``, so small layers stay denser than large
+ones. The paper's baselines use a uniform distribution; implementing
+ERK lets the FedDST baseline run with its native allocation and gives
+an ablation axis for candidate generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.mask import MaskSet, prunable_parameters
+from .magnitude import weight_magnitude_scores
+from .scores import layerwise_density_mask
+
+__all__ = ["erk_densities", "erk_mask", "random_mask_erk"]
+
+
+def _erk_score(shape: tuple[int, ...]) -> float:
+    """Per-layer ERK raw score: sum(dims) / prod(dims)."""
+    return float(sum(shape)) / float(np.prod(shape))
+
+
+def erk_densities(
+    model: Module, density: float, epsilon_tolerance: float = 1e-9
+) -> dict[str, float]:
+    """Layer densities from the ERK rule at an overall target density.
+
+    Solves for the global scale so that the expected total active count
+    matches ``density * total``, iteratively clamping any layer whose
+    allocation exceeds 1 (dense) — the standard ERK construction.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    params = prunable_parameters(model)
+    if not params:
+        raise ValueError("model has no prunable parameters")
+    sizes = {name: param.size for name, param in params}
+    raw = {name: _erk_score(param.shape) for name, param in params}
+    total = sum(sizes.values())
+    budget = density * total
+
+    dense_layers: set[str] = set()
+    while True:
+        dense_budget = sum(sizes[name] for name in dense_layers)
+        free_names = [name for name in sizes if name not in dense_layers]
+        if not free_names:
+            break
+        denom = sum(raw[name] * sizes[name] for name in free_names)
+        if denom <= epsilon_tolerance:
+            break
+        scale = (budget - dense_budget) / denom
+        overflow = [
+            name for name in free_names if scale * raw[name] > 1.0
+        ]
+        if not overflow:
+            break
+        dense_layers.update(overflow)
+
+    densities = {}
+    for name in sizes:
+        if name in dense_layers:
+            densities[name] = 1.0
+        else:
+            densities[name] = float(
+                np.clip(scale * raw[name], 0.0, 1.0)
+            )
+    return densities
+
+
+def erk_mask(model: Module, density: float) -> MaskSet:
+    """Magnitude mask with ERK layer-wise densities."""
+    return layerwise_density_mask(
+        model, weight_magnitude_scores(model), erk_densities(model, density)
+    )
+
+
+def random_mask_erk(
+    model: Module, density: float, rng: np.random.Generator
+) -> MaskSet:
+    """Random mask with ERK layer-wise densities (FedDST/RigL init)."""
+    from .magnitude import random_scores
+
+    return layerwise_density_mask(
+        model, random_scores(model, rng), erk_densities(model, density)
+    )

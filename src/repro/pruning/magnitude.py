@@ -1,0 +1,83 @@
+"""Magnitude pruning (|w| saliency) and random pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.mask import MaskSet, prunable_parameters
+from .scores import (
+    global_score_mask,
+    layerwise_density_mask,
+    uniform_density_mask,
+)
+
+__all__ = [
+    "weight_magnitude_scores",
+    "magnitude_mask_global",
+    "magnitude_mask_uniform",
+    "magnitude_mask_layerwise",
+    "random_scores",
+    "random_mask_uniform",
+]
+
+
+def weight_magnitude_scores(model: Module) -> dict[str, np.ndarray]:
+    """|w| per prunable parameter (equals the L1-norm saliency of
+    FL-PQSU's unstructured variant)."""
+    return {
+        name: np.abs(param.data) for name, param in prunable_parameters(model)
+    }
+
+
+def magnitude_mask_global(
+    model: Module,
+    density: float,
+    protected: set[str] | frozenset[str] = frozenset(),
+) -> MaskSet:
+    """Keep the globally largest weights at the target density."""
+    return global_score_mask(
+        model, weight_magnitude_scores(model), density, protected
+    )
+
+
+def magnitude_mask_uniform(
+    model: Module,
+    density: float,
+    protected: set[str] | frozenset[str] = frozenset(),
+) -> MaskSet:
+    """Keep the per-layer largest weights at one uniform density."""
+    return uniform_density_mask(
+        model, weight_magnitude_scores(model), density, protected
+    )
+
+
+def magnitude_mask_layerwise(
+    model: Module, layer_densities: dict[str, float]
+) -> MaskSet:
+    """Keep the per-layer largest weights at per-layer densities."""
+    return layerwise_density_mask(
+        model, weight_magnitude_scores(model), layer_densities
+    )
+
+
+def random_scores(
+    model: Module, rng: np.random.Generator
+) -> dict[str, np.ndarray]:
+    """Uniform random saliency (random pruning)."""
+    return {
+        name: rng.random(param.shape)
+        for name, param in prunable_parameters(model)
+    }
+
+
+def random_mask_uniform(
+    model: Module,
+    density: float,
+    rng: np.random.Generator,
+    protected: set[str] | frozenset[str] = frozenset(),
+) -> MaskSet:
+    """Random mask at one uniform per-layer density (FedDST's init)."""
+    return uniform_density_mask(
+        model, random_scores(model, rng), density, protected
+    )

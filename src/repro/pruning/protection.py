@@ -1,0 +1,51 @@
+"""Which layers are exempt from pruning.
+
+The paper keeps the input layer and the output layer dense ("we do not
+prune the batch normalization layer, bias, input layer, and output
+layer because they affect model output directly"; BN and biases are
+non-prunable parameters already). At full model scale those two layers
+are a small fraction of the budget, but a width-reduced benchmark model
+at an ultra-low density could not afford them — in that case protection
+is dropped (deterministically) rather than blowing the budget.
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module
+from ..sparse.mask import prunable_parameters
+
+__all__ = ["io_layer_names", "resolve_protected_layers"]
+
+# Protected layers may consume at most this fraction of the keep budget.
+_MAX_PROTECTED_BUDGET_FRACTION = 0.5
+
+
+def io_layer_names(model: Module) -> tuple[str, str]:
+    """Names of the first (input) and last (output) prunable parameters."""
+    params = prunable_parameters(model)
+    if not params:
+        raise ValueError("model has no prunable parameters")
+    return params[0][0], params[-1][0]
+
+
+def resolve_protected_layers(
+    model: Module, density: float, protect_io: bool = True
+) -> frozenset[str]:
+    """Protected-layer set that actually fits the density budget.
+
+    Returns the input/output layer names when their combined dense size
+    is at most half the keep budget at ``density``; otherwise returns an
+    empty set (protection silently dropped, as a tiny bench-scale model
+    cannot afford dense IO layers at paper densities).
+    """
+    if not protect_io:
+        return frozenset()
+    params = prunable_parameters(model)
+    total = sum(p.size for _, p in params)
+    budget = density * total
+    first, last = io_layer_names(model)
+    sizes = {name: param.size for name, param in params}
+    protected_size = sizes[first] + (sizes[last] if last != first else 0)
+    if protected_size <= _MAX_PROTECTED_BUDGET_FRACTION * budget:
+        return frozenset({first, last})
+    return frozenset()

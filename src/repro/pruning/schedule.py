@@ -1,0 +1,120 @@
+"""Pruning schedules: how many weights to grow/prune, and where.
+
+The paper's adjustment count for layer l at iteration t is
+
+    a_t^l = 0.15 * (1 + cos(t * pi / (Rstop * E))) * n_l
+
+where ``n_l`` is the number of unpruned parameters in the layer, E is
+the local iterations per round, and pruning stops after round Rstop
+(Section IV-A2). Granularity (layer / block / entire model per pruning
+round) and ordering (backward from the output, or forward) are the
+subject of the paper's Table III ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["cosine_adjustment_count", "PruningSchedule"]
+
+
+def cosine_adjustment_count(
+    iteration: int,
+    stop_iteration: int,
+    active_count: int,
+    fraction: float = 0.15,
+) -> int:
+    """Number of weights to grow (and prune) in one layer, a_t^l."""
+    if stop_iteration <= 0:
+        raise ValueError(
+            f"stop_iteration must be positive, got {stop_iteration}"
+        )
+    if iteration < 0:
+        raise ValueError(f"iteration must be >= 0, got {iteration}")
+    if active_count < 0:
+        raise ValueError(f"active_count must be >= 0, got {active_count}")
+    if iteration > stop_iteration:
+        return 0
+    scale = fraction * (1.0 + math.cos(math.pi * iteration / stop_iteration))
+    return int(round(scale * active_count))
+
+
+@dataclass(frozen=True)
+class PruningSchedule:
+    """When to prune, which layers, and how aggressively.
+
+    Attributes:
+        delta_rounds: rounds of fine-tuning between two pruning
+            operations (the paper's delta-R, default 10).
+        stop_round: last round at which pruning may happen (Rstop,
+            default 100); afterwards only fine-tuning continues.
+        granularity: "layer", "block", or "entire" — how much of the
+            model is adjusted per pruning round.
+        backward_order: iterate groups from the output toward the input
+            (the paper's best setting, marked "(b)" in Table III).
+        fraction: the 0.15 coefficient of the cosine count.
+    """
+
+    delta_rounds: int = 10
+    stop_round: int = 100
+    granularity: str = "block"
+    backward_order: bool = True
+    fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.delta_rounds < 1:
+            raise ValueError(
+                f"delta_rounds must be >= 1, got {self.delta_rounds}"
+            )
+        if self.stop_round < 1:
+            raise ValueError(f"stop_round must be >= 1, got {self.stop_round}")
+        if self.granularity not in ("layer", "block", "entire"):
+            raise ValueError(
+                "granularity must be 'layer', 'block' or 'entire', got "
+                f"{self.granularity!r}"
+            )
+        if not 0.0 < self.fraction <= 0.5:
+            raise ValueError(
+                f"fraction must be in (0, 0.5], got {self.fraction}"
+            )
+
+    def is_pruning_round(self, round_index: int) -> bool:
+        """True when mask adjustment happens after this round."""
+        if round_index > self.stop_round:
+            return False
+        return round_index % self.delta_rounds == 0
+
+    def groups_for(self, groups: list[list[str]]) -> list[list[str]]:
+        """Pruning-target groups in schedule order.
+
+        ``groups`` is the model's block partition (lists of layer
+        names). For "layer" granularity each layer is its own group;
+        for "entire" all layers form one group.
+        """
+        if self.granularity == "entire":
+            return [[name for group in groups for name in group]]
+        if self.granularity == "layer":
+            flat = [[name] for group in groups for name in group]
+        else:
+            flat = [list(group) for group in groups]
+        if self.backward_order:
+            flat = list(reversed(flat))
+        return flat
+
+    def group_for_pruning_round(
+        self, pruning_round_counter: int, groups: list[list[str]]
+    ) -> list[str]:
+        """Layer names adjusted at the given pruning occasion (cyclic)."""
+        ordered = self.groups_for(groups)
+        return ordered[pruning_round_counter % len(ordered)]
+
+    def adjustment_count(
+        self, round_index: int, local_iterations: int, active_count: int
+    ) -> int:
+        """a_t^l for a layer with ``active_count`` unpruned weights."""
+        t = round_index * local_iterations
+        stop_t = self.stop_round * local_iterations
+        return cosine_adjustment_count(
+            t, stop_t, active_count, self.fraction
+        )

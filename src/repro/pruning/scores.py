@@ -1,0 +1,127 @@
+"""Shared machinery for score-based pruning.
+
+Every pruning algorithm reduces to: compute a saliency score per
+prunable weight, then keep the top-scoring weights subject to a density
+budget, either globally or per layer. This module owns that budget
+arithmetic so the individual algorithms stay small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.mask import MaskSet, prunable_parameters
+
+__all__ = [
+    "topk_bool_mask",
+    "global_score_mask",
+    "layerwise_density_mask",
+    "uniform_density_mask",
+]
+
+
+def topk_bool_mask(scores: np.ndarray, keep: int) -> np.ndarray:
+    """Boolean mask keeping the ``keep`` largest entries of ``scores``.
+
+    Ties are broken by argpartition order, which is deterministic for a
+    fixed input.
+    """
+    flat = scores.reshape(-1)
+    keep = int(keep)
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    mask = np.zeros(flat.size, dtype=bool)
+    if keep == 0:
+        return mask.reshape(scores.shape)
+    if keep >= flat.size:
+        return np.ones(scores.shape, dtype=bool)
+    top = np.argpartition(flat, -keep)[-keep:]
+    mask[top] = True
+    return mask.reshape(scores.shape)
+
+
+def global_score_mask(
+    model: Module,
+    scores: dict[str, np.ndarray],
+    density: float,
+    protected: set[str] | frozenset[str] = frozenset(),
+) -> MaskSet:
+    """Keep the globally top-scoring weights at the target density.
+
+    Protected layers are kept fully dense and their parameters count
+    against the budget; if they alone exceed the budget every remaining
+    layer keeps zero weights (mirroring how a fixed dense input/output
+    layer eats into an ultra-low budget).
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    params = prunable_parameters(model)
+    names = [n for n, _ in params]
+    if set(scores) != set(names) - set(protected) and set(scores) != set(
+        names
+    ):
+        missing = (set(names) - set(protected)) - set(scores)
+        if missing:
+            raise KeyError(f"missing scores for layers: {sorted(missing)}")
+    total = sum(p.size for _, p in params)
+    budget = int(round(density * total))
+    protected_size = sum(p.size for n, p in params if n in protected)
+    remaining_budget = max(0, budget - protected_size)
+
+    free_names = [n for n, _ in params if n not in protected]
+    if free_names:
+        flat_scores = np.concatenate(
+            [np.abs(scores[n]).reshape(-1) for n in free_names]
+        )
+        keep_flat = topk_bool_mask(flat_scores, remaining_budget)
+    masks: dict[str, np.ndarray] = {}
+    offset = 0
+    shapes = {n: p.shape for n, p in params}
+    for name in names:
+        if name in protected:
+            masks[name] = np.ones(shapes[name], dtype=bool)
+            continue
+        size = int(np.prod(shapes[name]))
+        masks[name] = keep_flat[offset : offset + size].reshape(shapes[name])
+        offset += size
+    return MaskSet(masks)
+
+
+def layerwise_density_mask(
+    model: Module,
+    scores: dict[str, np.ndarray],
+    layer_densities: dict[str, float],
+    min_keep: int = 1,
+) -> MaskSet:
+    """Keep the per-layer top-scoring weights at per-layer densities.
+
+    ``min_keep`` guards against fully disconnecting a layer, which a
+    rounded ultra-low density would otherwise do for every layer at
+    once (global methods are allowed to disconnect layers; uniform
+    layer-wise baselines are not, or nothing trains at all).
+    """
+    masks: dict[str, np.ndarray] = {}
+    for name, param in prunable_parameters(model):
+        density = layer_densities.get(name, 1.0)
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(
+                f"layer density for {name!r} must be in [0, 1], got {density}"
+            )
+        keep = int(round(density * param.size))
+        keep = max(min(min_keep, param.size), keep)
+        masks[name] = topk_bool_mask(np.abs(scores[name]), keep)
+    return MaskSet(masks)
+
+
+def uniform_density_mask(
+    model: Module,
+    scores: dict[str, np.ndarray],
+    density: float,
+    protected: set[str] | frozenset[str] = frozenset(),
+) -> MaskSet:
+    """Same density for every layer (the paper's baseline setting)."""
+    densities = {}
+    for name, _ in prunable_parameters(model):
+        densities[name] = 1.0 if name in protected else density
+    return layerwise_density_mask(model, scores, densities)

@@ -1,0 +1,76 @@
+"""SNIP: single-shot network pruning by connection sensitivity.
+
+Lee et al. (ICLR 2019), used by the paper as a server-side
+pruning-at-initialization baseline. The saliency of a weight is
+``|g * w|``, the first-order sensitivity of the loss to removing the
+connection, computed on a (public, server-side) batch. Following the
+paper's setup we apply it *iteratively* with an exponential density
+schedule rather than one-shot, as recommended by the SynFlow paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.loss import CrossEntropyLoss
+from ..nn.module import Module
+from ..sparse.mask import MaskSet, prunable_parameters
+from .scores import global_score_mask
+
+__all__ = ["snip_scores", "snip_mask"]
+
+
+def snip_scores(
+    model: Module, images: np.ndarray, labels: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Connection sensitivity ``|g * w|`` on one batch.
+
+    Gradients are taken with respect to the effective weights, so
+    already-pruned connections score zero and stay pruned across
+    iterations.
+    """
+    loss_fn = CrossEntropyLoss()
+    was_training = model.training
+    model.eval()  # keep BN statistics frozen during scoring
+    model.zero_grad()
+    loss_fn(model(images), labels)
+    model.backward(loss_fn.backward())
+    model.train(was_training)
+    return {
+        name: np.abs(param.grad * param.effective)
+        for name, param in prunable_parameters(model)
+    }
+
+
+def snip_mask(
+    model: Module,
+    dataset: Dataset,
+    density: float,
+    iterations: int = 5,
+    batch_size: int = 128,
+    protected: set[str] | frozenset[str] = frozenset(),
+) -> MaskSet:
+    """Iterative SNIP to the target density with an exponential schedule.
+
+    The model's weights are not modified; masks are applied temporarily
+    between scoring iterations and removed before returning.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    params = prunable_parameters(model)
+    saved_masks = [(p, None if p.mask is None else p.mask.copy())
+                   for _, p in params]
+    images, labels = dataset.first_batch(batch_size)
+    try:
+        mask = MaskSet.dense(model)
+        for step in range(1, iterations + 1):
+            step_density = density ** (step / iterations)
+            for name, param in params:
+                param.set_mask(mask[name])
+            scores = snip_scores(model, images, labels)
+            mask = global_score_mask(model, scores, step_density, protected)
+        return mask
+    finally:
+        for param, saved in saved_masks:
+            param.mask = saved

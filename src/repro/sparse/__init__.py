@@ -1,0 +1,40 @@
+"""Sparsity substrate: masks, streaming top-K buffers, storage model."""
+
+from .mask import MaskSet, prunable_parameters
+from .storage import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    bytes_to_mb,
+    dense_bytes,
+    mask_set_bytes,
+    model_parameter_bytes,
+    sparse_bytes,
+)
+from .quantize import (
+    QuantizedTensor,
+    dequantize_state,
+    dequantize_tensor,
+    quantization_error,
+    quantize_state,
+    quantize_tensor,
+)
+from .topk_buffer import TopKBuffer
+
+__all__ = [
+    "INDEX_BYTES",
+    "MaskSet",
+    "QuantizedTensor",
+    "TopKBuffer",
+    "VALUE_BYTES",
+    "bytes_to_mb",
+    "dense_bytes",
+    "dequantize_state",
+    "dequantize_tensor",
+    "mask_set_bytes",
+    "model_parameter_bytes",
+    "prunable_parameters",
+    "quantization_error",
+    "quantize_state",
+    "quantize_tensor",
+    "sparse_bytes",
+]

@@ -1,0 +1,182 @@
+"""Per-layer binary masks over a model's prunable parameters.
+
+A :class:`MaskSet` is the canonical representation of a pruned-model
+*structure* (the paper's ``m``): a mapping from prunable-parameter name
+to a boolean array. Mask sets are what the server builds, ships to
+devices, evaluates, and adjusts; installing one into a model applies
+``theta = Theta * m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["MaskSet", "prunable_parameters"]
+
+
+def prunable_parameters(model: Module):
+    """Ordered ``(name, Parameter)`` pairs of the prunable parameters."""
+    return [(n, p) for n, p in model.named_parameters() if p.prunable]
+
+
+class MaskSet:
+    """Mapping of parameter name -> boolean mask, with density algebra."""
+
+    def __init__(self, masks: dict[str, np.ndarray]) -> None:
+        self._masks = {
+            name: np.asarray(mask, dtype=bool) for name, mask in masks.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def dense(cls, model: Module) -> "MaskSet":
+        """All-ones masks over every prunable parameter."""
+        return cls(
+            {
+                name: np.ones(param.shape, dtype=bool)
+                for name, param in prunable_parameters(model)
+            }
+        )
+
+    @classmethod
+    def from_model(cls, model: Module) -> "MaskSet":
+        """Capture the masks currently installed in ``model``."""
+        masks = {}
+        for name, param in prunable_parameters(model):
+            if param.mask is None:
+                masks[name] = np.ones(param.shape, dtype=bool)
+            else:
+                masks[name] = param.mask.astype(bool).copy()
+        return cls(masks)
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._masks
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._masks[name]
+
+    def __setitem__(self, name: str, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=bool)
+        if name in self._masks and mask.shape != self._masks[name].shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match existing shape "
+                f"{self._masks[name].shape} for {name!r}"
+            )
+        self._masks[name] = mask
+
+    def __iter__(self):
+        return iter(self._masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def items(self):
+        return self._masks.items()
+
+    def layer_names(self) -> list[str]:
+        return list(self._masks)
+
+    # ------------------------------------------------------------------
+    # Density algebra
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total prunable parameter count covered by this mask set."""
+        return sum(mask.size for mask in self._masks.values())
+
+    @property
+    def num_active(self) -> int:
+        """Number of unpruned parameters."""
+        return int(sum(mask.sum() for mask in self._masks.values()))
+
+    @property
+    def density(self) -> float:
+        """Overall density d = active / total."""
+        if self.total == 0:
+            return 1.0
+        return self.num_active / self.total
+
+    def layer_density(self, name: str) -> float:
+        mask = self._masks[name]
+        if mask.size == 0:
+            return 1.0
+        return float(mask.sum()) / mask.size
+
+    def layer_densities(self) -> dict[str, float]:
+        return {name: self.layer_density(name) for name in self._masks}
+
+    def layer_active(self, name: str) -> int:
+        return int(self._masks[name].sum())
+
+    # ------------------------------------------------------------------
+    # Model interaction
+    # ------------------------------------------------------------------
+    def apply(self, model: Module) -> None:
+        """Install the masks into ``model`` and zero pruned weights."""
+        params = dict(prunable_parameters(model))
+        missing = set(self._masks) - set(params)
+        if missing:
+            raise KeyError(f"masks for unknown parameters: {sorted(missing)}")
+        for name, mask in self._masks.items():
+            params[name].set_mask(mask)
+            params[name].apply_mask()
+
+    def matches_model(self, model: Module) -> bool:
+        """True if mask names and shapes line up with ``model``."""
+        params = dict(prunable_parameters(model))
+        if set(params) != set(self._masks):
+            return False
+        return all(
+            params[name].shape == mask.shape
+            for name, mask in self._masks.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Copies / combination
+    # ------------------------------------------------------------------
+    def copy(self) -> "MaskSet":
+        return MaskSet({n: m.copy() for n, m in self._masks.items()})
+
+    def union(self, other: "MaskSet") -> "MaskSet":
+        """Element-wise OR (used by sparse-aggregation baselines)."""
+        self._check_compatible(other)
+        return MaskSet(
+            {n: self._masks[n] | other._masks[n] for n in self._masks}
+        )
+
+    def intersection(self, other: "MaskSet") -> "MaskSet":
+        """Element-wise AND."""
+        self._check_compatible(other)
+        return MaskSet(
+            {n: self._masks[n] & other._masks[n] for n in self._masks}
+        )
+
+    def difference_count(self, other: "MaskSet") -> int:
+        """Number of positions where the two mask sets disagree."""
+        self._check_compatible(other)
+        return int(
+            sum(
+                (self._masks[n] != other._masks[n]).sum()
+                for n in self._masks
+            )
+        )
+
+    def _check_compatible(self, other: "MaskSet") -> None:
+        if set(self._masks) != set(other._masks):
+            raise ValueError("mask sets cover different parameters")
+        for name in self._masks:
+            if self._masks[name].shape != other._masks[name].shape:
+                raise ValueError(f"shape mismatch for layer {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MaskSet(layers={len(self)}, density={self.density:.5f}, "
+            f"active={self.num_active}/{self.total})"
+        )

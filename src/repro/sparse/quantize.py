@@ -1,0 +1,89 @@
+"""Uniform affine quantization for communication compression.
+
+FL-PQSU (one of the paper's baselines) combines Pruning, Quantization
+and Selective Updating; the paper evaluates only the pruning stage. We
+implement the quantization stage as an optional extension: symmetric
+per-tensor int8/int16 quantization of the values a device uploads,
+with byte accounting, so the communication numbers can be studied with
+and without quantized uploads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "quantize_state",
+    "dequantize_state",
+    "quantization_error",
+]
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Symmetric uniform quantization of one array."""
+
+    codes: np.ndarray  # integer codes
+    scale: float
+    bits: int
+    shape: tuple[int, ...]
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes on the wire: packed codes + one float32 scale."""
+        return (self.codes.size * self.bits + 7) // 8 + 4
+
+
+def quantize_tensor(values: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-tensor quantization to ``bits`` (2..16)."""
+    if not 2 <= bits <= 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    values = np.asarray(values, dtype=np.float32)
+    max_code = (1 << (bits - 1)) - 1
+    peak = float(np.abs(values).max()) if values.size else 0.0
+    scale = peak / max_code if peak > 0 else 1.0
+    codes = np.clip(
+        np.round(values / scale), -max_code - 1, max_code
+    ).astype(np.int32)
+    return QuantizedTensor(
+        codes=codes, scale=scale, bits=bits, shape=values.shape
+    )
+
+
+def dequantize_tensor(quantized: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the float32 tensor from its codes."""
+    return (quantized.codes.astype(np.float32) * quantized.scale).reshape(
+        quantized.shape
+    )
+
+
+def quantize_state(
+    state: dict[str, np.ndarray], bits: int = 8
+) -> dict[str, QuantizedTensor]:
+    """Quantize every tensor of a parameter/buffer state dict."""
+    return {name: quantize_tensor(value, bits) for name, value in
+            state.items()}
+
+
+def dequantize_state(
+    quantized: dict[str, QuantizedTensor]
+) -> dict[str, np.ndarray]:
+    """Reconstruct a state dict from quantized uploads."""
+    return {name: dequantize_tensor(q) for name, q in quantized.items()}
+
+
+def quantization_error(
+    values: np.ndarray, bits: int = 8
+) -> float:
+    """Relative L2 reconstruction error of one quantize/dequantize trip."""
+    values = np.asarray(values, dtype=np.float32)
+    norm = float(np.linalg.norm(values))
+    if norm == 0.0:
+        return 0.0
+    reconstructed = dequantize_tensor(quantize_tensor(values, bits))
+    return float(np.linalg.norm(values - reconstructed)) / norm

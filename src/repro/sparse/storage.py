@@ -1,0 +1,74 @@
+"""Byte-level storage model for sparse and dense tensors.
+
+All memory-footprint and communication-cost numbers in the experiments
+derive from this single model, so assumptions live in one place:
+
+- dense tensors cost 4 bytes per element (float32);
+- sparse tensors are stored COO-style at 8 bytes per *active* element
+  (4-byte value + 4-byte flat index), unless the density is high enough
+  that dense storage is cheaper, in which case dense storage is used.
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module
+from .mask import MaskSet
+
+__all__ = [
+    "VALUE_BYTES",
+    "INDEX_BYTES",
+    "dense_bytes",
+    "sparse_bytes",
+    "mask_set_bytes",
+    "model_parameter_bytes",
+    "bytes_to_mb",
+]
+
+VALUE_BYTES = 4
+INDEX_BYTES = 4
+
+
+def dense_bytes(num_elements: int) -> int:
+    """Bytes to store ``num_elements`` float32 values densely."""
+    if num_elements < 0:
+        raise ValueError(f"num_elements must be >= 0, got {num_elements}")
+    return num_elements * VALUE_BYTES
+
+
+def sparse_bytes(num_active: int, dense_size: int) -> int:
+    """Bytes to store a sparse tensor, choosing the cheaper layout."""
+    if num_active < 0 or dense_size < 0:
+        raise ValueError("sizes must be non-negative")
+    if num_active > dense_size:
+        raise ValueError(
+            f"num_active={num_active} exceeds dense_size={dense_size}"
+        )
+    coo = num_active * (VALUE_BYTES + INDEX_BYTES)
+    return min(coo, dense_bytes(dense_size))
+
+
+def mask_set_bytes(masks: MaskSet) -> int:
+    """Bytes to transmit the sparse parameters selected by ``masks``."""
+    return sum(
+        sparse_bytes(int(mask.sum()), mask.size) for _, mask in masks.items()
+    )
+
+
+def model_parameter_bytes(model: Module) -> int:
+    """Bytes to store every parameter of ``model`` (masked ones sparsely).
+
+    Non-prunable parameters (BN affine terms, biases) are dense; masked
+    prunable parameters use the sparse layout.
+    """
+    total = 0
+    for _, param in model.named_parameters():
+        if param.mask is None:
+            total += dense_bytes(param.size)
+        else:
+            total += sparse_bytes(param.num_active, param.size)
+    return total
+
+
+def bytes_to_mb(num_bytes: int | float) -> float:
+    """Bytes -> megabytes (10^6, as used in the paper's tables)."""
+    return num_bytes / 1e6

@@ -1,0 +1,110 @@
+"""Streaming top-K-by-magnitude buffer (paper Section III-D).
+
+Devices in FedTiny never materialize the dense gradient of the pruned
+parameters. Instead they stream gradient values through a buffer that
+keeps only the ``a_t^l`` entries with the largest absolute value, so the
+device-side memory cost is O(a_t^l) regardless of layer size:
+
+    "When a gradient is calculated, and the buffer is full, if its
+    magnitude is larger than the smallest magnitude in the buffer, this
+    gradient will be pushed into the buffer, and the gradient with the
+    smallest magnitude will be discarded."
+
+:meth:`TopKBuffer.push` implements exactly that scalar protocol (backed
+by a min-heap on magnitude); :meth:`TopKBuffer.push_chunk` is a
+vectorized equivalent for simulation throughput whose peak memory is
+O(chunk + K).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["TopKBuffer"]
+
+
+class TopKBuffer:
+    """Keep the ``capacity`` (index, value) pairs of largest ``|value|``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        # Min-heap of (|value|, index, value): the root is the weakest
+        # entry and is evicted first.
+        self._heap: list[tuple[float, int, float]] = []
+        self._pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def num_pushed(self) -> int:
+        """Total number of values offered to the buffer."""
+        return self._pushed
+
+    @property
+    def min_magnitude(self) -> float:
+        """Smallest magnitude currently retained (0 if empty)."""
+        if not self._heap:
+            return 0.0
+        return self._heap[0][0]
+
+    def push(self, index: int, value: float) -> None:
+        """Offer one (index, value) pair, evicting the weakest if full."""
+        self._pushed += 1
+        if self.capacity == 0:
+            return
+        magnitude = abs(float(value))
+        entry = (magnitude, int(index), float(value))
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+        elif magnitude > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def push_chunk(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized push of a chunk of (index, value) pairs.
+
+        Equivalent to calling :meth:`push` for every element; peak
+        memory is O(len(chunk) + capacity).
+        """
+        indices = np.asarray(indices).reshape(-1)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if indices.shape != values.shape:
+            raise ValueError(
+                f"indices and values length mismatch: "
+                f"{indices.shape} vs {values.shape}"
+            )
+        self._pushed += int(values.size)
+        if self.capacity == 0 or values.size == 0:
+            return
+        magnitudes = np.abs(values)
+        if values.size > self.capacity:
+            # Pre-filter the chunk to its own top-capacity entries.
+            keep = np.argpartition(magnitudes, -self.capacity)[
+                -self.capacity :
+            ]
+            indices, values, magnitudes = (
+                indices[keep],
+                values[keep],
+                magnitudes[keep],
+            )
+        for magnitude, index, value in zip(magnitudes, indices, values):
+            entry = (float(magnitude), int(index), float(value))
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, entry)
+            elif magnitude > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Retained ``(indices, values)`` sorted by descending magnitude."""
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        indices = np.array([e[1] for e in ordered], dtype=np.int64)
+        values = np.array([e[2] for e in ordered], dtype=np.float32)
+        return indices, values
+
+    def memory_entries(self) -> int:
+        """Number of scalar slots the buffer occupies (the O(K) claim)."""
+        return len(self._heap)

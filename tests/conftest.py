@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SyntheticSpec, generate
+from repro.nn.models import build_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_resnet():
+    """A width-0.125 ResNet-18 (fast enough for gradient work)."""
+    return build_model("resnet18", num_classes=10, width_multiplier=0.125,
+                       seed=7)
+
+
+@pytest.fixture
+def tiny_vgg():
+    return build_model(
+        "vgg11", num_classes=10, width_multiplier=0.125, image_size=16,
+        classifier_hidden=(32,), seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_dataset() -> tuple[Dataset, Dataset]:
+    """A small, learnable synthetic dataset (train, test)."""
+    spec = SyntheticSpec(
+        name="unit",
+        num_classes=4,
+        num_train=160,
+        num_test=80,
+        image_size=8,
+        noise=0.4,
+        modes_per_class=1,
+        seed=3,
+    )
+    return generate(spec)
+
+
+@pytest.fixture
+def small_batch(rng) -> tuple[np.ndarray, np.ndarray]:
+    images = rng.normal(size=(6, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 4, size=6)
+    return images, labels

@@ -1,0 +1,291 @@
+"""Tests for every baseline method's behaviour and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FedAvgBaseline,
+    FedDSTBaseline,
+    FLPQSUBaseline,
+    LotteryFLBaseline,
+    PruneFLBaseline,
+    SNIPBaseline,
+    SynFlowBaseline,
+    sparse_aggregate,
+)
+from repro.data import SyntheticSpec, generate
+from repro.fl import FLConfig, FederatedContext
+from repro.nn.models import build_model
+from repro.pruning import PruningSchedule
+from repro.sparse import MaskSet
+
+
+@pytest.fixture(scope="module")
+def shared_data():
+    train, test = generate(
+        SyntheticSpec(
+            name="t", num_classes=4, num_train=200, num_test=60,
+            image_size=8, noise=0.4, modes_per_class=1, seed=21,
+        )
+    )
+    public, federated = train.split(0.2, np.random.default_rng(1))
+    return public, federated, test
+
+
+def _ctx(shared_data, rounds=3, seed=0):
+    public, federated, test = shared_data
+    model = build_model(
+        "resnet18", num_classes=4, width_multiplier=0.125, seed=5
+    )
+    config = FLConfig(
+        num_clients=3, rounds=rounds, local_epochs=1, batch_size=16,
+        lr=0.05, seed=seed,
+    )
+    return (
+        FederatedContext(model, federated, test, config,
+                         dataset_name="unit", model_name="resnet18"),
+        public,
+    )
+
+
+_SCHEDULE = PruningSchedule(delta_rounds=1, stop_round=3)
+
+
+class TestFedAvg:
+    def test_runs_dense(self, shared_data):
+        ctx, public = _ctx(shared_data)
+        result = FedAvgBaseline(pretrain_epochs=1).run(ctx, public)
+        assert result.final_density == 1.0
+        assert result.method == "fedavg"
+        assert len(result.rounds) == 3
+
+    def test_learns(self, shared_data):
+        ctx, public = _ctx(shared_data, rounds=4)
+        result = FedAvgBaseline(pretrain_epochs=1).run(ctx, public)
+        assert result.final_accuracy > 0.5
+
+
+class TestServerPruneBaselines:
+    @pytest.mark.parametrize(
+        "cls,name",
+        [
+            (SNIPBaseline, "snip"),
+            (SynFlowBaseline, "synflow"),
+            (FLPQSUBaseline, "fl-pqsu"),
+        ],
+    )
+    def test_density_held_constant(self, shared_data, cls, name):
+        ctx, public = _ctx(shared_data)
+        kwargs = {"pretrain_epochs": 1}
+        if cls is SNIPBaseline:
+            kwargs["iterations"] = 2
+        if cls is SynFlowBaseline:
+            kwargs["iterations"] = 4
+        result = cls(0.1, **kwargs).run(ctx, public)
+        assert result.method == name
+        densities = {round(r.density, 6) for r in result.rounds}
+        assert len(densities) == 1
+        assert result.final_density == pytest.approx(0.1, rel=0.06)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            FLPQSUBaseline(0.0)
+
+
+class TestPruneFL:
+    def test_mask_adapts_but_density_held(self, shared_data):
+        ctx, public = _ctx(shared_data)
+        result = PruneFLBaseline(
+            0.1, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx, public)
+        for record in result.rounds:
+            assert record.density == pytest.approx(0.1, rel=0.06)
+
+    def test_memory_includes_dense_scores(self, shared_data):
+        ctx, public = _ctx(shared_data)
+        result = PruneFLBaseline(
+            0.05, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx, public)
+        prunable = ctx.model.num_parameters(prunable_only=True)
+        assert result.memory_footprint_bytes > 4 * prunable
+
+    def test_flops_exceed_sparse_baseline(self, shared_data):
+        ctx, public = _ctx(shared_data)
+        prunefl = PruneFLBaseline(
+            0.05, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx, public)
+        ctx2, public2 = _ctx(shared_data)
+        sparse = FLPQSUBaseline(0.05, pretrain_epochs=1).run(ctx2, public2)
+        assert (
+            prunefl.max_training_flops_per_round
+            > sparse.max_training_flops_per_round
+        )
+
+
+class TestLotteryFL:
+    def test_progressive_densification_toward_target(self, shared_data):
+        ctx, public = _ctx(shared_data, rounds=4)
+        result = LotteryFLBaseline(
+            0.3, schedule=_SCHEDULE, prune_rate=0.5, pretrain_epochs=1
+        ).run(ctx, public)
+        densities = [r.density for r in result.rounds]
+        assert densities[0] > densities[-1]
+        assert densities[-1] >= 0.3 * 0.99
+
+    def test_density_never_below_target(self, shared_data):
+        ctx, public = _ctx(shared_data, rounds=4)
+        result = LotteryFLBaseline(
+            0.4, schedule=_SCHEDULE, prune_rate=0.9, pretrain_epochs=1
+        ).run(ctx, public)
+        for record in result.rounds:
+            assert record.density >= 0.4 * 0.99
+
+    def test_dense_cost_reported(self, shared_data):
+        ctx, public = _ctx(shared_data)
+        result = LotteryFLBaseline(
+            0.3, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx, public)
+        # Memory: dense params + grads (plus BN buffers).
+        assert (
+            result.memory_footprint_bytes
+            >= 2 * 4 * ctx.model.num_parameters()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LotteryFLBaseline(0.1, prune_rate=1.5)
+
+
+class TestFedDST:
+    def test_density_held(self, shared_data):
+        ctx, public = _ctx(shared_data)
+        result = FedDSTBaseline(
+            0.1, schedule=_SCHEDULE, pretrain_epochs=1,
+            train_epochs_before_adjust=1, finetune_epochs_after_adjust=1,
+        ).run(ctx, public)
+        for record in result.rounds:
+            assert record.density == pytest.approx(0.1, rel=0.06)
+
+    def test_sparse_aggregate_union_semantics(self):
+        states = [
+            {"w": np.array([2.0, 0.0])},
+            {"w": np.array([0.0, 4.0])},
+        ]
+        masks = [
+            MaskSet({"w": np.array([True, False])}),
+            MaskSet({"w": np.array([False, True])}),
+        ]
+        out = sparse_aggregate(states, masks, [1, 1], {"w"})
+        # Each position averaged only over its contributor.
+        np.testing.assert_allclose(out["w"], [2.0, 4.0])
+
+    def test_sparse_aggregate_overlap(self):
+        states = [
+            {"w": np.array([1.0])},
+            {"w": np.array([3.0])},
+        ]
+        masks = [
+            MaskSet({"w": np.array([True])}),
+            MaskSet({"w": np.array([True])}),
+        ]
+        out = sparse_aggregate(states, masks, [1, 3], {"w"})
+        np.testing.assert_allclose(out["w"], [0.25 * 1 + 0.75 * 3])
+
+    def test_sparse_aggregate_nobody_kept_position(self):
+        states = [{"w": np.array([5.0])}]
+        masks = [MaskSet({"w": np.array([False])})]
+        out = sparse_aggregate(states, masks, [1], {"w"})
+        np.testing.assert_array_equal(out["w"], [0.0])
+
+    def test_sparse_aggregate_non_prunable_plain_fedavg(self):
+        states = [{"b": np.array([1.0])}, {"b": np.array([3.0])}]
+        masks = [MaskSet({}), MaskSet({})]
+        out = sparse_aggregate(states, masks, [1, 1], set())
+        np.testing.assert_allclose(out["b"], [2.0])
+
+    def test_sparse_aggregate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sparse_aggregate([{}], [], [1], set())
+
+
+class TestCostOrdering:
+    """The relative cost claims of paper Table I, from our accounting."""
+
+    def test_memory_ordering(self, shared_data):
+        from repro.core import FedTiny, FedTinyConfig
+
+        density = 0.05
+        ctx1, public1 = _ctx(shared_data, rounds=2)
+        fedtiny = FedTiny(
+            FedTinyConfig(
+                target_density=density, pool_size=2,
+                schedule=_SCHEDULE, pretrain_epochs=1,
+            )
+        ).run(ctx1, public1)
+
+        ctx2, public2 = _ctx(shared_data, rounds=2)
+        prunefl = PruneFLBaseline(
+            density, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx2, public2)
+
+        ctx3, public3 = _ctx(shared_data, rounds=2)
+        lottery = LotteryFLBaseline(
+            density, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx3, public3)
+
+        assert fedtiny.memory_footprint_bytes < prunefl.memory_footprint_bytes
+        assert prunefl.memory_footprint_bytes < (
+            lottery.memory_footprint_bytes
+        )
+
+    def test_flops_ordering(self, shared_data):
+        from repro.core import FedTiny, FedTinyConfig
+
+        density = 0.05
+        ctx1, public1 = _ctx(shared_data, rounds=2)
+        fedtiny = FedTiny(
+            FedTinyConfig(
+                target_density=density, pool_size=2,
+                schedule=_SCHEDULE, pretrain_epochs=1,
+            )
+        ).run(ctx1, public1)
+
+        ctx2, public2 = _ctx(shared_data, rounds=2)
+        lottery = LotteryFLBaseline(
+            density, schedule=_SCHEDULE, pretrain_epochs=1
+        ).run(ctx2, public2)
+
+        assert (
+            fedtiny.max_training_flops_per_round
+            < lottery.max_training_flops_per_round
+        )
+
+
+class TestFedDSTEpochBudget:
+    """FedDST must not exceed the shared local-epoch budget (the 3+2
+    split of the paper is 60/40 of the standard 5 epochs)."""
+
+    def test_default_split_matches_paper_at_five_epochs(self):
+        baseline = FedDSTBaseline(0.1)
+        assert baseline._epoch_split(5) == (3, 2)
+
+    def test_default_split_single_epoch(self):
+        baseline = FedDSTBaseline(0.1)
+        train, finetune = baseline._epoch_split(1)
+        assert train == 1
+        assert finetune == 0
+
+    def test_explicit_override_honored(self):
+        baseline = FedDSTBaseline(
+            0.1, train_epochs_before_adjust=2,
+            finetune_epochs_after_adjust=1,
+        )
+        assert baseline._epoch_split(5) == (2, 1)
+
+    def test_runs_with_zero_finetune(self, shared_data):
+        ctx, public = _ctx(shared_data, rounds=2)
+        result = FedDSTBaseline(
+            0.1, schedule=_SCHEDULE, pretrain_epochs=1,
+        ).run(ctx, public)
+        assert len(result.rounds) == 2
+        assert result.final_density == pytest.approx(0.1, rel=0.06)

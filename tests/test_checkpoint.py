@@ -1,0 +1,80 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoint import load_model, save_model
+from repro.nn.models import build_model
+from repro.pruning import magnitude_mask_uniform
+
+
+def _model(seed=3):
+    return build_model(
+        "resnet18", num_classes=4, width_multiplier=0.125, seed=seed
+    )
+
+
+class TestCheckpoint:
+    def test_dense_roundtrip(self, tmp_path, rng):
+        model = _model()
+        path = tmp_path / "ckpt" / "model.npz"
+        save_model(model, path)
+        other = _model(seed=9)
+        load_model(other, path)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        model.eval()
+        other.eval()
+        np.testing.assert_allclose(model(x), other(x), rtol=1e-5)
+
+    def test_masks_roundtrip(self, tmp_path):
+        model = _model()
+        masks = magnitude_mask_uniform(model, 0.1)
+        masks.apply(model)
+        path = tmp_path / "sparse.npz"
+        save_model(model, path)
+        other = _model(seed=9)
+        load_model(other, path)
+        assert other.density() == pytest.approx(model.density())
+        for (_, p1), (_, p2) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            if p1.mask is not None:
+                np.testing.assert_array_equal(p1.mask, p2.mask)
+
+    def test_unmasked_checkpoint_clears_existing_mask(self, tmp_path):
+        dense = _model()
+        path = tmp_path / "dense.npz"
+        save_model(dense, path)
+        sparse = _model(seed=9)
+        magnitude_mask_uniform(sparse, 0.1).apply(sparse)
+        load_model(sparse, path)
+        assert sparse.density() == 1.0
+
+    def test_buffers_roundtrip(self, tmp_path, rng):
+        model = _model()
+        model(rng.normal(size=(4, 3, 8, 8)).astype(np.float32))
+        path = tmp_path / "bn.npz"
+        save_model(model, path)
+        other = _model(seed=9)
+        load_model(other, path)
+        np.testing.assert_allclose(
+            other.stem_bn.running_mean, model.stem_bn.running_mean,
+            rtol=1e-6,
+        )
+
+    def test_wrong_architecture_raises(self, tmp_path):
+        model = _model()
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        other = build_model(
+            "resnet18", num_classes=4, width_multiplier=0.25, seed=0
+        )
+        with pytest.raises(ValueError):
+            load_model(other, path)
+
+    def test_missing_parameters_raise(self, tmp_path):
+        model = _model()
+        path = tmp_path / "m.npz"
+        np.savez_compressed(path, **{"fc.weight": model.fc.weight.data})
+        with pytest.raises(KeyError):
+            load_model(model, path)

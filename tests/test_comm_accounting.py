@@ -1,0 +1,110 @@
+"""Tests for end-to-end communication accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedTiny, FedTinyConfig
+from repro.data import SyntheticSpec, generate
+from repro.fl import FederatedContext, FLConfig
+from repro.nn.models import build_model
+from repro.pruning import PruningSchedule
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train, test = generate(
+        SyntheticSpec(
+            name="t", num_classes=4, num_train=200, num_test=60,
+            image_size=8, noise=0.4, modes_per_class=1, seed=31,
+        )
+    )
+    public, federated = train.split(0.2, np.random.default_rng(2))
+    return public, federated, test
+
+
+def _ctx(setup, rounds=3):
+    public, federated, test = setup
+    model = build_model(
+        "resnet18", num_classes=4, width_multiplier=0.125, seed=5
+    )
+    config = FLConfig(
+        num_clients=3, rounds=rounds, local_epochs=1, batch_size=16,
+        lr=0.05, seed=0,
+    )
+    return (
+        FederatedContext(model, federated, test, config,
+                         dataset_name="unit", model_name="resnet18"),
+        public,
+    )
+
+
+class TestRoundDeltas:
+    def test_round_records_hold_deltas_not_cumulative(self, setup):
+        ctx, public = _ctx(setup)
+        result = ctx.new_result("probe", 1.0)
+        for round_index in range(1, 4):
+            ctx.run_fedavg_round()
+            ctx.record_round(result, round_index, train_flops=1.0)
+        # Every round moves the same dense model, so the deltas are all
+        # equal — cumulative recording would make them grow.
+        uploads = [r.upload_bytes for r in result.rounds]
+        assert len(set(uploads)) == 1
+        assert uploads[0] > 0
+
+    def test_totals_match_tracker(self, setup):
+        ctx, public = _ctx(setup)
+        result = ctx.new_result("probe", 1.0)
+        for round_index in range(1, 4):
+            ctx.run_fedavg_round()
+            ctx.record_round(result, round_index, train_flops=1.0)
+        assert result.total_upload_bytes == ctx.comm.upload_bytes
+        assert result.total_download_bytes == ctx.comm.download_bytes
+
+    def test_sync_comm_baseline_excludes_prior_traffic(self, setup):
+        ctx, public = _ctx(setup)
+        ctx.comm.record_download(12345, phase="selection")
+        ctx.sync_comm_baseline()
+        result = ctx.new_result("probe", 1.0)
+        ctx.run_fedavg_round()
+        ctx.record_round(result, 1, train_flops=1.0)
+        assert result.total_download_bytes == (
+            ctx.comm.download_bytes - 12345
+        )
+
+
+class TestFedTinyCommSplit:
+    def test_selection_bytes_not_double_counted(self, setup):
+        ctx, public = _ctx(setup, rounds=2)
+        config = FedTinyConfig(
+            target_density=0.1, pool_size=2,
+            schedule=PruningSchedule(delta_rounds=1, stop_round=2),
+            pretrain_epochs=1,
+        )
+        result = FedTiny(config).run(ctx, public)
+        training = (
+            result.total_upload_bytes + result.total_download_bytes
+        )
+        # total_comm = training rounds + one-off selection, and the
+        # tracker's grand total matches exactly.
+        assert result.total_comm_bytes == (
+            training + result.selection_comm_bytes
+        )
+        assert result.total_comm_bytes == ctx.comm.total_bytes
+
+    def test_sparse_training_cheaper_than_dense(self, setup):
+        ctx, public = _ctx(setup, rounds=2)
+        config = FedTinyConfig(
+            target_density=0.05, pool_size=2,
+            schedule=PruningSchedule(delta_rounds=1, stop_round=2),
+            pretrain_epochs=1,
+        )
+        result = FedTiny(config).run(ctx, public)
+        dense_ctx, dense_public = _ctx(setup, rounds=2)
+        from repro.baselines import FedAvgBaseline
+
+        dense = FedAvgBaseline(pretrain_epochs=1).run(
+            dense_ctx, dense_public
+        )
+        sparse_per_round = result.rounds[-1].upload_bytes
+        dense_per_round = dense.rounds[-1].upload_bytes
+        assert sparse_per_round < 0.5 * dense_per_round

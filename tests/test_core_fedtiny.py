@@ -1,0 +1,210 @@
+"""Integration tests for adaptive BN selection and the FedTiny pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveBNSelection,
+    FedTiny,
+    FedTinyConfig,
+    ProgressivePruner,
+    optimal_pool_size,
+)
+from repro.data import SyntheticSpec, generate
+from repro.fl import FLConfig, FederatedContext
+from repro.nn.models import build_model
+from repro.pruning import (
+    PruningSchedule,
+    generate_candidate_pool,
+    model_blocks,
+)
+
+
+@pytest.fixture(scope="module")
+def shared_setup():
+    """One dataset/model pair reused across this module (read-only)."""
+    train, test = generate(
+        SyntheticSpec(
+            name="t", num_classes=4, num_train=240, num_test=80,
+            image_size=8, noise=0.4, modes_per_class=1, seed=11,
+        )
+    )
+    rng = np.random.default_rng(0)
+    public, federated = train.split(0.2, rng)
+    return public, federated, test
+
+
+def _make_ctx(shared_setup, rounds=4, seed=0):
+    public, federated, test = shared_setup
+    model = build_model(
+        "resnet18", num_classes=4, width_multiplier=0.125, seed=3
+    )
+    config = FLConfig(
+        num_clients=3, rounds=rounds, local_epochs=1, batch_size=16,
+        lr=0.05, seed=seed,
+    )
+    ctx = FederatedContext(model, federated, test, config,
+                           dataset_name="unit", model_name="resnet18")
+    return ctx, public
+
+
+class TestOptimalPoolSize:
+    def test_rule(self):
+        assert optimal_pool_size(0.01) == 10
+        assert optimal_pool_size(0.005) == 20
+        assert optimal_pool_size(0.001) == 50  # clamped at 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_pool_size(0.0)
+
+
+class TestAdaptiveBNSelection:
+    def test_selects_lowest_loss_candidate(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup)
+        from repro.fl.training import server_pretrain
+        from repro.fl.state import get_state
+
+        server_pretrain(ctx.model, public, epochs=1, batch_size=16)
+        ctx.server.commit_state(get_state(ctx.model))
+        pool = generate_candidate_pool(
+            ctx.model, 0.1, 4, np.random.default_rng(0)
+        )
+        selector = AdaptiveBNSelection(batch_size=16)
+        chosen, report = selector.select(ctx, pool)
+        assert report.selected_index == int(
+            np.argmin(report.candidate_losses)
+        )
+        assert chosen is pool[report.selected_index]
+        assert len(report.candidate_losses) == 4
+        assert report.comm_bytes > 0
+        assert report.flops_per_device > 0
+
+    def test_vanilla_selection_skips_recalibration(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup)
+        pool = generate_candidate_pool(
+            ctx.model, 0.1, 3, np.random.default_rng(0)
+        )
+        selector = AdaptiveBNSelection(
+            use_bn_recalibration=False, batch_size=16
+        )
+        _, report = selector.select(ctx, pool)
+        assert not report.used_bn_recalibration
+        assert len(report.candidate_losses) == 3
+
+    def test_selection_leaves_server_state_clean(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup)
+        before = {k: v.copy() for k, v in ctx.server.state.items()}
+        pool = generate_candidate_pool(
+            ctx.model, 0.1, 2, np.random.default_rng(0)
+        )
+        AdaptiveBNSelection(batch_size=16).select(ctx, pool)
+        for key in before:
+            np.testing.assert_array_equal(ctx.server.state[key], before[key])
+        assert ctx.server.masks.density == 1.0
+
+    def test_empty_pool_raises(self, shared_setup):
+        ctx, _ = _make_ctx(shared_setup)
+        with pytest.raises(ValueError):
+            AdaptiveBNSelection().select(ctx, [])
+
+
+class TestFedTinyPipeline:
+    def test_end_to_end_density_and_learning(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup, rounds=5)
+        config = FedTinyConfig(
+            target_density=0.1,
+            pool_size=3,
+            schedule=PruningSchedule(delta_rounds=2, stop_round=4),
+            pretrain_epochs=1,
+        )
+        result = FedTiny(config).run(ctx, public)
+        # Density never exceeds the target in any recorded round.
+        for record in result.rounds:
+            assert record.density <= 0.1 * 1.001
+        # It learns something on this easy task.
+        assert result.final_accuracy > 0.4
+        assert result.memory_footprint_bytes > 0
+        assert result.selection_comm_bytes > 0
+        assert result.metadata["pool_size"] == 3
+
+    def test_progressive_changes_masks(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup, rounds=3)
+        config = FedTinyConfig(
+            target_density=0.1,
+            pool_size=2,
+            schedule=PruningSchedule(delta_rounds=1, stop_round=3),
+            pretrain_epochs=1,
+        )
+        initial_masks = None
+        method = FedTiny(config)
+        # Capture masks right after selection via a tiny subclass hook.
+        result = method.run(ctx, public)
+        densities = result.metadata["final_layer_densities"]
+        # Layer densities are no longer the uniform split everywhere.
+        assert len(set(np.round(list(densities.values()), 8))) > 1
+
+    def test_ablation_method_names(self):
+        base = FedTinyConfig(target_density=0.1)
+        assert FedTiny(base).method_name == "fedtiny"
+        assert (
+            FedTiny(base.with_ablation(False, False)).method_name
+            == "vanilla"
+        )
+        assert (
+            FedTiny(base.with_ablation(True, False)).method_name
+            == "adaptive_bn_only"
+        )
+        assert (
+            FedTiny(base.with_ablation(False, True)).method_name
+            == "vanilla+progressive"
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FedTinyConfig(target_density=0.0)
+        with pytest.raises(ValueError):
+            FedTinyConfig(target_density=0.1, pool_size=0)
+
+    def test_no_progressive_keeps_selected_masks(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup, rounds=2)
+        config = FedTinyConfig(
+            target_density=0.1, pool_size=2,
+            use_progressive=False, pretrain_epochs=1,
+        )
+        result = FedTiny(config).run(ctx, public)
+        densities = [r.density for r in result.rounds]
+        assert len(set(np.round(densities, 9))) == 1
+
+
+class TestProgressiveWithinContext:
+    def test_adjustment_round_preserves_global_density(self, shared_setup):
+        ctx, public = _make_ctx(shared_setup, rounds=1)
+        from repro.pruning import magnitude_mask_uniform
+
+        ctx.install_masks(magnitude_mask_uniform(ctx.model, 0.1))
+        pruner = ProgressivePruner(
+            PruningSchedule(delta_rounds=1, stop_round=10),
+            model_blocks(ctx.model),
+            grad_batch_size=16,
+        )
+        density_before = ctx.server.masks.density
+        states = ctx.run_fedavg_round()
+        report = pruner.maybe_adjust(ctx, 1, states)
+        assert report is not None
+        assert ctx.server.masks.density == pytest.approx(
+            density_before, abs=1e-9
+        )
+        assert report.upload_bytes > 0
+        assert pruner.max_buffer_entries_seen > 0
+
+    def test_non_pruning_round_returns_none(self, shared_setup):
+        ctx, _ = _make_ctx(shared_setup, rounds=1)
+        from repro.pruning import magnitude_mask_uniform
+
+        ctx.install_masks(magnitude_mask_uniform(ctx.model, 0.1))
+        pruner = ProgressivePruner(
+            PruningSchedule(delta_rounds=5, stop_round=10),
+            model_blocks(ctx.model),
+        )
+        assert pruner.maybe_adjust(ctx, 1, []) is None

@@ -1,0 +1,116 @@
+"""Tests for the progressive pruning module (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgressivePruner
+from repro.pruning import PruningSchedule
+from repro.sparse import MaskSet
+
+
+def _masks_and_state(size=20, active=8, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = np.zeros(size, dtype=bool)
+    mask[rng.choice(size, size=active, replace=False)] = True
+    masks = MaskSet({"layer": mask})
+    state = {"layer": rng.normal(size=size).astype(np.float32)}
+    state["layer"][~mask] = 0.0
+    return masks, state
+
+
+class TestAdjustMasks:
+    def test_density_preserved(self):
+        masks, state = _masks_and_state()
+        pruned = np.flatnonzero(~masks["layer"])
+        grads = {"layer": (pruned[:4], np.array([4.0, 3.0, 2.0, 1.0]))}
+        new_masks, grown, dropped = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 3}, grads
+        )
+        assert new_masks.num_active == masks.num_active
+        assert len(grown["layer"]) == 3
+        assert len(dropped["layer"]) == 3
+
+    def test_grows_largest_gradient_positions(self):
+        masks, state = _masks_and_state()
+        pruned = np.flatnonzero(~masks["layer"])
+        values = np.linspace(1.0, 2.0, len(pruned)).astype(np.float32)
+        grads = {"layer": (pruned, values)}
+        new_masks, grown, _ = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 2}, grads
+        )
+        # The two largest |values| are the last two pruned indices.
+        assert set(grown["layer"]) == set(pruned[-2:])
+        assert new_masks["layer"][pruned[-1]]
+
+    def test_grow_by_magnitude_not_sign(self):
+        masks, state = _masks_and_state()
+        pruned = np.flatnonzero(~masks["layer"])
+        values = np.ones(len(pruned), dtype=np.float32)
+        values[0] = -100.0  # largest magnitude, negative sign
+        grads = {"layer": (pruned, values)}
+        _, grown, _ = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 1}, grads
+        )
+        assert grown["layer"][0] == pruned[0]
+
+    def test_drops_smallest_weights(self):
+        masks, state = _masks_and_state()
+        active = np.flatnonzero(masks["layer"])
+        # Give one active weight a near-zero value.
+        state["layer"][active[2]] = 1e-8
+        pruned = np.flatnonzero(~masks["layer"])
+        grads = {"layer": (pruned[:1], np.array([1.0]))}
+        _, _, dropped = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 1}, grads
+        )
+        assert dropped["layer"][0] == active[2]
+
+    def test_grown_positions_not_dropped(self):
+        """The paper excludes just-grown parameters from the drop set."""
+        masks, state = _masks_and_state()
+        pruned = np.flatnonzero(~masks["layer"])
+        grads = {"layer": (pruned, np.ones(len(pruned), dtype=np.float32))}
+        _, grown, dropped = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 4}, grads
+        )
+        assert not set(grown["layer"]) & set(dropped["layer"])
+
+    def test_no_gradient_report_no_change(self):
+        masks, state = _masks_and_state()
+        new_masks, grown, dropped = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 3}, {}
+        )
+        assert new_masks.difference_count(masks) == 0
+        assert len(grown["layer"]) == 0
+
+    def test_only_pruned_positions_grown(self):
+        masks, state = _masks_and_state()
+        active = np.flatnonzero(masks["layer"])
+        pruned = np.flatnonzero(~masks["layer"])
+        # Maliciously report an active index with a huge gradient.
+        indices = np.concatenate([active[:1], pruned[:2]])
+        values = np.array([100.0, 1.0, 2.0], dtype=np.float32)
+        _, grown, _ = ProgressivePruner.adjust_masks(
+            masks, state, {"layer": 2}, {"layer": (indices, values)}
+        )
+        assert set(grown["layer"]) <= set(pruned)
+
+
+class TestProgressivePrunerScheduling:
+    def test_rejects_empty_blocks(self):
+        with pytest.raises(ValueError):
+            ProgressivePruner(PruningSchedule(), [])
+
+    def test_rejects_fully_protected(self):
+        with pytest.raises(ValueError):
+            ProgressivePruner(
+                PruningSchedule(), [["a"]], protected=frozenset({"a"})
+            )
+
+    def test_protected_layers_removed_from_blocks(self):
+        pruner = ProgressivePruner(
+            PruningSchedule(),
+            [["a", "b"], ["c"]],
+            protected=frozenset({"b"}),
+        )
+        assert pruner.blocks == [["a"], ["c"]]

@@ -1,0 +1,242 @@
+"""Tests for datasets, synthetic generators and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    SyntheticSpec,
+    augment_batch,
+    build_dataset,
+    channel_statistics,
+    cifar10_like,
+    cifar100_like,
+    cinic10_like,
+    generate,
+    normalize,
+    random_crop_with_padding,
+    random_horizontal_flip,
+    svhn_like,
+)
+
+
+class TestDataset:
+    def _make(self, n=20, classes=4, seed=0):
+        rng = np.random.default_rng(seed)
+        return Dataset(
+            rng.normal(size=(n, 3, 4, 4)).astype(np.float32),
+            rng.integers(0, classes, size=n),
+        )
+
+    def test_len_and_getitem(self):
+        ds = self._make()
+        assert len(ds) == 20
+        image, label = ds[3]
+        assert image.shape == (3, 4, 4)
+        assert isinstance(label, int)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 4, 4)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 1, 4, 4)), np.zeros(4, dtype=int))
+
+    def test_subset(self):
+        ds = self._make()
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 7]])
+
+    def test_sample_fraction_size(self):
+        ds = self._make(n=30)
+        rng = np.random.default_rng(0)
+        assert len(ds.sample_fraction(0.1, rng)) == 3
+        assert len(ds.sample_fraction(0.01, rng)) == 1  # at least one
+
+    def test_sample_fraction_invalid(self):
+        ds = self._make()
+        with pytest.raises(ValueError):
+            ds.sample_fraction(0.0, np.random.default_rng(0))
+
+    def test_split_disjoint_and_complete(self):
+        ds = self._make(n=25)
+        rng = np.random.default_rng(1)
+        first, second = ds.split(0.4, rng)
+        assert len(first) + len(second) == 25
+        assert len(first) == 10
+
+    def test_batches_cover_everything(self):
+        ds = self._make(n=23)
+        seen = 0
+        for images, labels in ds.batches(8):
+            assert images.shape[0] == labels.shape[0]
+            seen += len(labels)
+        assert seen == 23
+
+    def test_batches_drop_last(self):
+        ds = self._make(n=23)
+        sizes = [len(lab) for _, lab in ds.batches(8, drop_last=True)]
+        assert sizes == [8, 8]
+
+    def test_batches_shuffled_differ(self):
+        ds = self._make(n=16)
+        a = next(iter(ds.batches(16, rng=np.random.default_rng(0))))[1]
+        b = next(iter(ds.batches(16)))[1]
+        assert not np.array_equal(a, b)
+
+    def test_first_batch_deterministic(self):
+        ds = self._make()
+        images, labels = ds.first_batch(5)
+        np.testing.assert_array_equal(labels, ds.labels[:5])
+
+    def test_class_counts(self):
+        ds = Dataset(
+            np.zeros((4, 1, 2, 2), dtype=np.float32),
+            np.array([0, 0, 2, 1]),
+        )
+        np.testing.assert_array_equal(ds.class_counts(4), [2, 1, 1, 0])
+
+    def test_invalid_batch_size(self):
+        ds = self._make()
+        with pytest.raises(ValueError):
+            list(ds.batches(0))
+
+
+class TestSynthetic:
+    def test_generate_shapes(self):
+        spec = SyntheticSpec(
+            name="t", num_classes=3, num_train=30, num_test=12,
+            image_size=8, seed=0,
+        )
+        train, test = generate(spec)
+        assert train.images.shape == (30, 3, 8, 8)
+        assert test.images.shape == (12, 3, 8, 8)
+        assert train.labels.max() < 3
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(
+            name="t", num_classes=3, num_train=20, num_test=5, seed=9,
+            image_size=8,
+        )
+        a, _ = generate(spec)
+        b, _ = generate(spec)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        base = dict(name="t", num_classes=3, num_train=20, num_test=5,
+                    image_size=8)
+        a, _ = generate(SyntheticSpec(seed=0, **base))
+        b, _ = generate(SyntheticSpec(seed=1, **base))
+        assert not np.array_equal(a.images, b.images)
+
+    def test_signal_learnable(self):
+        """A nearest-prototype classifier must beat chance by a lot."""
+        spec = SyntheticSpec(
+            name="t", num_classes=4, num_train=200, num_test=100,
+            image_size=8, noise=0.5, modes_per_class=1, seed=2,
+        )
+        train, test = generate(spec)
+        prototypes = np.stack(
+            [
+                train.images[train.labels == c].mean(axis=0)
+                for c in range(4)
+            ]
+        )
+        flat_test = test.images.reshape(len(test), -1)
+        flat_proto = prototypes.reshape(4, -1)
+        distances = (
+            (flat_test[:, None, :] - flat_proto[None, :, :]) ** 2
+        ).sum(-1)
+        accuracy = (distances.argmin(1) == test.labels).mean()
+        assert accuracy > 0.8
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_classes=1, num_train=10, num_test=5)
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_classes=5, num_train=3, num_test=5)
+        with pytest.raises(ValueError):
+            SyntheticSpec(
+                name="x", num_classes=3, num_train=30, num_test=5, noise=-1.0
+            )
+
+    def test_named_builders(self):
+        for builder, classes in [
+            (cifar10_like, 10),
+            (cifar100_like, 100),
+            (cinic10_like, 10),
+            (svhn_like, 10),
+        ]:
+            train, test = builder(num_train=classes * 3, num_test=20,
+                                  image_size=8)
+            assert train.num_classes <= classes
+            assert train.images.shape[1:] == (3, 8, 8)
+
+    def test_build_dataset_by_name(self):
+        train, test = build_dataset("cifar10", num_train=40, num_test=10,
+                                    image_size=8)
+        assert len(train) == 40
+        with pytest.raises(KeyError):
+            build_dataset("imagenet")
+
+    def test_difficulty_ordering_noise(self):
+        """CINIC-like is noisier than SVHN-like (matches real datasets)."""
+        svhn, _ = svhn_like(num_train=100, num_test=10, image_size=8)
+        cinic, _ = cinic10_like(num_train=100, num_test=10, image_size=8)
+        assert cinic.images.std() > svhn.images.std()
+
+
+class TestTransforms:
+    def test_channel_statistics(self, rng):
+        images = rng.normal(
+            loc=[1.0, 2.0, 3.0], size=(50, 4, 4, 3)
+        ).transpose(0, 3, 1, 2).astype(np.float32)
+        mean, std = channel_statistics(images)
+        np.testing.assert_allclose(mean, [1.0, 2.0, 3.0], atol=0.2)
+
+    def test_normalize(self, rng):
+        ds = Dataset(
+            rng.normal(loc=5.0, size=(30, 3, 4, 4)).astype(np.float32),
+            rng.integers(0, 2, size=30),
+        )
+        mean, std = channel_statistics(ds.images)
+        normed = normalize(ds, mean, std)
+        assert abs(float(normed.images.mean())) < 1e-4
+
+    def test_flip_preserves_content(self, rng):
+        images = rng.normal(size=(10, 3, 4, 4)).astype(np.float32)
+        flipped = random_horizontal_flip(images, np.random.default_rng(0),
+                                         probability=1.0)
+        np.testing.assert_array_equal(flipped, images[:, :, :, ::-1])
+
+    def test_flip_probability_zero(self, rng):
+        images = rng.normal(size=(5, 3, 4, 4)).astype(np.float32)
+        out = random_horizontal_flip(images, np.random.default_rng(0),
+                                     probability=0.0)
+        np.testing.assert_array_equal(out, images)
+
+    def test_crop_preserves_shape(self, rng):
+        images = rng.normal(size=(6, 3, 8, 8)).astype(np.float32)
+        out = random_crop_with_padding(images, np.random.default_rng(0))
+        assert out.shape == images.shape
+
+    def test_augment_batch_shape(self, rng):
+        images = rng.normal(size=(6, 3, 8, 8)).astype(np.float32)
+        out = augment_batch(images, np.random.default_rng(0))
+        assert out.shape == images.shape
+
+    @settings(max_examples=20, deadline=None)
+    @given(padding=st.integers(1, 3))
+    def test_crop_values_come_from_padded_input(self, padding):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 1, 6, 6)).astype(np.float32)
+        out = random_crop_with_padding(
+            images, np.random.default_rng(1), padding=padding
+        )
+        # Reflect-padding introduces no new values.
+        assert set(np.round(out.reshape(-1), 5)) <= set(
+            np.round(images.reshape(-1), 5)
+        )

@@ -1,0 +1,50 @@
+"""Property-based tests for the ERK allocation rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.pruning import erk_densities
+from repro.sparse import prunable_parameters
+
+
+def _mlp(dims):
+    rng = np.random.default_rng(0)
+    layers = []
+    for d_in, d_out in zip(dims, dims[1:]):
+        layers.append(Linear(d_in, d_out, rng=rng))
+        layers.append(ReLU())
+    return Sequential(*layers)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dims=st.lists(st.integers(2, 40), min_size=3, max_size=6),
+    density=st.floats(0.05, 0.95),
+)
+def test_erk_budget_and_bounds(dims, density):
+    model = _mlp(dims)
+    densities = erk_densities(model, density)
+    sizes = {n: p.size for n, p in prunable_parameters(model)}
+    assert set(densities) == set(sizes)
+    for value in densities.values():
+        assert 0.0 <= value <= 1.0
+    total = sum(sizes.values())
+    active = sum(densities[n] * sizes[n] for n in sizes)
+    # Expected active count matches the budget (up to clamping slack
+    # when some layers saturate at dense).
+    assert active <= total
+    if all(v < 1.0 for v in densities.values()):
+        assert active / total == pytest.approx(density, rel=0.01)
+
+
+@settings(max_examples=15, deadline=None)
+@given(density=st.floats(0.01, 0.5))
+def test_erk_monotone_in_density(density):
+    model = _mlp([16, 32, 8])
+    low = erk_densities(model, density)
+    high = erk_densities(model, min(1.0, density * 1.5))
+    for name in low:
+        assert high[name] >= low[name] - 1e-9

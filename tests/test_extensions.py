@@ -1,0 +1,161 @@
+"""Tests for the extension features: ERK, quantization, AvgPool2d."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import AvgPool2d, check_module_gradients
+from repro.pruning import erk_densities, erk_mask, random_mask_erk
+from repro.sparse import (
+    dequantize_state,
+    dequantize_tensor,
+    quantization_error,
+    quantize_state,
+    quantize_tensor,
+)
+
+
+class TestERK:
+    def test_overall_density_met(self, tiny_resnet):
+        densities = erk_densities(tiny_resnet, 0.1)
+        from repro.sparse import prunable_parameters
+
+        sizes = {n: p.size for n, p in prunable_parameters(tiny_resnet)}
+        total = sum(sizes.values())
+        active = sum(densities[n] * sizes[n] for n in sizes)
+        assert active / total == pytest.approx(0.1, rel=0.02)
+
+    def test_small_layers_denser_than_large(self, tiny_resnet):
+        densities = erk_densities(tiny_resnet, 0.05)
+        from repro.sparse import prunable_parameters
+
+        sizes = {n: p.size for n, p in prunable_parameters(tiny_resnet)}
+        smallest = min(sizes, key=sizes.get)
+        largest = max(sizes, key=sizes.get)
+        assert densities[smallest] > densities[largest]
+
+    def test_densities_in_unit_interval(self, tiny_resnet):
+        for density in (0.01, 0.1, 0.5, 0.9):
+            values = erk_densities(tiny_resnet, density).values()
+            assert all(0.0 <= d <= 1.0 for d in values)
+
+    def test_high_density_clamps_to_dense(self, tiny_resnet):
+        densities = erk_densities(tiny_resnet, 0.95)
+        assert any(d == 1.0 for d in densities.values())
+
+    def test_erk_mask_density(self, tiny_resnet):
+        masks = erk_mask(tiny_resnet, 0.1)
+        assert masks.density == pytest.approx(0.1, rel=0.05)
+
+    def test_random_mask_erk(self, tiny_resnet):
+        masks = random_mask_erk(
+            tiny_resnet, 0.1, np.random.default_rng(0)
+        )
+        assert masks.density == pytest.approx(0.1, rel=0.05)
+
+    def test_differs_from_uniform(self, tiny_resnet):
+        from repro.pruning import magnitude_mask_uniform
+
+        erk = erk_mask(tiny_resnet, 0.1)
+        uniform = magnitude_mask_uniform(tiny_resnet, 0.1)
+        per_layer_gap = [
+            abs(erk.layer_density(n) - uniform.layer_density(n))
+            for n in erk
+        ]
+        assert max(per_layer_gap) > 0.05
+
+    def test_validation(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            erk_densities(tiny_resnet, 0.0)
+
+
+class TestQuantization:
+    def test_roundtrip_small_error(self, rng):
+        values = rng.normal(size=(64, 32)).astype(np.float32)
+        restored = dequantize_tensor(quantize_tensor(values, bits=8))
+        assert restored.shape == values.shape
+        error = np.abs(restored - values).max()
+        assert error <= np.abs(values).max() / 127 + 1e-6
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.normal(size=500).astype(np.float32)
+        errors = [quantization_error(values, bits) for bits in (4, 8, 12)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_zero_tensor(self):
+        quantized = quantize_tensor(np.zeros(10), bits=8)
+        np.testing.assert_array_equal(dequantize_tensor(quantized), 0.0)
+        assert quantization_error(np.zeros(5)) == 0.0
+
+    def test_payload_bytes(self):
+        quantized = quantize_tensor(np.ones(100), bits=8)
+        assert quantized.payload_bytes == 100 + 4
+        quantized4 = quantize_tensor(np.ones(100), bits=4)
+        assert quantized4.payload_bytes == 50 + 4
+
+    def test_state_roundtrip(self, rng):
+        state = {
+            "w": rng.normal(size=(4, 4)).astype(np.float32),
+            "b": rng.normal(size=4).astype(np.float32),
+        }
+        restored = dequantize_state(quantize_state(state, bits=12))
+        for key in state:
+            np.testing.assert_allclose(
+                restored[key], state[key], atol=1e-2
+            )
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=32)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits=st.integers(2, 16),
+        seed=st.integers(0, 100),
+    )
+    def test_error_bounded_by_step(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=50).astype(np.float32)
+        restored = dequantize_tensor(quantize_tensor(values, bits))
+        max_code = (1 << (bits - 1)) - 1
+        step = np.abs(values).max() / max_code
+        assert np.abs(restored - values).max() <= step / 2 + 1e-6
+
+
+class TestAvgPool2d:
+    def test_forward_values(self):
+        pool = AvgPool2d(2, 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool(x)
+        np.testing.assert_allclose(
+            out[0, 0], [[2.5, 4.5], [10.5, 12.5]]
+        )
+
+    def test_gradients(self, rng):
+        pool = AvgPool2d(2, 2)
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        check_module_gradients(pool, x, rng)
+
+    def test_gradient_spreads_evenly(self):
+        pool = AvgPool2d(2, 2)
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        pool(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        np.testing.assert_allclose(grad, 0.25)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            AvgPool2d(2).backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestFedDSTERKInit:
+    def test_erk_option_accepted(self):
+        from repro.baselines import FedDSTBaseline
+
+        baseline = FedDSTBaseline(0.1, mask_init="erk")
+        assert baseline.mask_init == "erk"
+        with pytest.raises(ValueError):
+            FedDSTBaseline(0.1, mask_init="lognormal")

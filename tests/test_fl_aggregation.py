@@ -1,0 +1,170 @@
+"""Tests for the server aggregation rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import (
+    aggregate_bn_statistics,
+    aggregate_sparse_gradients,
+    normalized_weights,
+    weighted_average_states,
+)
+
+
+class TestNormalizedWeights:
+    def test_sums_to_one(self):
+        weights = normalized_weights([10, 30, 60])
+        np.testing.assert_allclose(weights, [0.1, 0.3, 0.6])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_weights([])
+        with pytest.raises(ValueError):
+            normalized_weights([1, 0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(counts=st.lists(st.integers(1, 1000), min_size=1, max_size=10))
+    def test_property(self, counts):
+        weights = normalized_weights(counts)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+
+class TestWeightedAverageStates:
+    def test_equal_weights_is_mean(self):
+        states = [
+            {"w": np.array([1.0, 2.0])},
+            {"w": np.array([3.0, 4.0])},
+        ]
+        out = weighted_average_states(states, [5, 5])
+        np.testing.assert_allclose(out["w"], [2.0, 3.0])
+
+    def test_weighting(self):
+        states = [{"w": np.zeros(2)}, {"w": np.ones(2)}]
+        out = weighted_average_states(states, [1, 3])
+        np.testing.assert_allclose(out["w"], 0.75)
+
+    def test_identity_when_identical(self, rng):
+        state = {"w": rng.normal(size=(3, 3)).astype(np.float32)}
+        out = weighted_average_states(
+            [state, {k: v.copy() for k, v in state.items()}], [2, 8]
+        )
+        np.testing.assert_allclose(out["w"], state["w"], rtol=1e-6)
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(ValueError):
+            weighted_average_states(
+                [{"a": np.zeros(1)}, {"b": np.zeros(1)}], [1, 1]
+            )
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average_states([{"a": np.zeros(1)}], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average_states([], [])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-100, 100), min_size=2, max_size=6
+        ),
+        counts=st.data(),
+    )
+    def test_average_within_range(self, values, counts):
+        states = [{"w": np.array([v])} for v in values]
+        weights = counts.draw(
+            st.lists(
+                st.integers(1, 50),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        out = weighted_average_states(states, weights)
+        assert min(values) - 1e-3 <= out["w"][0] <= max(values) + 1e-3
+
+
+class TestAggregateBNStatistics:
+    def test_weighted_mean_of_means(self):
+        stats = [
+            {"bn": (np.array([0.0]), np.array([1.0]))},
+            {"bn": (np.array([2.0]), np.array([3.0]))},
+        ]
+        out = aggregate_bn_statistics(stats, [1, 1])
+        np.testing.assert_allclose(out["bn"][0], [1.0])
+        np.testing.assert_allclose(out["bn"][1], [2.0])
+
+    def test_sample_weighting_matches_paper_eq4(self):
+        stats = [
+            {"bn": (np.array([1.0]), np.array([1.0]))},
+            {"bn": (np.array([4.0]), np.array([2.0]))},
+        ]
+        out = aggregate_bn_statistics(stats, [10, 30])
+        np.testing.assert_allclose(out["bn"][0], [0.25 * 1 + 0.75 * 4])
+
+    def test_layer_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_bn_statistics(
+                [
+                    {"a": (np.zeros(1), np.ones(1))},
+                    {"b": (np.zeros(1), np.ones(1))},
+                ],
+                [1, 1],
+            )
+
+
+class TestAggregateSparseGradients:
+    def test_union_with_implicit_zeros(self):
+        per_device = [
+            {"l": (np.array([0, 2]), np.array([1.0, 2.0]))},
+            {"l": (np.array([2, 5]), np.array([4.0, 8.0]))},
+        ]
+        out = aggregate_sparse_gradients(per_device, [1, 1])
+        indices, values = out["l"]
+        np.testing.assert_array_equal(indices, [0, 2, 5])
+        np.testing.assert_allclose(values, [0.5, 3.0, 4.0])
+
+    def test_weighting(self):
+        per_device = [
+            {"l": (np.array([1]), np.array([1.0]))},
+            {"l": (np.array([1]), np.array([5.0]))},
+        ]
+        out = aggregate_sparse_gradients(per_device, [1, 3])
+        np.testing.assert_allclose(out["l"][1], [0.25 + 3.75])
+
+    def test_device_missing_layer(self):
+        per_device = [
+            {"l": (np.array([0]), np.array([2.0]))},
+            {},
+        ]
+        out = aggregate_sparse_gradients(per_device, [1, 1])
+        np.testing.assert_allclose(out["l"][1], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_sparse_gradients([], [])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_matches_dense_aggregation(self, seed):
+        """Sparse aggregation == dense weighted mean restricted to union."""
+        rng = np.random.default_rng(seed)
+        size = 20
+        dense = [rng.normal(size=size) for _ in range(3)]
+        counts = [int(c) for c in rng.integers(1, 10, size=3)]
+        reports = []
+        for vector in dense:
+            idx = rng.choice(size, size=5, replace=False)
+            reports.append({"l": (idx, vector[idx])})
+        out = aggregate_sparse_gradients(reports, counts)
+        indices, values = out["l"]
+        weights = np.array(counts) / sum(counts)
+        for index, value in zip(indices, values):
+            expected = sum(
+                w * (vec[index] if index in rep["l"][0] else 0.0)
+                for w, vec, rep in zip(weights, dense, reports)
+            )
+            assert value == pytest.approx(expected, rel=1e-5, abs=1e-6)

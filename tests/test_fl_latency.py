@@ -1,0 +1,101 @@
+"""Tests for the device latency / straggler model."""
+
+import numpy as np
+import pytest
+
+from repro.fl.latency import (
+    DeviceProfile,
+    heterogeneous_fleet,
+    round_latency,
+    straggler_slowdown,
+)
+
+
+class TestDeviceProfile:
+    def test_time_decomposition(self):
+        device = DeviceProfile(0, 1e9, 1e6, 2e6)
+        # 1e9 FLOPs at 1 GFLOP/s = 1s; 1e6 B up at 1 MB/s = 1s;
+        # 2e6 B down at 2 MB/s = 1s.
+        assert device.time_for(1e9, 1e6, 2e6) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DeviceProfile(0, 1.0, -1.0, 1.0)
+        device = DeviceProfile(0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            device.time_for(-1.0, 0.0, 0.0)
+
+
+class TestFleet:
+    def test_size_and_spread(self):
+        fleet = heterogeneous_fleet(
+            20, np.random.default_rng(0), speed_spread=4.0
+        )
+        assert len(fleet) == 20
+        speeds = [d.flops_per_second for d in fleet]
+        assert max(speeds) / min(speeds) <= 4.0 + 1e-6
+
+    def test_spread_one_is_homogeneous(self):
+        fleet = heterogeneous_fleet(
+            5, np.random.default_rng(0), speed_spread=1.0
+        )
+        speeds = {round(d.flops_per_second) for d in fleet}
+        assert len(speeds) == 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            heterogeneous_fleet(0, rng)
+        with pytest.raises(ValueError):
+            heterogeneous_fleet(3, rng, speed_spread=0.5)
+
+
+class TestRoundLatency:
+    def _fleet(self):
+        return [
+            DeviceProfile(0, 1e9, 1e6, 1e6),
+            DeviceProfile(1, 2e9, 2e6, 2e6),
+        ]
+
+    def test_slowest_device_gates(self):
+        latency = round_latency(self._fleet(), 1e9, 0.0, 0.0)
+        assert latency == pytest.approx(1.0)  # the 1 GFLOP/s device
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ValueError):
+            round_latency([], 1.0, 1.0, 1.0)
+
+    def test_straggler_slowdown_homogeneous_is_one(self):
+        fleet = heterogeneous_fleet(
+            8, np.random.default_rng(0), speed_spread=1.0
+        )
+        assert straggler_slowdown(fleet, 1e9, 1e5, 1e5) == pytest.approx(1.0)
+
+    def test_straggler_slowdown_grows_with_spread(self):
+        rng = np.random.default_rng(1)
+        narrow = heterogeneous_fleet(16, rng, speed_spread=1.5)
+        wide = heterogeneous_fleet(16, np.random.default_rng(1),
+                                   speed_spread=8.0)
+        work = (1e9, 1e5, 1e5)
+        assert straggler_slowdown(wide, *work) > straggler_slowdown(
+            narrow, *work
+        )
+
+    def test_dense_method_amplifies_stragglers_in_wall_clock(self):
+        """The paper's straggling argument: a dense-compute method's
+        round latency grows far faster than a sparse method's on the
+        same heterogeneous fleet."""
+        fleet = heterogeneous_fleet(
+            10, np.random.default_rng(2), speed_spread=4.0
+        )
+        sparse_flops, dense_flops = 1e8, 1e10  # 1% density vs dense
+        bytes_sparse, bytes_dense = 1e4, 1e6
+        sparse_latency = round_latency(
+            fleet, sparse_flops, bytes_sparse, bytes_sparse
+        )
+        dense_latency = round_latency(
+            fleet, dense_flops, bytes_dense, bytes_dense
+        )
+        assert dense_latency > 10 * sparse_latency

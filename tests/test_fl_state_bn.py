@@ -1,0 +1,164 @@
+"""Tests for state exchange and BN recalibration."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.fl import (
+    bn_layers,
+    get_bn_statistics,
+    get_buffers,
+    get_parameters,
+    get_state,
+    recalibrate_bn_statistics,
+    set_bn_statistics,
+    set_parameters,
+    set_state,
+    zeros_like_state,
+)
+from repro.nn import BatchNorm2d, Conv2d, ReLU, Sequential
+
+
+def _bn_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(4),
+        ReLU(),
+        Conv2d(4, 4, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(4),
+    )
+
+
+class TestStateExchange:
+    def test_parameters_roundtrip(self):
+        model = _bn_model()
+        params = get_parameters(model)
+        for param in model.parameters():
+            param.data += 1.0
+        set_parameters(model, params)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, params[name])
+
+    def test_set_parameters_respects_masks(self):
+        model = _bn_model()
+        mask = np.zeros_like(model[0].weight.data)
+        model[0].weight.set_mask(mask)
+        set_parameters(model, {"m0.weight": np.ones_like(mask)})
+        np.testing.assert_array_equal(model[0].weight.data, 0.0)
+
+    def test_unknown_parameter_raises(self):
+        model = _bn_model()
+        with pytest.raises(KeyError):
+            set_parameters(model, {"nope": np.zeros(1)})
+
+    def test_shape_mismatch_raises(self):
+        model = _bn_model()
+        with pytest.raises(ValueError):
+            set_parameters(model, {"m0.weight": np.zeros((1, 1))})
+
+    def test_buffers_roundtrip(self, rng):
+        model = _bn_model()
+        model(rng.normal(size=(4, 3, 6, 6)).astype(np.float32))
+        buffers = get_buffers(model)
+        other = _bn_model()
+        from repro.fl import set_buffers
+
+        set_buffers(other, buffers)
+        for name, buf in other.named_buffers():
+            np.testing.assert_array_equal(buf, buffers[name])
+
+    def test_full_state_roundtrip(self, rng):
+        model = _bn_model()
+        model(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        state = get_state(model)
+        other = _bn_model(seed=99)
+        set_state(other, state)
+        np.testing.assert_array_equal(
+            other[1].running_mean, model[1].running_mean
+        )
+        np.testing.assert_array_equal(
+            other[0].weight.data, model[0].weight.data
+        )
+
+    def test_zeros_like_state(self):
+        state = {"a": np.ones((2, 2)), "b": np.ones(3)}
+        zeros = zeros_like_state(state)
+        assert set(zeros) == {"a", "b"}
+        np.testing.assert_array_equal(zeros["a"], 0.0)
+
+
+class TestBNStatistics:
+    def test_bn_layers_found(self):
+        model = _bn_model()
+        names = [name for name, _ in bn_layers(model)]
+        assert names == ["m1", "m4"]
+
+    def test_get_set_roundtrip(self):
+        model = _bn_model()
+        stats = get_bn_statistics(model)
+        stats = {
+            name: (mean + 1.0, var * 2.0)
+            for name, (mean, var) in stats.items()
+        }
+        set_bn_statistics(model, stats)
+        out = get_bn_statistics(model)
+        np.testing.assert_allclose(out["m1"][0], 1.0)
+        np.testing.assert_allclose(out["m1"][1], 2.0)
+
+    def test_unknown_layer_raises(self):
+        model = _bn_model()
+        with pytest.raises(KeyError):
+            set_bn_statistics(
+                model, {"zzz": (np.zeros(4), np.ones(4))}
+            )
+
+    def test_recalibration_estimates_input_stats(self, rng):
+        """After recalibration the first BN's mean tracks conv output."""
+        model = _bn_model()
+        images = rng.normal(loc=2.0, size=(64, 3, 6, 6)).astype(np.float32)
+        dataset = Dataset(images, np.zeros(64, dtype=np.int64))
+        stats = recalibrate_bn_statistics(model, dataset, batch_size=16)
+        model.eval()
+        conv_out = model[0](images)
+        expected_mean = conv_out.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(
+            stats["m1"][0], expected_mean, rtol=0.1, atol=0.1
+        )
+
+    def test_recalibration_restores_momentum_and_mode(self, rng):
+        model = _bn_model()
+        model.eval()
+        original_momentum = model[1].momentum
+        dataset = Dataset(
+            rng.normal(size=(8, 3, 6, 6)).astype(np.float32),
+            np.zeros(8, dtype=np.int64),
+        )
+        recalibrate_bn_statistics(model, dataset, batch_size=4)
+        assert model[1].momentum == original_momentum
+        assert not model.training
+
+    def test_recalibration_independent_of_previous_stats(self, rng):
+        model = _bn_model()
+        dataset = Dataset(
+            rng.normal(size=(16, 3, 6, 6)).astype(np.float32),
+            np.zeros(16, dtype=np.int64),
+        )
+        first = recalibrate_bn_statistics(model, dataset, batch_size=8)
+        # Poison the stats, recalibrate again: result must match.
+        set_bn_statistics(
+            model, {"m1": (np.full(4, 99.0), np.full(4, 99.0)),
+                    "m4": (np.full(4, 99.0), np.full(4, 99.0))}
+        )
+        second = recalibrate_bn_statistics(model, dataset, batch_size=8)
+        np.testing.assert_allclose(first["m1"][0], second["m1"][0],
+                                   rtol=1e-5)
+
+    def test_empty_dataset_raises(self):
+        model = _bn_model()
+        empty = Dataset(
+            np.zeros((0, 3, 6, 6), dtype=np.float32),
+            np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            recalibrate_bn_statistics(model, empty)

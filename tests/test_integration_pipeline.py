@@ -1,0 +1,106 @@
+"""Cross-module integration tests of the paper's qualitative claims.
+
+These are slower than unit tests but still tiny-scale; they pin down
+behaviours that span several subsystems at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FedTiny, FedTinyConfig
+from repro.data import SyntheticSpec, generate
+from repro.fl import FederatedContext, FLConfig
+from repro.nn.models import build_model
+from repro.pruning import PruningSchedule
+
+
+@pytest.fixture(scope="module")
+def easy_task():
+    """A well-separated task where a good mask can learn quickly."""
+    train, test = generate(
+        SyntheticSpec(
+            name="easy", num_classes=4, num_train=280, num_test=100,
+            image_size=8, noise=0.35, modes_per_class=1, seed=51,
+        )
+    )
+    public, federated = train.split(0.2, np.random.default_rng(9))
+    return public, federated, test
+
+
+def _run_fedtiny(easy_task, seed=0, rounds=6, density=0.1, **overrides):
+    public, federated, test = easy_task
+    model = build_model(
+        "resnet18", num_classes=4, width_multiplier=0.125, seed=2
+    )
+    ctx = FederatedContext(
+        model, federated, test,
+        FLConfig(num_clients=4, rounds=rounds, local_epochs=1,
+                 batch_size=16, lr=0.05, seed=seed),
+        dataset_name="easy", model_name="resnet18",
+    )
+    config = FedTinyConfig(
+        target_density=density,
+        pool_size=overrides.pop("pool_size", 3),
+        schedule=overrides.pop(
+            "schedule", PruningSchedule(delta_rounds=2, stop_round=4)
+        ),
+        pretrain_epochs=1,
+        **overrides,
+    )
+    return FedTiny(config).run(ctx, public)
+
+
+class TestLearningBehaviour:
+    def test_accuracy_improves_substantially_over_run(self, easy_task):
+        result = _run_fedtiny(easy_task)
+        assert result.rounds[-1].test_accuracy > (
+            result.rounds[0].test_accuracy + 0.2
+        )
+
+    def test_density_invariant_every_round(self, easy_task):
+        result = _run_fedtiny(easy_task)
+        for record in result.rounds:
+            assert record.density <= 0.1 * 1.001
+
+    def test_deterministic_given_seed(self, easy_task):
+        a = _run_fedtiny(easy_task, seed=3)
+        b = _run_fedtiny(easy_task, seed=3)
+        assert a.final_accuracy == b.final_accuracy
+        assert [r.test_accuracy for r in a.rounds] == [
+            r.test_accuracy for r in b.rounds
+        ]
+
+    def test_different_seeds_differ(self, easy_task):
+        a = _run_fedtiny(easy_task, seed=1)
+        b = _run_fedtiny(easy_task, seed=2)
+        assert [r.test_accuracy for r in a.rounds] != [
+            r.test_accuracy for r in b.rounds
+        ]
+
+
+class TestModuleInteraction:
+    def test_progressive_pruning_moves_density_between_layers(
+        self, easy_task
+    ):
+        result = _run_fedtiny(
+            easy_task,
+            schedule=PruningSchedule(delta_rounds=1, stop_round=6),
+        )
+        densities = result.metadata["final_layer_densities"]
+        spread = max(densities.values()) - min(densities.values())
+        assert spread > 0.0
+
+    def test_selection_flops_accounted(self, easy_task):
+        result = _run_fedtiny(easy_task)
+        assert result.selection_flops > 0
+        assert result.selection_comm_bytes > 0
+
+    def test_pool_size_one_skips_choice(self, easy_task):
+        result = _run_fedtiny(easy_task, pool_size=1)
+        assert result.metadata["selected_candidate"] == 0
+        assert result.metadata["pool_size"] == 1
+
+    def test_memory_footprint_scales_with_density(self, easy_task):
+        sparse = _run_fedtiny(easy_task, density=0.02, rounds=2)
+        denser = _run_fedtiny(easy_task, density=0.3, rounds=2)
+        assert sparse.memory_footprint_bytes < denser.memory_footprint_bytes

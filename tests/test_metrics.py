@@ -1,0 +1,250 @@
+"""Tests for FLOPs, memory and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.metrics import (
+    RoundRecord,
+    RunResult,
+    bn_update_flops_per_sample,
+    device_memory_footprint,
+    evaluate,
+    forward_flops,
+    profile_model,
+    training_flops_per_sample,
+)
+from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.nn.layers import Flatten, GlobalAvgPool2d
+from repro.pruning import magnitude_mask_uniform
+from repro.sparse import MaskSet
+
+
+def _simple_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(1, 2, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(2),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(2, 3, rng=rng),
+    )
+
+
+class TestProfileModel:
+    def test_conv_macs_by_hand(self):
+        model = _simple_model()
+        profile = profile_model(model, (1, 4, 4))
+        conv = profile.layer("m0")
+        # 3x3 kernel, 1 in, 2 out, 4x4 output positions.
+        assert conv.forward_macs == 3 * 3 * 1 * 2 * 4 * 4
+
+    def test_linear_macs(self):
+        model = _simple_model()
+        profile = profile_model(model, (1, 4, 4))
+        assert profile.layer("m4").forward_macs == 2 * 3
+
+    def test_all_leaves_profiled(self):
+        model = _simple_model()
+        profile = profile_model(model, (1, 4, 4))
+        kinds = [l.kind for l in profile.layers]
+        assert kinds == ["conv", "batchnorm", "relu", "gap", "linear"]
+
+    def test_probing_does_not_break_forward(self, rng):
+        model = _simple_model()
+        profile_model(model, (1, 4, 4))
+        out = model(rng.normal(size=(2, 1, 4, 4)).astype(np.float32))
+        assert out.shape == (2, 3)
+
+    def test_resnet_profile_runs(self, tiny_resnet):
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        assert profile.dense_forward_flops() > 0
+        assert len(profile.weighted_layers()) == len(
+            [l for l in profile.layers if l.kind in ("conv", "linear")]
+        )
+
+
+class TestFlopsScaling:
+    def test_dense_equals_no_mask(self, tiny_resnet):
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        dense = forward_flops(profile, None)
+        with_dense_mask = forward_flops(profile, MaskSet.dense(tiny_resnet))
+        assert dense == pytest.approx(with_dense_mask)
+
+    def test_sparse_cheaper(self, tiny_resnet):
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        masks = magnitude_mask_uniform(tiny_resnet, 0.05)
+        assert forward_flops(profile, masks) < forward_flops(profile, None)
+
+    def test_training_flops_is_three_passes_dense(self, tiny_resnet):
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        assert training_flops_per_sample(profile, None) == pytest.approx(
+            3 * forward_flops(profile, None)
+        )
+
+    def test_dense_grad_layers_increase_cost(self, tiny_resnet):
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        masks = magnitude_mask_uniform(tiny_resnet, 0.05)
+        sparse_cost = training_flops_per_sample(profile, masks)
+        all_layers = {l.weight_name for l in profile.weighted_layers()}
+        dense_grad_cost = training_flops_per_sample(
+            profile, masks, dense_grad_layers=all_layers
+        )
+        assert dense_grad_cost > sparse_cost
+        # Roughly forward(sparse)*2 + forward(dense) when very sparse.
+        dense_fwd = forward_flops(profile, None)
+        assert dense_grad_cost > dense_fwd
+
+    def test_bn_update_is_forward_only(self, tiny_resnet):
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        masks = magnitude_mask_uniform(tiny_resnet, 0.1)
+        assert bn_update_flops_per_sample(profile, masks) == pytest.approx(
+            forward_flops(profile, masks)
+        )
+
+    def test_prunefl_cost_ratio_shape(self, tiny_resnet):
+        """At ultra-low density the dense-grad pass dominates: the ratio
+        to dense training approaches 1/3 (paper's PruneFL ~0.34x)."""
+        profile = profile_model(tiny_resnet, (3, 16, 16))
+        masks = magnitude_mask_uniform(tiny_resnet, 0.001)
+        all_layers = {l.weight_name for l in profile.weighted_layers()}
+        prunefl = training_flops_per_sample(
+            profile, masks, dense_grad_layers=all_layers
+        )
+        dense = training_flops_per_sample(profile, None)
+        assert 0.25 < prunefl / dense < 0.5
+
+
+class TestMemoryFootprint:
+    def test_dense_footprint(self, tiny_resnet):
+        footprint = device_memory_footprint(tiny_resnet)
+        # params + grads, 4 bytes each, plus BN buffers.
+        assert footprint.total_bytes >= 2 * 4 * tiny_resnet.num_parameters()
+
+    def test_sparse_much_smaller(self, tiny_resnet):
+        masks = magnitude_mask_uniform(tiny_resnet, 0.01)
+        masks.apply(tiny_resnet)
+        sparse = device_memory_footprint(tiny_resnet, masks)
+        dense = device_memory_footprint(
+            tiny_resnet, MaskSet.dense(tiny_resnet)
+        )
+        assert sparse.total_bytes < 0.2 * dense.total_bytes
+
+    def test_dense_importance_scores_dominate(self, tiny_resnet):
+        masks = magnitude_mask_uniform(tiny_resnet, 0.01)
+        with_scores = device_memory_footprint(
+            tiny_resnet, masks, dense_importance_scores=True
+        )
+        without = device_memory_footprint(tiny_resnet, masks)
+        prunable = tiny_resnet.num_parameters(prunable_only=True)
+        assert with_scores.total_bytes - without.total_bytes == 4 * prunable
+
+    def test_topk_buffer_is_tiny(self, tiny_resnet):
+        masks = magnitude_mask_uniform(tiny_resnet, 0.01)
+        with_buffer = device_memory_footprint(
+            tiny_resnet, masks, topk_buffer_entries=100
+        )
+        without = device_memory_footprint(tiny_resnet, masks)
+        assert with_buffer.total_bytes - without.total_bytes == 800
+
+    def test_per_layer_dense_grad(self, tiny_resnet):
+        masks = magnitude_mask_uniform(tiny_resnet, 0.01)
+        with_grad = device_memory_footprint(
+            tiny_resnet, masks, per_layer_dense_grad=True
+        )
+        without = device_memory_footprint(tiny_resnet, masks)
+        largest = max(
+            p.size for p in tiny_resnet.parameters() if p.prunable
+        )
+        assert with_grad.total_bytes - without.total_bytes == 4 * largest
+
+    def test_fedtiny_cheaper_than_prunefl(self, tiny_resnet):
+        """The paper's core memory claim, from the model itself."""
+        masks = magnitude_mask_uniform(tiny_resnet, 0.01)
+        fedtiny = device_memory_footprint(
+            tiny_resnet, masks, topk_buffer_entries=500
+        )
+        prunefl = device_memory_footprint(
+            tiny_resnet, masks, dense_importance_scores=True
+        )
+        assert fedtiny.total_bytes < 0.5 * prunefl.total_bytes
+
+
+class TestEvaluate:
+    def test_perfect_model(self):
+        class Oracle:
+            training = False
+
+            def train(self, mode=True):
+                return self
+
+            def eval(self):
+                return self
+
+            def __call__(self, images):
+                # Label is encoded in pixel (0,0,0).
+                labels = images[:, 0, 0, 0].astype(int)
+                logits = np.full((len(images), 3), -10.0, dtype=np.float32)
+                logits[np.arange(len(images)), labels] = 10.0
+                return logits
+
+        images = np.zeros((6, 1, 2, 2), dtype=np.float32)
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        images[:, 0, 0, 0] = labels
+        result = evaluate(Oracle(), Dataset(images, labels), batch_size=4)
+        assert result.accuracy == 1.0
+        assert result.loss < 1e-6
+
+    def test_empty_dataset_raises(self, tiny_resnet):
+        empty = Dataset(
+            np.zeros((0, 3, 8, 8), dtype=np.float32),
+            np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            evaluate(tiny_resnet, empty)
+
+    def test_restores_training_mode(self, tiny_resnet, rng):
+        data = Dataset(
+            rng.normal(size=(8, 3, 8, 8)).astype(np.float32),
+            rng.integers(0, 10, size=8),
+        )
+        tiny_resnet.train(True)
+        evaluate(tiny_resnet, data)
+        assert tiny_resnet.training
+
+
+class TestRunResult:
+    def _record(self, i, acc):
+        return RoundRecord(
+            round_index=i, test_accuracy=acc, test_loss=1.0 - acc,
+            density=0.1, upload_bytes=10, download_bytes=20,
+            train_flops=float(i),
+        )
+
+    def test_final_and_best(self):
+        result = RunResult("m", "d", "model", 0.1)
+        result.record_round(self._record(1, 0.5))
+        result.record_round(self._record(2, 0.8))
+        result.record_round(self._record(3, 0.7))
+        assert result.final_accuracy == 0.7
+        assert result.best_accuracy == 0.8
+        assert result.max_training_flops_per_round == 3.0
+
+    def test_empty_raises(self):
+        result = RunResult("m", "d", "model", 0.1)
+        with pytest.raises(ValueError):
+            _ = result.final_accuracy
+
+    def test_comm_totals(self):
+        result = RunResult("m", "d", "model", 0.1)
+        result.record_round(self._record(1, 0.5))
+        result.selection_comm_bytes = 5
+        assert result.total_comm_bytes == 35
+
+    def test_to_dict(self):
+        result = RunResult("m", "d", "model", 0.1)
+        result.record_round(self._record(1, 0.5))
+        out = result.to_dict()
+        assert out["method"] == "m"
+        assert out["final_accuracy"] == 0.5
+        assert out["num_rounds"] == 1

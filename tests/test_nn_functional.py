@@ -1,0 +1,131 @@
+"""Unit tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        col = F.im2col(x, 3, 3, 1, 1)
+        assert col.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_identity_kernel(self, rng):
+        """A 1x1 kernel with stride 1 is a plain reshape."""
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        col = F.im2col(x, 1, 1, 1, 0)
+        expected = x.transpose(0, 2, 3, 1).reshape(-1, 4)
+        np.testing.assert_array_equal(col, expected)
+
+    def test_matches_naive_convolution(self, rng):
+        """im2col @ w == explicit nested-loop convolution."""
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        col = F.im2col(x, 3, 3, 1, 1)
+        out = (col @ w.reshape(3, -1).T).reshape(1, 6, 6, 3)
+        out = out.transpose(0, 3, 1, 2)
+
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((1, 3, 6, 6), dtype=np.float32)
+        for oc in range(3):
+            for i in range(6):
+                for j in range(6):
+                    patch = padded[0, :, i : i + 3, j : j + 3]
+                    naive[0, oc, i, j] = (patch * w[oc]).sum()
+        np.testing.assert_allclose(out, naive, rtol=1e-4, atol=1e-5)
+
+    def test_stride_two(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8)).astype(np.float32)
+        col = F.im2col(x, 2, 2, 2, 0)
+        assert col.shape == (16, 4)
+        # First patch is the top-left 2x2 block.
+        np.testing.assert_array_equal(col[0], x[0, 0, :2, :2].reshape(-1))
+
+
+class TestCol2Im:
+    def test_adjoint_property(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — col2im is the exact adjoint."""
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float64)
+        col = F.im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=col.shape).astype(np.float64)
+        lhs = float((col * y).sum())
+        back = F.col2im(y, (2, 3, 7, 7), 3, 3, 2, 1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 1),
+        size=st.integers(4, 9),
+    )
+    def test_adjoint_property_randomized(self, kernel, stride, pad, size):
+        if size + 2 * pad < kernel:
+            return
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, size, size))
+        col = F.im2col(x, kernel, kernel, stride, pad)
+        y = rng.normal(size=col.shape)
+        back = F.col2im(y, x.shape, kernel, kernel, stride, pad)
+        assert float((col * y).sum()) == pytest.approx(
+            float((x * back).sum()), rel=1e-8
+        )
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(5, 7)).astype(np.float32)
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            F.softmax(logits), F.softmax(logits + 100.0), rtol=1e-6
+        )
+
+    def test_large_values_stable(self):
+        logits = np.array([[1e4, 0.0, -1e4]])
+        probs = F.softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(logits), np.log(F.softmax(logits)), atol=1e-6
+        )
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)

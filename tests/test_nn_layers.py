@@ -1,0 +1,255 @@
+"""Gradient and behaviour tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    check_module_gradients,
+)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_gradients(self, rng):
+        conv = Conv2d(2, 3, 3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        check_module_gradients(conv, x, rng)
+
+    def test_gradients_strided_no_bias(self, rng):
+        conv = Conv2d(2, 4, 3, stride=2, padding=1, bias=False, rng=rng)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        check_module_gradients(conv, x, rng)
+
+    def test_masked_forward_uses_effective_weight(self, rng):
+        conv = Conv2d(1, 1, 1, bias=False, rng=rng)
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        dense_out = conv(x)
+        conv.weight.set_mask(np.zeros_like(conv.weight.data))
+        masked_out = conv(x)
+        assert not np.allclose(dense_out, 0.0)
+        np.testing.assert_array_equal(masked_out, 0.0)
+
+    def test_masked_gradient_is_growth_signal(self, rng):
+        """Gradient at pruned positions must be nonzero (RigL signal)."""
+        conv = Conv2d(2, 2, 3, padding=1, bias=False, rng=rng)
+        conv.weight.set_mask(np.zeros_like(conv.weight.data))
+        x = rng.normal(size=(2, 2, 4, 4)).astype(np.float32)
+        out = conv(x)
+        conv.backward(np.ones_like(out))
+        assert np.abs(conv.weight.grad).sum() > 0.0
+
+    def test_wrong_channels_raises(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(rng.normal(size=(1, 2, 8, 8)).astype(np.float32))
+
+    def test_backward_before_forward_raises(self, rng):
+        conv = Conv2d(1, 1, 1, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+    def test_weight_is_prunable_bias_is_not(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng)
+        assert conv.weight.prunable
+        assert not conv.bias.prunable
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        linear = Linear(5, 3, rng=rng)
+        out = linear(rng.normal(size=(4, 5)).astype(np.float32))
+        assert out.shape == (4, 3)
+
+    def test_gradients(self, rng):
+        linear = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        check_module_gradients(linear, x, rng)
+
+    def test_matches_manual_affine(self, rng):
+        linear = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        expected = x @ linear.weight.data.T + linear.bias.data
+        np.testing.assert_allclose(linear(x), expected, rtol=1e-6)
+
+    def test_wrong_features_raises(self, rng):
+        linear = Linear(5, 2, rng=rng)
+        with pytest.raises(ValueError):
+            linear(rng.normal(size=(2, 4)).astype(np.float32))
+
+
+class TestBatchNorm2d:
+    def test_training_normalizes_batch(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)).astype(
+            np.float32
+        )
+        out = bn(x)
+        assert abs(float(out.mean())) < 1e-4
+        assert float(out.var()) == pytest.approx(1.0, abs=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=1.0, size=(16, 2, 4, 4)).astype(np.float32)
+        bn(x)
+        batch_mean = x.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(
+            bn.running_mean, 0.5 * 0.0 + 0.5 * batch_mean, rtol=1e-5
+        )
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.set_stats(
+            np.array([1.0, -1.0], dtype=np.float32),
+            np.array([4.0, 0.25], dtype=np.float32),
+        )
+        bn.eval()
+        x = np.zeros((1, 2, 1, 1), dtype=np.float32)
+        out = bn(x)
+        expected = (0.0 - np.array([1.0, -1.0])) / np.sqrt(
+            np.array([4.0, 0.25]) + bn.eps
+        )
+        np.testing.assert_allclose(out[0, :, 0, 0], expected, rtol=1e-4)
+
+    def test_gradients_training_mode(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        check_module_gradients(bn, x, rng)
+
+    def test_gradients_eval_mode(self, rng):
+        bn = BatchNorm2d(3)
+        bn.set_stats(
+            rng.normal(size=3).astype(np.float32),
+            (rng.random(3) + 0.5).astype(np.float32),
+        )
+        bn.eval()
+        x = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        check_module_gradients(bn, x, rng)
+
+    def test_get_set_stats_roundtrip(self):
+        bn = BatchNorm2d(3)
+        mean = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        var = np.array([0.5, 1.5, 2.5], dtype=np.float32)
+        bn.set_stats(mean, var)
+        got_mean, got_var = bn.get_stats()
+        np.testing.assert_array_equal(got_mean, mean)
+        np.testing.assert_array_equal(got_var, var)
+
+    def test_set_stats_wrong_shape_raises(self):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn.set_stats(np.zeros(2), np.ones(2))
+
+    def test_reset_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        bn.reset_stats()
+        np.testing.assert_array_equal(bn.running_mean, 0.0)
+        np.testing.assert_array_equal(bn.running_var, 1.0)
+
+    def test_bad_momentum_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(2, momentum=1.0)
+
+    def test_gamma_beta_not_prunable(self):
+        bn = BatchNorm2d(2)
+        assert not bn.gamma.prunable
+        assert not bn.beta.prunable
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(relu(x), [[0.0, 0.0, 2.0]])
+
+    def test_gradients(self, rng):
+        relu = ReLU()
+        # Keep inputs away from the kink at zero.
+        x = rng.choice([-1.0, 1.0], size=(3, 4)).astype(np.float32)
+        x *= 1.0 + rng.random((3, 4)).astype(np.float32)
+        check_module_gradients(relu, x, rng)
+
+
+class TestMaxPool2d:
+    def test_forward(self):
+        pool = MaxPool2d(2, 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool(x)
+        np.testing.assert_array_equal(
+            out[0, 0], [[5.0, 7.0], [13.0, 15.0]]
+        )
+
+    def test_gradients(self, rng):
+        pool = MaxPool2d(2, 2)
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        check_module_gradients(pool, x, rng)
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool2d(2, 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        expected = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        expected[0, 0, 1, 1] = 1.0
+        expected[0, 0, 1, 3] = 1.0
+        expected[0, 0, 3, 1] = 1.0
+        expected[0, 0, 3, 3] = 1.0
+        np.testing.assert_array_equal(grad, expected)
+
+
+class TestGlobalAvgPool2d:
+    def test_forward(self, rng):
+        pool = GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(pool(x), x.mean(axis=(2, 3)), rtol=1e-6)
+
+    def test_gradients(self, rng):
+        pool = GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 3, 3)).astype(np.float32)
+        check_module_gradients(pool, x, rng)
+
+
+class TestContainers:
+    def test_sequential_forward_backward(self, rng):
+        seq = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        check_module_gradients(seq, x, rng)
+
+    def test_sequential_indexing_and_len(self, rng):
+        layers = [Linear(2, 2, rng=rng), ReLU()]
+        seq = Sequential(*layers)
+        assert len(seq) == 2
+        assert seq[0] is layers[0]
+        assert list(seq) == layers
+
+    def test_sequential_append(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng))
+        seq.append(ReLU())
+        assert len(seq) == 2
+
+    def test_flatten_roundtrip(self, rng):
+        flat = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        out = flat(x)
+        assert out.shape == (2, 48)
+        grad = flat.backward(out)
+        assert grad.shape == x.shape
+
+    def test_identity(self, rng):
+        ident = Identity()
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        np.testing.assert_array_equal(ident(x), x)
+        np.testing.assert_array_equal(ident.backward(x), x)

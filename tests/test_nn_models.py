@@ -1,0 +1,149 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss
+from repro.nn.models import (
+    SmallCNN,
+    available_models,
+    build_model,
+    small_cnn_matching_params,
+)
+
+
+class TestResNet18:
+    def test_forward_shape(self, tiny_resnet, rng):
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        assert tiny_resnet(x).shape == (2, 10)
+
+    def test_size_agnostic(self, tiny_resnet, rng):
+        x = rng.normal(size=(1, 3, 32, 32)).astype(np.float32)
+        assert tiny_resnet(x).shape == (1, 10)
+
+    def test_full_width_param_count(self):
+        model = build_model("resnet18", num_classes=10)
+        # CIFAR ResNet-18 is ~11.17M parameters.
+        assert 11_000_000 < model.num_parameters() < 11_300_000
+
+    def test_width_multiplier_scales_params(self):
+        full = build_model("resnet18", seed=0).num_parameters()
+        half = build_model("resnet18", width_multiplier=0.5,
+                           seed=0).num_parameters()
+        assert 0.2 < half / full < 0.3  # ~quadratic in width
+
+    def test_backward_produces_all_gradients(self, tiny_resnet, rng):
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        loss_fn = CrossEntropyLoss()
+        loss_fn(tiny_resnet(x), np.array([1, 2]))
+        tiny_resnet.zero_grad()
+        tiny_resnet.backward(loss_fn.backward())
+        grads = [
+            float(np.abs(p.grad).sum()) for p in tiny_resnet.parameters()
+        ]
+        assert all(g > 0.0 for g in grads)
+
+    def test_training_reduces_loss(self, tiny_resnet, rng):
+        from repro.nn import SGD
+
+        x = rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+        y = rng.integers(0, 10, size=8)
+        loss_fn = CrossEntropyLoss()
+        opt = SGD(tiny_resnet, lr=0.05, momentum=0.9)
+        first = None
+        for _ in range(6):
+            loss = loss_fn(tiny_resnet(x), y)
+            if first is None:
+                first = loss
+            tiny_resnet.zero_grad()
+            tiny_resnet.backward(loss_fn.backward())
+            opt.step()
+        assert loss < first
+
+    def test_deterministic_build(self):
+        a = build_model("resnet18", width_multiplier=0.125, seed=42)
+        b = build_model("resnet18", width_multiplier=0.125, seed=42)
+        for (_, p1), (_, p2) in zip(
+            a.named_parameters(), b.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestVGG11:
+    def test_forward_shape(self, tiny_vgg, rng):
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        assert tiny_vgg(x).shape == (2, 10)
+
+    def test_backward(self, tiny_vgg, rng):
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        out = tiny_vgg(x)
+        tiny_vgg.zero_grad()
+        grad = tiny_vgg.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_small_image_skips_pools(self, rng):
+        model = build_model(
+            "vgg11", width_multiplier=0.125, image_size=8,
+            classifier_hidden=(), seed=0,
+        )
+        x = rng.normal(size=(1, 3, 8, 8)).astype(np.float32)
+        assert model(x).shape == (1, 10)
+
+    def test_vgg_larger_than_resnet_full_width(self):
+        vgg = build_model("vgg11", image_size=32)
+        resnet = build_model("resnet18")
+        assert vgg.num_parameters() > resnet.num_parameters()
+
+    def test_classifier_hidden_configurable(self):
+        compact = build_model(
+            "vgg11", image_size=32, width_multiplier=0.25,
+            classifier_hidden=(),
+        )
+        wide = build_model(
+            "vgg11", image_size=32, width_multiplier=0.25,
+            classifier_hidden=(4096, 4096),
+        )
+        assert wide.num_parameters() > compact.num_parameters()
+
+
+class TestSmallCNN:
+    def test_forward_backward(self, rng):
+        model = SmallCNN(num_classes=5, base_width=4)
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        out = model(x)
+        assert out.shape == (2, 5)
+        model.backward(np.ones_like(out))
+
+    def test_matching_params_under_budget(self):
+        target = 30_000
+        model = small_cnn_matching_params(target)
+        assert model.num_parameters() <= target
+
+    def test_matching_params_monotone(self):
+        small = small_cnn_matching_params(10_000).num_parameters()
+        large = small_cnn_matching_params(100_000).num_parameters()
+        assert large > small
+
+    def test_matching_params_tiny_budget(self):
+        model = small_cnn_matching_params(1)
+        assert model.base_width == 1
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            SmallCNN(base_width=0)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        assert {"resnet18", "vgg11", "small_cnn"} <= set(names)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_register_duplicate_raises(self):
+        from repro.nn.models import register_model
+
+        with pytest.raises(ValueError):
+            register_model("resnet18", lambda **kw: None)

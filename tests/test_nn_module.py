@@ -1,0 +1,171 @@
+"""Tests for the Module base class: registration, traversal, state."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+class _Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+        self.register_buffer("counter", np.zeros(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x))) * self.scale.data
+
+    def backward(self, grad):
+        grad = grad * self.scale.data
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))
+
+
+class TestRegistration:
+    def test_named_parameters_covers_tree(self):
+        model = _Composite()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale",
+        }
+
+    def test_named_buffers(self):
+        model = _Composite()
+        names = {name for name, _ in model.named_buffers()}
+        assert names == {"counter"}
+
+    def test_reassignment_replaces_registration(self):
+        model = _Composite()
+        model.fc1 = Linear(4, 8, rng=np.random.default_rng(2))
+        names = [name for name, _ in model.named_parameters()]
+        assert names.count("fc1.weight") == 1
+
+    def test_named_modules_includes_self_and_children(self):
+        model = _Composite()
+        names = {name for name, _ in model.named_modules()}
+        assert "" in names
+        assert "fc1" in names and "fc2" in names and "act" in names
+
+    def test_assign_before_init_raises(self):
+        class Broken(Module):
+            def __init__(self):
+                self.w = Parameter(np.zeros(1))  # missing super().__init__()
+
+        with pytest.raises(RuntimeError):
+            Broken()
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(_Composite(), _Composite())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = _Composite()
+        for param in model.parameters():
+            param.grad += 1.0
+        model.zero_grad()
+        for param in model.parameters():
+            np.testing.assert_array_equal(param.grad, 0.0)
+
+
+class TestCounting:
+    def test_num_parameters(self):
+        model = _Composite()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert model.num_parameters() == expected
+
+    def test_prunable_only(self):
+        model = _Composite()
+        assert model.num_parameters(prunable_only=True) == 4 * 8 + 8 * 2
+
+    def test_density_after_masking(self):
+        model = _Composite()
+        mask = np.zeros_like(model.fc1.weight.data)
+        mask.reshape(-1)[:16] = 1.0
+        model.fc1.weight.set_mask(mask)
+        active = 16 + 8 * 2
+        assert model.density() == pytest.approx(active / (32 + 16))
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = _Composite()
+        state = model.state_dict()
+        other = _Composite()
+        # Perturb then restore.
+        for param in other.parameters():
+            param.data += 1.0
+        other.load_state_dict(state)
+        for (_, p1), (_, p2) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_masks_serialize(self):
+        model = _Composite()
+        model.fc1.weight.set_mask(
+            np.ones_like(model.fc1.weight.data)
+        )
+        state = model.state_dict()
+        assert "fc1.weight.__mask__" in state
+        other = _Composite()
+        other.load_state_dict(state)
+        assert other.fc1.weight.mask is not None
+
+    def test_buffers_serialize(self):
+        model = _Composite()
+        model._set_buffer("counter", np.array([5.0], dtype=np.float32))
+        state = model.state_dict()
+        other = _Composite()
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.counter, [5.0])
+
+    def test_unknown_key_raises(self):
+        model = _Composite()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros(1)})
+
+    def test_shape_mismatch_raises(self):
+        model = _Composite()
+        with pytest.raises(ValueError):
+            model.load_state_dict({"scale": np.zeros(3)})
+
+
+class TestParameter:
+    def test_effective_with_mask(self):
+        param = Parameter(np.array([1.0, -2.0, 3.0]), prunable=True)
+        param.set_mask(np.array([1.0, 0.0, 1.0]))
+        np.testing.assert_array_equal(param.effective, [1.0, 0.0, 3.0])
+
+    def test_apply_mask_zeroes_data(self):
+        param = Parameter(np.array([1.0, -2.0]), prunable=True)
+        param.set_mask(np.array([0.0, 1.0]))
+        param.apply_mask()
+        np.testing.assert_array_equal(param.data, [0.0, -2.0])
+
+    def test_density(self):
+        param = Parameter(np.ones(10), prunable=True)
+        assert param.density == 1.0
+        mask = np.zeros(10)
+        mask[:3] = 1
+        param.set_mask(mask)
+        assert param.density == pytest.approx(0.3)
+        assert param.num_active == 3
+
+    def test_mask_shape_mismatch_raises(self):
+        param = Parameter(np.ones(4))
+        with pytest.raises(ValueError):
+            param.set_mask(np.ones(5))
+
+    def test_set_mask_none_removes(self):
+        param = Parameter(np.ones(4))
+        param.set_mask(np.zeros(4))
+        param.set_mask(None)
+        assert param.mask is None
+        assert param.density == 1.0

@@ -1,0 +1,161 @@
+"""Tests for SGD (masked updates), LR schedules and cross-entropy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ConstantLR,
+    CosineLR,
+    CrossEntropyLoss,
+    Linear,
+    SGD,
+    StepLR,
+    numerical_gradient,
+)
+
+
+def _make_linear(seed=0):
+    return Linear(4, 3, rng=np.random.default_rng(seed))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        layer = _make_linear()
+        before = layer.weight.data.copy()
+        layer.weight.grad += 1.0
+        SGD(layer, lr=0.1).step()
+        np.testing.assert_allclose(layer.weight.data, before - 0.1,
+                                   rtol=1e-6)
+
+    def test_masked_update_preserves_pruned_zeros(self):
+        layer = _make_linear()
+        mask = np.zeros_like(layer.weight.data)
+        mask.reshape(-1)[::2] = 1.0
+        layer.weight.set_mask(mask)
+        layer.weight.apply_mask()
+        layer.weight.grad += 1.0  # dense gradient (growth signal)
+        opt = SGD(layer, lr=0.5, momentum=0.9, weight_decay=1e-2)
+        for _ in range(5):
+            opt.step()
+        pruned = layer.weight.data[mask == 0]
+        np.testing.assert_array_equal(pruned, 0.0)
+
+    def test_momentum_accumulates(self):
+        layer = _make_linear()
+        before = layer.weight.data.copy()
+        opt = SGD(layer, lr=1.0, momentum=0.5)
+        layer.weight.grad += 1.0
+        opt.step()  # velocity = 1
+        layer.weight.grad[:] = 1.0
+        opt.step()  # velocity = 1.5
+        np.testing.assert_allclose(
+            layer.weight.data, before - 1.0 - 1.5, rtol=1e-6
+        )
+
+    def test_weight_decay(self):
+        layer = _make_linear()
+        before = layer.weight.data.copy()
+        opt = SGD(layer, lr=0.1, weight_decay=0.5)
+        opt.step()  # grad is zero, only decay applies
+        np.testing.assert_allclose(
+            layer.weight.data, before * (1 - 0.1 * 0.5), rtol=1e-6
+        )
+
+    def test_velocity_reset_on_mask_change(self):
+        layer = _make_linear()
+        opt = SGD(layer, lr=0.1, momentum=0.9)
+        layer.weight.grad += 1.0
+        opt.step()
+        opt.reset_velocity()
+        assert not opt._velocity
+
+    def test_invalid_hyperparams_raise(self):
+        layer = _make_linear()
+        with pytest.raises(ValueError):
+            SGD(layer, lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD(layer, lr=0.1, weight_decay=-1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.3)
+        assert sched.lr(0) == sched.lr(100) == 0.3
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_cosine_endpoints(self):
+        sched = CosineLR(1.0, total_steps=10, lr_min=0.1)
+        assert sched.lr(0) == pytest.approx(1.0)
+        assert sched.lr(10) == pytest.approx(0.1)
+        assert sched.lr(5) == pytest.approx(0.55)
+
+    def test_cosine_clamps_beyond_total(self):
+        sched = CosineLR(1.0, total_steps=10)
+        assert sched.lr(50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineLR(1.0, total_steps=20)
+        values = [sched.lr(t) for t in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_step_lr(self):
+        sched = StepLR(1.0, step_size=3, gamma=0.1)
+        assert sched.lr(0) == 1.0
+        assert sched.lr(2) == 1.0
+        assert sched.lr(3) == pytest.approx(0.1)
+        assert sched.lr(6) == pytest.approx(0.01)
+
+    def test_sgd_uses_schedule(self):
+        layer = _make_linear()
+        opt = SGD(layer, lr=StepLR(1.0, step_size=1, gamma=0.5))
+        assert opt.current_lr == 1.0
+        opt.step()
+        assert opt.current_lr == 0.5
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_loss(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10), dtype=np.float32)
+        labels = np.arange(4)
+        assert loss_fn(logits, labels) == pytest.approx(math.log(10), rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        assert loss_fn(logits, np.array([1, 2])) < 1e-6
+
+    def test_gradient_matches_numeric(self, rng):
+        loss_fn = CrossEntropyLoss()
+        logits = rng.normal(size=(5, 4)).astype(np.float64)
+        labels = rng.integers(0, 4, size=5)
+
+        loss_fn(logits, labels)
+        analytic = loss_fn.backward()
+        numeric = numerical_gradient(
+            lambda: loss_fn(logits, labels), logits, eps=1e-5
+        )
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss_fn = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 5)).astype(np.float32)
+        loss_fn(logits, np.array([0, 1, 2]))
+        grad = loss_fn.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_batch_mismatch_raises(self):
+        loss_fn = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss_fn(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()

@@ -1,0 +1,133 @@
+"""Tests for the per-table/figure experiment functions (tiny subsets).
+
+These exercise the same code paths as the benchmark harness but with
+minimal grids so the test suite stays fast; the full grids run under
+``pytest benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.paper import (
+    fig2_block_partition,
+    fig4_ablation,
+    fig5_pool_size,
+    fig6_noniid,
+    table2_bn_overhead,
+    table3_schedules,
+    table5_small_model_densities,
+)
+
+
+class TestFig2:
+    def test_partition_output(self):
+        output = fig2_block_partition(scale="tiny")
+        assert output.experiment_id == "fig2"
+        assert "resnet18" in output.table
+        assert "vgg11" in output.table
+        assert len(output.data["rows"]) == 10
+
+
+class TestTable2:
+    def test_selection_overhead_rows(self):
+        output = table2_bn_overhead(scale="tiny", densities=(0.05,))
+        assert 0.05 in output.data
+        row = output.data[0.05]
+        assert row["selection_flops"] > 0
+        assert row["train_flops_per_round"] > 0
+        assert "Pool size" in output.table
+
+
+class TestFig4:
+    def test_single_density_all_arms(self):
+        output = fig4_ablation(scale="tiny", densities=(0.1,))
+        series = output.data["series"]
+        assert set(series) == {
+            "vanilla", "adaptive_bn_only", "vanilla+progressive", "fedtiny",
+        }
+        for per_density in series.values():
+            assert 0.1 in per_density
+
+
+class TestFig5:
+    def test_pool_grid(self):
+        output = fig5_pool_size(
+            scale="tiny", densities=(0.1,), pool_sizes=(1, 2),
+        )
+        assert output.data["accuracy"][0.1].keys() == {1, 2}
+        comm = output.data["comm_mb"][0.1]
+        assert comm[1] <= comm[2]
+
+
+class TestTable3:
+    def test_strategy_labels(self):
+        output = table3_schedules(scale="tiny", densities=(0.1,))
+        assert {"layer", "layer (b)", "block", "block (b)", "entire"} <= set(
+            output.data
+        )
+
+
+class TestFig6:
+    def test_alpha_series(self):
+        output = fig6_noniid(
+            scale="tiny", alphas=(0.5, 10.0),
+            methods=("synflow", "fedtiny"), density=0.1,
+        )
+        series = output.data["series"]
+        assert set(series) == {"synflow", "fedtiny"}
+        assert set(series["fedtiny"]) == {0.5, 10.0}
+
+
+class TestTable5:
+    def test_density_columns(self):
+        output = table5_small_model_densities(
+            scale="tiny", densities=(0.1, 0.05),
+            methods=("small_model", "fedtiny"),
+        )
+        matrix = output.data["matrix"]
+        assert set(matrix) == {"small_model", "fedtiny"}
+        assert set(matrix["fedtiny"]) == {"0.1", "0.05"}
+
+
+class TestFig3Tiny:
+    def test_minimal_grid(self):
+        from repro.experiments.paper import fig3_density_sweep
+
+        output = fig3_density_sweep(
+            scale="tiny", datasets=("svhn",), densities=(0.1,),
+            methods=("fl-pqsu", "fedtiny"),
+        )
+        series = output.data["series"]["svhn"]
+        assert set(series) == {"fl-pqsu", "fedtiny"}
+        assert 0.1 in series["fedtiny"]
+        assert "[svhn]" in output.table
+
+
+class TestTable1Tiny:
+    def test_minimal_grid(self):
+        from repro.experiments.paper import table1_accuracy_and_cost
+
+        output = table1_accuracy_and_cost(
+            scale="tiny", models=("resnet18",), densities=(0.1,),
+            methods=("fl-pqsu", "fedtiny"),
+        )
+        block = output.data["resnet18"]
+        assert set(block) == {"1.0", "0.1"}
+        dense = block["1.0"][0]
+        assert dense["method"] == "fedavg"
+        rows = {r["method"]: r for r in block["0.1"]}
+        assert rows["fedtiny"]["max_training_flops_per_round"] < (
+            dense["max_training_flops_per_round"]
+        )
+
+
+class TestTable4Tiny:
+    def test_minimal_grid(self):
+        from repro.experiments.paper import table4_small_model_datasets
+
+        output = table4_small_model_datasets(
+            scale="tiny", datasets=("svhn",), density=0.1,
+            methods=("small_model", "fedtiny"),
+        )
+        matrix = output.data["matrix"]
+        assert set(matrix) == {"small_model", "fedtiny"}
+        assert "svhn" in matrix["fedtiny"]

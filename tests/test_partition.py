@@ -1,0 +1,116 @@
+"""Tests for federated data partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+)
+
+
+def _labels(n=200, classes=5, seed=0):
+    return np.random.default_rng(seed).integers(0, classes, size=n)
+
+
+class TestDirichletPartition:
+    def test_covers_every_sample_exactly_once(self):
+        labels = _labels()
+        parts = dirichlet_partition(
+            labels, 5, alpha=0.5, rng=np.random.default_rng(0)
+        )
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(len(labels)))
+
+    def test_min_samples_respected(self):
+        labels = _labels()
+        parts = dirichlet_partition(
+            labels, 8, alpha=0.3, rng=np.random.default_rng(1),
+            min_samples=3,
+        )
+        assert all(len(p) >= 3 for p in parts)
+
+    def test_low_alpha_more_heterogeneous(self):
+        """Lower alpha concentrates classes on fewer clients."""
+        labels = _labels(n=2000, classes=10, seed=2)
+
+        def mean_entropy(alpha):
+            parts = dirichlet_partition(
+                labels, 10, alpha, rng=np.random.default_rng(3)
+            )
+            entropies = []
+            for part in parts:
+                counts = np.bincount(labels[part], minlength=10)
+                p = counts / counts.sum()
+                p = p[p > 0]
+                entropies.append(-(p * np.log(p)).sum())
+            return float(np.mean(entropies))
+
+        assert mean_entropy(0.1) < mean_entropy(10.0)
+
+    def test_validation(self):
+        labels = _labels(n=10)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 0, 0.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 2, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 20, 0.5, np.random.default_rng(0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_clients=st.integers(2, 6),
+        alpha=st.floats(0.1, 10.0),
+        seed=st.integers(0, 100),
+    )
+    def test_partition_property(self, num_clients, alpha, seed):
+        labels = _labels(n=300, classes=4, seed=seed)
+        parts = dirichlet_partition(
+            labels, num_clients, alpha, np.random.default_rng(seed)
+        )
+        assert len(parts) == num_clients
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(300))
+
+
+class TestIidPartition:
+    def test_equal_sizes(self):
+        parts = iid_partition(100, 4, np.random.default_rng(0))
+        assert [len(p) for p in parts] == [25, 25, 25, 25]
+
+    def test_covers_everything(self):
+        parts = iid_partition(103, 4, np.random.default_rng(0))
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(103))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iid_partition(3, 5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            iid_partition(10, 0, np.random.default_rng(0))
+
+
+class TestPartitionDataset:
+    def _dataset(self, n=120):
+        rng = np.random.default_rng(0)
+        return Dataset(
+            rng.normal(size=(n, 1, 2, 2)).astype(np.float32),
+            rng.integers(0, 4, size=n),
+        )
+
+    def test_dirichlet_mode(self):
+        shards = partition_dataset(
+            self._dataset(), 4, alpha=0.5, rng=np.random.default_rng(0)
+        )
+        assert len(shards) == 4
+        assert sum(len(s) for s in shards) == 120
+
+    def test_iid_mode(self):
+        shards = partition_dataset(
+            self._dataset(), 4, alpha=None, rng=np.random.default_rng(0)
+        )
+        assert [len(s) for s in shards] == [30, 30, 30, 30]

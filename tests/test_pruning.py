@@ -1,0 +1,236 @@
+"""Tests for the pruning algorithms and budget arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticSpec, generate
+from repro.pruning import (
+    generate_candidate_pool,
+    global_score_mask,
+    io_layer_names,
+    magnitude_mask_global,
+    magnitude_mask_layerwise,
+    magnitude_mask_uniform,
+    random_mask_uniform,
+    resolve_protected_layers,
+    snip_mask,
+    synflow_mask,
+    topk_bool_mask,
+    weight_magnitude_scores,
+)
+from repro.sparse import prunable_parameters
+
+
+class TestTopKBoolMask:
+    def test_keeps_largest(self):
+        scores = np.array([3.0, 1.0, 2.0, 5.0])
+        mask = topk_bool_mask(scores, 2)
+        np.testing.assert_array_equal(mask, [True, False, False, True])
+
+    def test_keep_zero_and_all(self):
+        scores = np.ones(4)
+        assert not topk_bool_mask(scores, 0).any()
+        assert topk_bool_mask(scores, 4).all()
+        assert topk_bool_mask(scores, 10).all()
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            topk_bool_mask(np.ones(3), -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 50),
+        data=st.data(),
+    )
+    def test_exact_count(self, n, data):
+        keep = data.draw(st.integers(0, n))
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=n)
+        assert topk_bool_mask(scores, keep).sum() == keep
+
+
+class TestMagnitudeMasks:
+    def test_global_density(self, tiny_resnet):
+        masks = magnitude_mask_global(tiny_resnet, 0.1)
+        assert masks.density == pytest.approx(0.1, rel=0.01)
+
+    def test_global_keeps_largest_weights(self, tiny_resnet):
+        masks = magnitude_mask_global(tiny_resnet, 0.05)
+        scores = weight_magnitude_scores(tiny_resnet)
+        all_scores = np.concatenate([s.reshape(-1) for s in scores.values()])
+        kept_scores = np.concatenate(
+            [
+                scores[name].reshape(-1)[masks[name].reshape(-1)]
+                for name in masks
+            ]
+        )
+        threshold = np.sort(all_scores)[-int(len(kept_scores))]
+        assert kept_scores.min() >= threshold - 1e-6
+
+    def test_uniform_layer_densities(self, tiny_resnet):
+        masks = magnitude_mask_uniform(tiny_resnet, 0.2)
+        for name in masks:
+            assert masks.layer_density(name) == pytest.approx(0.2, abs=0.05)
+
+    def test_uniform_never_disconnects_layers(self, tiny_resnet):
+        masks = magnitude_mask_uniform(tiny_resnet, 1e-5)
+        for name in masks:
+            assert masks.layer_active(name) >= 1
+
+    def test_layerwise_custom_densities(self, tiny_resnet):
+        names = [n for n, _ in prunable_parameters(tiny_resnet)]
+        densities = {name: 0.5 for name in names}
+        densities[names[0]] = 1.0
+        masks = magnitude_mask_layerwise(tiny_resnet, densities)
+        assert masks.layer_density(names[0]) == 1.0
+
+    def test_protected_layers_stay_dense(self, tiny_resnet):
+        first, last = io_layer_names(tiny_resnet)
+        masks = magnitude_mask_global(
+            tiny_resnet, 0.05, protected=frozenset({first, last})
+        )
+        assert masks.layer_density(first) == 1.0
+        assert masks.layer_density(last) == 1.0
+
+    def test_random_mask_density(self, tiny_resnet):
+        masks = random_mask_uniform(
+            tiny_resnet, 0.3, np.random.default_rng(0)
+        )
+        assert masks.density == pytest.approx(0.3, abs=0.02)
+
+    def test_invalid_density_raises(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            magnitude_mask_global(tiny_resnet, 0.0)
+        scores = weight_magnitude_scores(tiny_resnet)
+        with pytest.raises(ValueError):
+            magnitude_mask_layerwise(
+                tiny_resnet,
+                {n: 2.0 for n, _ in prunable_parameters(tiny_resnet)},
+            )
+
+    def test_missing_scores_raise(self, tiny_resnet):
+        with pytest.raises(KeyError):
+            global_score_mask(tiny_resnet, {}, 0.5)
+
+
+class TestProtection:
+    def test_io_layer_names(self, tiny_resnet):
+        first, last = io_layer_names(tiny_resnet)
+        assert first == "stem_conv.weight"
+        assert last == "fc.weight"
+
+    def test_protection_dropped_when_budget_too_small(self, tiny_resnet):
+        # At width 0.125 the IO layers cannot fit in a 0.1% budget.
+        assert resolve_protected_layers(tiny_resnet, 0.001) == frozenset()
+
+    def test_protection_kept_with_generous_budget(self, tiny_resnet):
+        protected = resolve_protected_layers(tiny_resnet, 0.5)
+        assert protected == frozenset(io_layer_names(tiny_resnet))
+
+    def test_protect_io_false(self, tiny_resnet):
+        assert resolve_protected_layers(
+            tiny_resnet, 0.5, protect_io=False
+        ) == frozenset()
+
+
+class TestSNIP:
+    @pytest.fixture
+    def small_data(self):
+        train, _ = generate(
+            SyntheticSpec(
+                name="t", num_classes=4, num_train=64, num_test=8,
+                image_size=8, seed=0,
+            )
+        )
+        return train
+
+    def test_density_and_validity(self, tiny_resnet, small_data):
+        masks = snip_mask(tiny_resnet, small_data, 0.05, iterations=3)
+        assert masks.density == pytest.approx(0.05, rel=0.05)
+        assert masks.matches_model(tiny_resnet)
+
+    def test_model_masks_restored(self, tiny_resnet, small_data):
+        snip_mask(tiny_resnet, small_data, 0.1, iterations=2)
+        for _, param in prunable_parameters(tiny_resnet):
+            assert param.mask is None
+
+    def test_sensitivity_based_not_magnitude(self, tiny_resnet, small_data):
+        snip = snip_mask(tiny_resnet, small_data, 0.1, iterations=2)
+        magnitude = magnitude_mask_global(tiny_resnet, 0.1)
+        assert snip.difference_count(magnitude) > 0
+
+    def test_invalid_iterations(self, tiny_resnet, small_data):
+        with pytest.raises(ValueError):
+            snip_mask(tiny_resnet, small_data, 0.1, iterations=0)
+
+
+class TestSynFlow:
+    def test_density_and_validity(self, tiny_resnet):
+        masks = synflow_mask(tiny_resnet, (3, 16, 16), 0.05, iterations=5)
+        assert masks.density == pytest.approx(0.05, rel=0.05)
+        assert masks.matches_model(tiny_resnet)
+
+    def test_weights_restored(self, tiny_resnet):
+        before = {
+            n: p.data.copy() for n, p in tiny_resnet.named_parameters()
+        }
+        synflow_mask(tiny_resnet, (3, 16, 16), 0.1, iterations=3)
+        for name, param in tiny_resnet.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_avoids_layer_collapse_better_than_oneshot(self, tiny_resnet):
+        """Iterative SynFlow must keep every layer connected at 1%."""
+        masks = synflow_mask(tiny_resnet, (3, 16, 16), 0.01, iterations=10)
+        disconnected = [
+            name for name in masks if masks.layer_active(name) == 0
+        ]
+        assert not disconnected
+
+    def test_data_free_deterministic(self, tiny_resnet):
+        a = synflow_mask(tiny_resnet, (3, 16, 16), 0.1, iterations=3)
+        b = synflow_mask(tiny_resnet, (3, 16, 16), 0.1, iterations=3)
+        assert a.difference_count(b) == 0
+
+
+class TestCandidatePool:
+    def test_pool_size_and_budget(self, tiny_resnet):
+        pool = generate_candidate_pool(
+            tiny_resnet, 0.05, 6, np.random.default_rng(0)
+        )
+        assert len(pool) == 6
+        for candidate in pool:
+            assert candidate.density <= 0.05 * 1.001
+
+    def test_first_candidate_is_uniform(self, tiny_resnet):
+        pool = generate_candidate_pool(
+            tiny_resnet, 0.05, 3, np.random.default_rng(0)
+        )
+        densities = list(pool[0].layer_densities.values())
+        assert len(set(np.round(densities, 6))) == 1
+
+    def test_candidates_differ(self, tiny_resnet):
+        pool = generate_candidate_pool(
+            tiny_resnet, 0.05, 4, np.random.default_rng(0), noise=0.9
+        )
+        assert pool[1].masks.difference_count(pool[2].masks) > 0
+
+    def test_protected_layers_dense_in_all_candidates(self, tiny_resnet):
+        first, last = io_layer_names(tiny_resnet)
+        pool = generate_candidate_pool(
+            tiny_resnet, 0.2, 3, np.random.default_rng(0),
+            protected=frozenset({first, last}),
+        )
+        for candidate in pool:
+            assert candidate.masks.layer_density(first) == 1.0
+            assert candidate.masks.layer_density(last) == 1.0
+
+    def test_validation(self, tiny_resnet):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_candidate_pool(tiny_resnet, 0.05, 0, rng)
+        with pytest.raises(ValueError):
+            generate_candidate_pool(tiny_resnet, 0.0, 3, rng)
+        with pytest.raises(ValueError):
+            generate_candidate_pool(tiny_resnet, 0.05, 3, rng, noise=2.0)

@@ -1,0 +1,143 @@
+"""Hypothesis property tests over the pure helper functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.reporting import format_table
+from repro.pruning.schedule import PruningSchedule
+from repro.sparse.storage import dense_bytes, sparse_bytes
+
+_CELL = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestFormatTableProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        # Headers must be non-empty: a table whose every line is the
+        # empty string degenerates under str.splitlines().
+        headers=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd")
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        data=st.data(),
+    )
+    def test_all_lines_equal_width(self, headers, data):
+        num_rows = data.draw(st.integers(0, 5))
+        rows = [
+            data.draw(
+                st.lists(_CELL, min_size=len(headers),
+                         max_size=len(headers))
+            )
+            for _ in range(num_rows)
+        ]
+        table = format_table(headers, rows)
+        lines = table.splitlines()
+        assert len(lines) == 2 + num_rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(headers=st.lists(_CELL, min_size=1, max_size=4))
+    def test_contains_every_cell(self, headers):
+        row = [f"v{i}" for i in range(len(headers))]
+        table = format_table(headers, [row])
+        for cell in row:
+            assert cell in table
+
+
+class TestStorageProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dense_size=st.integers(0, 10_000),
+        data=st.data(),
+    )
+    def test_sparse_never_exceeds_dense(self, dense_size, data):
+        active = data.draw(st.integers(0, dense_size))
+        assert sparse_bytes(active, dense_size) <= dense_bytes(dense_size)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dense_size=st.integers(1, 10_000),
+        data=st.data(),
+    )
+    def test_monotone_in_active_count(self, dense_size, data):
+        a = data.draw(st.integers(0, dense_size - 1))
+        b = data.draw(st.integers(a + 1, dense_size))
+        assert sparse_bytes(a, dense_size) <= sparse_bytes(b, dense_size)
+
+
+class TestScheduleGroupProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        blocks=st.lists(
+            st.lists(
+                st.text(min_size=1, max_size=5), min_size=1, max_size=4
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        granularity=st.sampled_from(["layer", "block", "entire"]),
+        backward=st.booleans(),
+    )
+    def test_groups_are_a_partition_of_the_layers(
+        self, blocks, granularity, backward
+    ):
+        # Deduplicate layer names across blocks first (the partition
+        # invariant only makes sense for unique names).
+        seen = set()
+        unique_blocks = []
+        for block in blocks:
+            unique = [n for n in block if n not in seen]
+            seen.update(unique)
+            if unique:
+                unique_blocks.append(unique)
+        if not unique_blocks:
+            return
+        schedule = PruningSchedule(
+            granularity=granularity, backward_order=backward
+        )
+        groups = schedule.groups_for(unique_blocks)
+        flat = [name for group in groups for name in group]
+        expected = [n for block in unique_blocks for n in block]
+        assert sorted(flat) == sorted(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(counter=st.integers(0, 20))
+    def test_cycling_is_modular(self, counter):
+        schedule = PruningSchedule(granularity="block")
+        blocks = [["a"], ["b"], ["c"]]
+        ordered = schedule.groups_for(blocks)
+        assert schedule.group_for_pruning_round(counter, blocks) == (
+            ordered[counter % 3]
+        )
+
+
+class TestQuantizePureProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        scale=st.floats(1e-3, 1e3),
+    )
+    def test_quantization_scale_invariance_of_relative_error(
+        self, seed, scale
+    ):
+        from repro.sparse import quantization_error
+
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=64).astype(np.float32)
+        base = quantization_error(values, bits=8)
+        scaled = quantization_error(values * scale, bits=8)
+        assert scaled == pytest.approx(base, rel=1e-3, abs=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for quantized uploads in the federated loop (FL-PQSU's Q stage)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec, generate
+from repro.fl import FederatedContext, FLConfig
+from repro.nn.models import build_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    train, test = generate(
+        SyntheticSpec(
+            name="t", num_classes=4, num_train=160, num_test=60,
+            image_size=8, noise=0.4, modes_per_class=1, seed=61,
+        )
+    )
+    public, federated = train.split(0.2, np.random.default_rng(4))
+    return public, federated, test
+
+
+def _ctx(setup, bits=None, rounds=2):
+    public, federated, test = setup
+    model = build_model(
+        "resnet18", num_classes=4, width_multiplier=0.125, seed=5
+    )
+    config = FLConfig(
+        num_clients=3, rounds=rounds, local_epochs=1, batch_size=16,
+        lr=0.05, quantize_upload_bits=bits, seed=0,
+    )
+    return FederatedContext(model, federated, test, config,
+                            dataset_name="unit", model_name="resnet18")
+
+
+class TestQuantizedUploads:
+    def test_upload_bytes_shrink(self, setup):
+        dense = _ctx(setup)
+        quantized = _ctx(setup, bits=8)
+        assert (
+            quantized.upload_bytes_per_client()
+            < dense.upload_bytes_per_client()
+        )
+        # Download (server -> device) stays full precision.
+        assert (
+            quantized.model_exchange_bytes()
+            == dense.model_exchange_bytes()
+        )
+
+    def test_round_still_learns(self, setup):
+        # 12-bit uploads are effectively lossless for training; 8-bit
+        # trades accuracy for bytes (covered by the closeness test).
+        # Pretrain first (as every method does) so federated training
+        # starts from calibrated BN statistics.
+        public, _, _ = setup
+        ctx = _ctx(setup, bits=12, rounds=3)
+        from repro.fl import get_state, server_pretrain
+
+        server_pretrain(ctx.model, public, epochs=2, batch_size=16)
+        ctx.server.commit_state(get_state(ctx.model))
+        acc_before, _ = ctx.evaluate_global()
+        for _ in range(3):
+            ctx.run_fedavg_round()
+        acc_after, _ = ctx.evaluate_global()
+        assert acc_after > acc_before
+
+    def test_aggregate_close_to_unquantized(self, setup):
+        full = _ctx(setup)
+        lossy = _ctx(setup, bits=12)
+        full.run_fedavg_round()
+        lossy.run_fedavg_round()
+        for key in full.server.state:
+            if key.startswith("buffer::"):
+                continue
+            scale = np.abs(full.server.state[key]).max() + 1e-8
+            gap = np.abs(
+                full.server.state[key] - lossy.server.state[key]
+            ).max()
+            assert gap / scale < 0.05
+
+    def test_comm_tracker_records_asymmetric_traffic(self, setup):
+        ctx = _ctx(setup, bits=4)
+        ctx.run_fedavg_round()
+        assert ctx.comm.upload_bytes < ctx.comm.download_bytes
+
+    def test_masked_quantized_uploads_stay_sparse(self, setup):
+        from repro.pruning import magnitude_mask_uniform
+
+        ctx = _ctx(setup, bits=8)
+        masks = magnitude_mask_uniform(ctx.model, 0.1)
+        ctx.install_masks(masks)
+        states = ctx.run_fedavg_round()
+        for name in masks:
+            np.testing.assert_array_equal(
+                ctx.server.state[name][~masks[name]], 0.0
+            )
+        del states
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FLConfig(quantize_upload_bits=1)
+        with pytest.raises(ValueError):
+            FLConfig(quantize_upload_bits=32)

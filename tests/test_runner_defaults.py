@@ -1,0 +1,70 @@
+"""Tests for experiment-runner defaults (pool caps, method wiring)."""
+
+import pytest
+
+from repro.core import FedTiny
+from repro.experiments import build_method, get_scale
+
+
+class TestPoolSizeDefaults:
+    def test_auto_pool_respects_scale_cap(self):
+        preset = get_scale("tiny")  # max_pool_size = 3
+        method = build_method("fedtiny", 0.001, preset)
+        assert isinstance(method, FedTiny)
+        # C* = 0.1/0.001 = 100, capped by the preset.
+        assert method.config.pool_size == 3
+
+    def test_auto_pool_small_when_density_high(self):
+        preset = get_scale("tiny")
+        method = build_method("fedtiny", 0.25, preset)
+        # C* = round(0.1/0.25) -> at least one candidate.
+        assert method.config.pool_size == 1
+
+    def test_explicit_pool_size_uncapped(self):
+        preset = get_scale("tiny")
+        method = build_method("fedtiny", 0.01, preset, pool_size=9)
+        assert method.config.pool_size == 9
+
+    def test_paper_scale_matches_paper_rule(self):
+        preset = get_scale("paper")  # max_pool_size = 50
+        method = build_method("fedtiny", 0.01, preset)
+        assert method.config.pool_size == 10
+        method = build_method("fedtiny", 0.001, preset)
+        assert method.config.pool_size == 50
+
+
+class TestMethodWiring:
+    def test_schedule_passed_through(self):
+        preset = get_scale("tiny")
+        schedule = preset.schedule(granularity="entire")
+        method = build_method("fedtiny", 0.1, preset, schedule=schedule)
+        assert method.config.schedule.granularity == "entire"
+
+    def test_snip_iterations_from_scale(self):
+        preset = get_scale("tiny")
+        method = build_method("snip", 0.1, preset)
+        assert method.iterations == preset.snip_iterations
+
+    def test_synflow_iterations_from_scale(self):
+        preset = get_scale("tiny")
+        method = build_method("synflow", 0.1, preset)
+        assert method.iterations == preset.synflow_iterations
+
+    def test_pretrain_epochs_from_scale(self):
+        preset = get_scale("tiny")
+        for name in ("fedavg", "fl-pqsu", "prunefl", "feddst", "lotteryfl"):
+            method = build_method(name, 0.1, preset)
+            assert method.pretrain_epochs == preset.pretrain_epochs
+
+    def test_ablation_flags(self):
+        preset = get_scale("tiny")
+        arms = {
+            "fedtiny": (True, True),
+            "vanilla": (False, False),
+            "adaptive_bn_only": (True, False),
+            "vanilla+progressive": (False, True),
+        }
+        for name, (bn, progressive) in arms.items():
+            method = build_method(name, 0.1, preset)
+            assert method.config.use_adaptive_bn == bn
+            assert method.config.use_progressive == progressive

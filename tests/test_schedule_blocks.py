@@ -1,0 +1,145 @@
+"""Tests for pruning schedules and model block partitions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning import (
+    PruningSchedule,
+    cosine_adjustment_count,
+    even_blocks,
+    model_blocks,
+)
+from repro.sparse import prunable_parameters
+
+
+class TestCosineCount:
+    def test_initial_value(self):
+        # a_0 = 0.15 * (1 + cos 0) * n = 0.3 n
+        assert cosine_adjustment_count(0, 100, 1000) == 300
+
+    def test_end_value_zero(self):
+        assert cosine_adjustment_count(100, 100, 1000) == 0
+
+    def test_midpoint(self):
+        assert cosine_adjustment_count(50, 100, 1000) == round(0.15 * 1000)
+
+    def test_beyond_stop_is_zero(self):
+        assert cosine_adjustment_count(101, 100, 1000) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosine_adjustment_count(0, 0, 10)
+        with pytest.raises(ValueError):
+            cosine_adjustment_count(-1, 10, 10)
+        with pytest.raises(ValueError):
+            cosine_adjustment_count(0, 10, -1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        t=st.integers(0, 200),
+        stop=st.integers(1, 200),
+        n=st.integers(0, 10_000),
+    )
+    def test_monotone_decreasing_and_bounded(self, t, stop, n):
+        count = cosine_adjustment_count(t, stop, n)
+        assert 0 <= count <= math.ceil(0.3 * n)
+        if t < stop:
+            assert count >= cosine_adjustment_count(
+                min(t + 1, stop), stop, n
+            )
+
+
+class TestPruningSchedule:
+    def test_pruning_round_cadence(self):
+        sched = PruningSchedule(delta_rounds=10, stop_round=100)
+        assert sched.is_pruning_round(10)
+        assert sched.is_pruning_round(100)
+        assert not sched.is_pruning_round(5)
+        assert not sched.is_pruning_round(110)
+
+    def test_groups_block_backward(self):
+        sched = PruningSchedule(granularity="block", backward_order=True)
+        groups = sched.groups_for([["a"], ["b"], ["c"]])
+        assert groups == [["c"], ["b"], ["a"]]
+
+    def test_groups_layer_granularity(self):
+        sched = PruningSchedule(granularity="layer", backward_order=False)
+        groups = sched.groups_for([["a", "b"], ["c"]])
+        assert groups == [["a"], ["b"], ["c"]]
+
+    def test_groups_entire(self):
+        sched = PruningSchedule(granularity="entire")
+        groups = sched.groups_for([["a", "b"], ["c"]])
+        assert groups == [["a", "b", "c"]]
+
+    def test_group_cycling(self):
+        sched = PruningSchedule(granularity="block", backward_order=True)
+        blocks = [["a"], ["b"]]
+        assert sched.group_for_pruning_round(0, blocks) == ["b"]
+        assert sched.group_for_pruning_round(1, blocks) == ["a"]
+        assert sched.group_for_pruning_round(2, blocks) == ["b"]
+
+    def test_adjustment_count_scales_with_round(self):
+        sched = PruningSchedule(delta_rounds=1, stop_round=100)
+        early = sched.adjustment_count(0, 1, 1000)
+        late = sched.adjustment_count(90, 1, 1000)
+        assert early > late
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PruningSchedule(delta_rounds=0)
+        with pytest.raises(ValueError):
+            PruningSchedule(stop_round=0)
+        with pytest.raises(ValueError):
+            PruningSchedule(granularity="half")
+        with pytest.raises(ValueError):
+            PruningSchedule(fraction=0.9)
+
+
+class TestBlocks:
+    def test_resnet_blocks_cover_all_layers_once(self, tiny_resnet):
+        blocks = model_blocks(tiny_resnet)
+        names = [n for n, _ in prunable_parameters(tiny_resnet)]
+        flat = [name for block in blocks for name in block]
+        assert sorted(flat) == sorted(names)
+        assert len(flat) == len(set(flat))
+
+    def test_resnet_has_five_blocks(self, tiny_resnet):
+        assert len(model_blocks(tiny_resnet)) == 5
+
+    def test_resnet_block_composition(self, tiny_resnet):
+        blocks = model_blocks(tiny_resnet)
+        assert any("stem_conv" in n for n in blocks[0])
+        assert all(n.startswith("stage2") for n in blocks[1])
+        assert any(n.startswith("fc") for n in blocks[4])
+
+    def test_vgg_blocks_cover_all_layers_once(self, tiny_vgg):
+        blocks = model_blocks(tiny_vgg)
+        names = [n for n, _ in prunable_parameters(tiny_vgg)]
+        flat = [name for block in blocks for name in block]
+        assert sorted(flat) == sorted(names)
+
+    def test_vgg_has_five_blocks_with_classifier_last(self, tiny_vgg):
+        blocks = model_blocks(tiny_vgg)
+        assert len(blocks) == 5
+        assert any(n.startswith("classifier") for n in blocks[-1])
+
+    def test_even_blocks_generic_model(self, tiny_resnet):
+        blocks = even_blocks(tiny_resnet, 3)
+        assert len(blocks) == 3
+        flat = [n for b in blocks for n in b]
+        assert len(flat) == len(
+            [n for n, _ in prunable_parameters(tiny_resnet)]
+        )
+
+    def test_even_blocks_more_blocks_than_layers(self, tiny_resnet):
+        names = [n for n, _ in prunable_parameters(tiny_resnet)]
+        blocks = even_blocks(tiny_resnet, len(names) + 10)
+        assert len(blocks) == len(names)
+
+    def test_even_blocks_validation(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            even_blocks(tiny_resnet, 0)

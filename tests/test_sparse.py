@@ -1,0 +1,224 @@
+"""Tests for the sparsity substrate: MaskSet, TopKBuffer, storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Linear, Sequential, ReLU
+from repro.sparse import (
+    MaskSet,
+    TopKBuffer,
+    bytes_to_mb,
+    dense_bytes,
+    mask_set_bytes,
+    model_parameter_bytes,
+    sparse_bytes,
+)
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+
+
+class TestMaskSet:
+    def test_dense_masks(self):
+        model = _model()
+        masks = MaskSet.dense(model)
+        assert masks.density == 1.0
+        assert masks.total == 6 * 8 + 8 * 4
+        assert set(masks.layer_names()) == {"m0.weight", "m2.weight"}
+
+    def test_density_accounting(self):
+        model = _model()
+        masks = MaskSet.dense(model)
+        m = np.zeros((8, 6), dtype=bool)
+        m[0, :3] = True
+        masks["m0.weight"] = m
+        assert masks.num_active == 3 + 32
+        assert masks.layer_density("m0.weight") == pytest.approx(3 / 48)
+
+    def test_apply_zeroes_weights(self):
+        model = _model()
+        masks = MaskSet.dense(model)
+        masks["m0.weight"] = np.zeros((8, 6), dtype=bool)
+        masks.apply(model)
+        np.testing.assert_array_equal(model[0].weight.data, 0.0)
+        assert model[0].weight.mask is not None
+
+    def test_apply_unknown_layer_raises(self):
+        model = _model()
+        masks = MaskSet({"nope": np.ones((2, 2), dtype=bool)})
+        with pytest.raises(KeyError):
+            masks.apply(model)
+
+    def test_from_model_roundtrip(self):
+        model = _model()
+        original = MaskSet.dense(model)
+        original["m2.weight"] = np.zeros((4, 8), dtype=bool)
+        original.apply(model)
+        recovered = MaskSet.from_model(model)
+        assert recovered.difference_count(original) == 0
+
+    def test_matches_model(self):
+        model = _model()
+        assert MaskSet.dense(model).matches_model(model)
+        assert not MaskSet({"x": np.ones(3, dtype=bool)}).matches_model(model)
+
+    def test_shape_mismatch_on_setitem_raises(self):
+        masks = MaskSet({"a": np.ones((2, 2), dtype=bool)})
+        with pytest.raises(ValueError):
+            masks["a"] = np.ones((3, 3), dtype=bool)
+
+    def test_union_intersection(self):
+        a = MaskSet({"w": np.array([True, False, True, False])})
+        b = MaskSet({"w": np.array([True, True, False, False])})
+        np.testing.assert_array_equal(
+            a.union(b)["w"], [True, True, True, False]
+        )
+        np.testing.assert_array_equal(
+            a.intersection(b)["w"], [True, False, False, False]
+        )
+        assert a.difference_count(b) == 2
+
+    def test_incompatible_combination_raises(self):
+        a = MaskSet({"w": np.ones(3, dtype=bool)})
+        b = MaskSet({"v": np.ones(3, dtype=bool)})
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_copy_is_independent(self):
+        a = MaskSet({"w": np.ones(4, dtype=bool)})
+        b = a.copy()
+        b["w"] = np.zeros(4, dtype=bool)
+        assert a.num_active == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), size=st.integers(1, 64))
+    def test_density_in_unit_interval(self, data, size):
+        bits = data.draw(
+            st.lists(st.booleans(), min_size=size, max_size=size)
+        )
+        masks = MaskSet({"w": np.array(bits, dtype=bool)})
+        assert 0.0 <= masks.density <= 1.0
+        assert masks.num_active == sum(bits)
+
+
+class TestTopKBuffer:
+    def test_keeps_largest_magnitudes(self):
+        buf = TopKBuffer(2)
+        for index, value in enumerate([0.1, -5.0, 3.0, 0.2]):
+            buf.push(index, value)
+        indices, values = buf.items()
+        assert set(indices) == {1, 2}
+        assert abs(values[0]) >= abs(values[1])
+
+    def test_capacity_zero(self):
+        buf = TopKBuffer(0)
+        buf.push(0, 1.0)
+        indices, values = buf.items()
+        assert len(indices) == 0
+
+    def test_memory_bound(self):
+        buf = TopKBuffer(5)
+        for i in range(1000):
+            buf.push(i, float(i))
+        assert buf.memory_entries() == 5
+        assert buf.num_pushed == 1000
+
+    def test_min_magnitude_tracks_weakest(self):
+        buf = TopKBuffer(2)
+        buf.push(0, 1.0)
+        buf.push(1, 3.0)
+        assert buf.min_magnitude == pytest.approx(1.0)
+        buf.push(2, 2.0)
+        assert buf.min_magnitude == pytest.approx(2.0)
+
+    def test_push_chunk_matches_scalar_pushes(self, rng):
+        values = rng.normal(size=200)
+        indices = np.arange(200)
+        scalar = TopKBuffer(10)
+        for i, v in zip(indices, values):
+            scalar.push(i, v)
+        chunked = TopKBuffer(10)
+        for start in range(0, 200, 37):
+            chunked.push_chunk(
+                indices[start : start + 37], values[start : start + 37]
+            )
+        s_idx, s_val = scalar.items()
+        c_idx, c_val = chunked.items()
+        np.testing.assert_array_equal(np.sort(s_idx), np.sort(c_idx))
+        np.testing.assert_allclose(np.sort(s_val), np.sort(c_val), rtol=1e-6)
+
+    def test_chunk_length_mismatch_raises(self):
+        buf = TopKBuffer(3)
+        with pytest.raises(ValueError):
+            buf.push_chunk(np.arange(3), np.zeros(4))
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            TopKBuffer(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=100,
+        ),
+        capacity=st.integers(1, 20),
+    )
+    def test_equals_full_topk(self, values, capacity):
+        """Streaming result == top-k of the full array by |value|."""
+        buf = TopKBuffer(capacity)
+        arr = np.array(values, dtype=np.float64)
+        for i, v in enumerate(arr):
+            buf.push(i, v)
+        _, got = buf.items()
+        k = min(capacity, len(arr))
+        expected = np.sort(np.abs(arr))[::-1][:k]
+        np.testing.assert_allclose(
+            np.sort(np.abs(got))[::-1],
+            expected.astype(np.float32),
+            rtol=1e-6,
+        )
+
+
+class TestStorage:
+    def test_dense_bytes(self):
+        assert dense_bytes(100) == 400
+
+    def test_sparse_bytes_coo(self):
+        assert sparse_bytes(10, 1000) == 80
+
+    def test_sparse_falls_back_to_dense(self):
+        # At >50% density COO costs more than dense.
+        assert sparse_bytes(900, 1000) == dense_bytes(1000)
+
+    def test_sparse_bytes_validation(self):
+        with pytest.raises(ValueError):
+            sparse_bytes(10, 5)
+        with pytest.raises(ValueError):
+            sparse_bytes(-1, 5)
+        with pytest.raises(ValueError):
+            dense_bytes(-1)
+
+    def test_mask_set_bytes(self):
+        masks = MaskSet({"w": np.array([True] * 5 + [False] * 95)})
+        assert mask_set_bytes(masks) == 5 * 8
+
+    def test_model_parameter_bytes(self):
+        model = _model()
+        dense_total = model_parameter_bytes(model)
+        assert dense_total == 4 * model.num_parameters()
+        masks = MaskSet.dense(model)
+        masks["m0.weight"] = np.zeros((8, 6), dtype=bool)
+        masks.apply(model)
+        assert model_parameter_bytes(model) < dense_total
+
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(2_000_000) == pytest.approx(2.0)

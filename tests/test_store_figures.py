@@ -1,0 +1,111 @@
+"""Tests for result persistence and figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    load_results,
+    record_to_result,
+    render_accuracy_curves,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    result_to_record,
+    save_results,
+)
+from repro.experiments.paper import ExperimentOutput
+from repro.metrics import RoundRecord, RunResult
+
+
+def _result(method="fedtiny", rounds=3):
+    result = RunResult(method, "cifar10", "resnet18", 0.05)
+    for i in range(1, rounds + 1):
+        result.record_round(
+            RoundRecord(i, 0.1 * i, 1.0 / i, 0.05, 100, 200, 1e6 * i)
+        )
+    result.memory_footprint_bytes = 12345
+    result.selection_comm_bytes = 678
+    result.selection_flops = 9.0
+    result.metadata = {"pool_size": 4}
+    return result
+
+
+class TestStore:
+    def test_record_roundtrip(self):
+        original = _result()
+        rebuilt = record_to_result(result_to_record(original))
+        assert rebuilt.method == original.method
+        assert rebuilt.final_accuracy == original.final_accuracy
+        assert rebuilt.memory_footprint_bytes == 12345
+        assert rebuilt.selection_comm_bytes == 678
+        assert rebuilt.metadata == {"pool_size": 4}
+        assert len(rebuilt.rounds) == 3
+        assert rebuilt.total_upload_bytes == original.total_upload_bytes
+
+    def test_save_load_file(self, tmp_path):
+        results = [_result("a"), _result("b", rounds=1)]
+        path = tmp_path / "sub" / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert [r.method for r in loaded] == ["a", "b"]
+        assert loaded[0].max_training_flops_per_round == pytest.approx(3e6)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "results": []}')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+
+class TestFigureRendering:
+    def _fig3_output(self):
+        series = {
+            "cifar10": {
+                "fedtiny": {0.01: 0.6, 0.1: 0.8},
+                "snip": {0.01: 0.2, 0.1: 0.7},
+            }
+        }
+        return ExperimentOutput("fig3", "t", data={"series": series})
+
+    def test_render_fig3(self):
+        chart = render_fig3(self._fig3_output(), "cifar10")
+        assert "fedtiny" in chart
+        assert "log scale" in chart
+
+    def test_render_fig3_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            render_fig3(self._fig3_output(), "svhn")
+
+    def test_render_fig4(self):
+        output = ExperimentOutput(
+            "fig4", "t",
+            data={"series": {"fedtiny": {0.01: 0.5, 0.1: 0.7},
+                             "vanilla": {0.01: 0.3, 0.1: 0.6}}},
+        )
+        chart = render_fig4(output)
+        assert "vanilla" in chart
+
+    def test_render_fig5(self):
+        output = ExperimentOutput(
+            "fig5", "t",
+            data={
+                "accuracy": {0.01: {1: 0.4, 4: 0.5}},
+                "comm_mb": {0.01: {1: 0.1, 4: 0.4}},
+            },
+        )
+        acc_chart, comm_chart = render_fig5(output)
+        assert "accuracy" in acc_chart
+        assert "MB" in comm_chart
+
+    def test_render_fig6(self):
+        output = ExperimentOutput(
+            "fig6", "t",
+            data={"series": {"fedtiny": {0.5: 0.7, 10.0: 0.8}}},
+        )
+        assert "alpha" in render_fig6(output)
+
+    def test_render_accuracy_curves(self):
+        chart = render_accuracy_curves([_result("fedtiny"), _result("snip")])
+        assert "fedtiny@0.05" in chart
+        assert "round" in chart
