@@ -18,29 +18,33 @@ Quickstart::
     print(result.final_accuracy, result.final_density)
 """
 
-from . import baselines, core, data, experiments, fl, metrics, nn, pruning
-from . import sparse
+from . import baselines, core, data, experiments, fl, methods, metrics, nn
+from . import pruning, sparse
 from .core import FedTiny, FedTinyConfig
 from .experiments import run_experiment
 from .fl import FederatedContext, FLConfig
+from .methods import FederatedMethod, register_method
 from .sparse import MaskSet
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FLConfig",
     "FedTiny",
     "FedTinyConfig",
     "FederatedContext",
+    "FederatedMethod",
     "MaskSet",
     "baselines",
     "core",
     "data",
     "experiments",
     "fl",
+    "methods",
     "metrics",
     "nn",
     "pruning",
+    "register_method",
     "run_experiment",
     "sparse",
 ]

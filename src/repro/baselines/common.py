@@ -44,6 +44,9 @@ def run_training_rounds(
     ``round_hook`` runs after aggregation with the per-client uploaded
     states and returns any extra per-device FLOPs the method spent that
     round (mask-adjustment passes etc.).
+
+    Kept for ad-hoc experiment scripts; methods themselves now inherit
+    the same loop from :class:`repro.methods.FederatedMethod`.
     """
     max_samples = max(ctx.sample_counts)
     for round_index in range(1, ctx.config.rounds + 1):

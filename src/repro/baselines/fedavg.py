@@ -4,24 +4,20 @@ from __future__ import annotations
 
 from ..data.dataset import Dataset
 from ..fl.simulation import FederatedContext
-from ..metrics.tracker import RunResult
-from .common import finalize_memory, pretrain_on_server, run_training_rounds
+from ..methods import FederatedMethod
+from .common import pretrain_on_server
 
 __all__ = ["FedAvgBaseline"]
 
 
-class FedAvgBaseline:
+class FedAvgBaseline(FederatedMethod):
     """Plain dense federated averaging (McMahan et al., 2017)."""
 
     method_name = "fedavg"
+    target_density = 1.0
 
     def __init__(self, pretrain_epochs: int = 2) -> None:
         self.pretrain_epochs = pretrain_epochs
 
-    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
-        """Pretrain on the public data, then run dense FedAvg rounds."""
-        result = ctx.new_result(self.method_name, target_density=1.0)
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
         pretrain_on_server(ctx, public_data, self.pretrain_epochs)
-        run_training_rounds(ctx, result)
-        finalize_memory(result, ctx)
-        return result

@@ -19,6 +19,7 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..fl.aggregation import normalized_weights
 from ..fl.simulation import FederatedContext
+from ..methods import FederatedMethod
 from ..metrics.flops import training_flops_per_sample
 from ..metrics.tracker import RunResult
 from ..pruning.magnitude import random_mask_uniform
@@ -67,7 +68,7 @@ def sparse_aggregate(
     return aggregated
 
 
-class FedDSTBaseline:
+class FedDSTBaseline(FederatedMethod):
     """On-device mask adjustment + server sparse aggregation."""
 
     method_name = "feddst"
@@ -116,9 +117,8 @@ class FedDSTBaseline:
             finetune = max(0, local_epochs - train)
         return train, finetune
 
-    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
-        """Random-prune, then alternate FedAvg and on-device adjustment rounds."""
-        result = ctx.new_result(self.method_name, self.target_density)
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
+        """Pretrain and random-prune the initial global mask."""
         pretrain_on_server(ctx, public_data, self.pretrain_epochs)
         mask_rng = np.random.default_rng(self.mask_seed)
         if self.mask_init == "erk":
@@ -132,31 +132,36 @@ class FedDSTBaseline:
                 ctx.model, self.target_density, mask_rng
             )
         ctx.install_masks(initial)
-        # FedDST replaces the plain FedAvg round by its own
-        # train / adjust / fine-tune round when the schedule fires, so it
-        # owns the round loop instead of using run_training_rounds.
-        max_samples = max(ctx.sample_counts)
-        for round_index in range(1, ctx.config.rounds + 1):
-            base_flops = (
-                training_flops_per_sample(ctx.profile, ctx.server.masks)
-                * ctx.config.local_epochs
-                * max_samples
+        self._pending_extra_flops = 0.0
+
+    def train_round(
+        self, ctx: FederatedContext, round_index: int
+    ) -> list[dict[str, np.ndarray]]:
+        """FedDST replaces the plain FedAvg round by its own
+        train / adjust / fine-tune round when the schedule fires."""
+        if self.schedule.is_pruning_round(round_index):
+            states, self._pending_extra_flops = self._adjustment_round(
+                ctx, round_index
             )
-            if self.schedule.is_pruning_round(round_index):
-                extra_flops = self._adjustment_round(ctx, round_index)
-            else:
-                ctx.run_fedavg_round()
-                extra_flops = 0.0
-            ctx.record_round(result, round_index, base_flops + extra_flops)
+            return states
+        self._pending_extra_flops = 0.0
+        return ctx.run_fedavg_round()
+
+    def round_hook(
+        self, round_index: int, states: list[dict[str, np.ndarray]]
+    ) -> float:
+        del round_index, states
+        return self._pending_extra_flops
+
+    def finalize(self, result: RunResult, ctx: FederatedContext) -> None:
         finalize_memory(result, ctx, per_layer_dense_grad=True)
-        return result
 
     # ------------------------------------------------------------------
     # The FedDST adjustment round (replaces the plain FedAvg result)
     # ------------------------------------------------------------------
     def _adjustment_round(
         self, ctx: FederatedContext, round_index: int
-    ) -> float:
+    ) -> tuple[list[dict[str, np.ndarray]], float]:
         cfg = ctx.config
         train_epochs, finetune_epochs = self._epoch_split(cfg.local_epochs)
         states: list[dict[str, np.ndarray]] = []
@@ -209,9 +214,10 @@ class FedDSTBaseline:
         ctx.server.set_masks(new_masks)
 
         all_layers = prunable_names
-        return training_flops_per_sample(
+        extra_flops = training_flops_per_sample(
             ctx.profile, ctx.server.masks, dense_grad_layers=all_layers
         ) * min(self.grad_batch_size, max(ctx.sample_counts))
+        return states, extra_flops
 
     def _local_mask_adjustment(
         self, ctx: FederatedContext, client, round_index: int

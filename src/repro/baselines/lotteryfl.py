@@ -17,19 +17,19 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..fl.simulation import FederatedContext
-from ..fl.state import get_state
+from ..methods import FederatedMethod
 from ..metrics.flops import training_flops_per_sample
 from ..metrics.memory import device_memory_footprint
 from ..metrics.tracker import RunResult
 from ..pruning.magnitude import magnitude_mask_global
 from ..pruning.schedule import PruningSchedule
 from ..sparse.mask import MaskSet
-from .common import pretrain_on_server, run_training_rounds
+from .common import pretrain_on_server
 
 __all__ = ["LotteryFLBaseline"]
 
 
-class LotteryFLBaseline:
+class LotteryFLBaseline(FederatedMethod):
     """Iterative magnitude pruning with rewinding, on the global model."""
 
     method_name = "lotteryfl"
@@ -54,44 +54,43 @@ class LotteryFLBaseline:
         self.prune_rate = prune_rate
         self.pretrain_epochs = pretrain_epochs
 
-    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
-        """Iteratively train dense, prune by magnitude, and rewind to init."""
-        result = ctx.new_result(self.method_name, self.target_density)
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
+        """Pretrain and snapshot the rewind target."""
         pretrain_on_server(ctx, public_data, self.pretrain_epochs)
         # Rewind target: the weights right after pretraining (the
         # "initialization" every ticket is rewound to).
-        initial_state = {
+        self._initial_state = {
             k: v.copy() for k, v in ctx.server.state.items()
         }
-        dense_flops = training_flops_per_sample(ctx.profile, None)
-        max_samples = max(ctx.sample_counts)
 
-        def prune_hook(
-            round_index: int, states: list[dict[str, np.ndarray]]
-        ) -> float:
-            del states
-            if not self.schedule.is_pruning_round(round_index):
-                return 0.0
-            if ctx.server.masks.density <= self.target_density:
-                return 0.0
-            next_density = max(
-                self.target_density,
-                ctx.server.masks.density * (1.0 - self.prune_rate),
-            )
-            self._prune_and_rewind(ctx, next_density, initial_state)
+    def round_hook(
+        self, round_index: int, states: list[dict[str, np.ndarray]]
+    ) -> float:
+        """One lottery iteration whenever the schedule fires."""
+        del states
+        ctx = self.ctx
+        if not self.schedule.is_pruning_round(round_index):
             return 0.0
+        if ctx.server.masks.density <= self.target_density:
+            return 0.0
+        next_density = max(
+            self.target_density,
+            ctx.server.masks.density * (1.0 - self.prune_rate),
+        )
+        self._prune_and_rewind(ctx, next_density, self._initial_state)
+        return 0.0
 
-        run_training_rounds(ctx, result, round_hook=prune_hook)
+    def finalize(self, result: RunResult, ctx: FederatedContext) -> None:
         # LotteryFL's device cost is dominated by the dense phases:
         # report the dense footprint and dense per-round FLOPs ceiling.
+        dense_flops = training_flops_per_sample(ctx.profile, None)
         result.max_training_flops_per_round = (
-            dense_flops * ctx.config.local_epochs * max_samples
+            dense_flops * ctx.config.local_epochs * max(ctx.sample_counts)
         )
         dense_masks = MaskSet.dense(ctx.model)
         result.memory_footprint_bytes = device_memory_footprint(
             ctx.model, dense_masks
         ).total_bytes
-        return result
 
     def _prune_and_rewind(
         self,

@@ -24,18 +24,19 @@ from ..data.dataset import Dataset
 from ..fl.aggregation import normalized_weights
 from ..fl.simulation import FederatedContext
 from ..fl.state import set_state
+from ..methods import FederatedMethod
 from ..metrics.flops import training_flops_per_sample
 from ..metrics.tracker import RunResult
 from ..pruning.magnitude import magnitude_mask_uniform
 from ..pruning.schedule import PruningSchedule
 from ..pruning.scores import global_score_mask
 from ..sparse.mask import prunable_parameters
-from .common import finalize_memory, pretrain_on_server, run_training_rounds
+from .common import finalize_memory, pretrain_on_server
 
 __all__ = ["PruneFLBaseline"]
 
 
-class PruneFLBaseline:
+class PruneFLBaseline(FederatedMethod):
     """Initial server pruning + full-gradient adaptive mask updates."""
 
     method_name = "prunefl"
@@ -56,31 +57,30 @@ class PruneFLBaseline:
         self.pretrain_epochs = pretrain_epochs
         self.grad_batch_size = grad_batch_size
 
-    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
-        """Server-prune once, then adapt the mask from full-size gradients."""
-        result = ctx.new_result(self.method_name, self.target_density)
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
+        """Server-prune once; the round hook adapts the mask afterwards."""
         pretrain_on_server(ctx, public_data, self.pretrain_epochs)
         ctx.install_masks(
             magnitude_mask_uniform(ctx.model, self.target_density)
         )
 
-        def adjust_hook(
-            round_index: int, states: list[dict[str, np.ndarray]]
-        ) -> float:
-            if not self.schedule.is_pruning_round(round_index):
-                return 0.0
-            self._adaptive_reselect(ctx, states)
-            # Cost of the dense gradient pass on one batch per device.
-            all_layers = {
-                name for name, _ in prunable_parameters(ctx.model)
-            }
-            return training_flops_per_sample(
-                ctx.profile, ctx.server.masks, dense_grad_layers=all_layers
-            ) * min(self.grad_batch_size, max(ctx.sample_counts))
+    def round_hook(
+        self, round_index: int, states: list[dict[str, np.ndarray]]
+    ) -> float:
+        if not self.schedule.is_pruning_round(round_index):
+            return 0.0
+        ctx = self.ctx
+        self._adaptive_reselect(ctx, states)
+        # Cost of the dense gradient pass on one batch per device.
+        all_layers = {
+            name for name, _ in prunable_parameters(ctx.model)
+        }
+        return training_flops_per_sample(
+            ctx.profile, ctx.server.masks, dense_grad_layers=all_layers
+        ) * min(self.grad_batch_size, max(ctx.sample_counts))
 
-        run_training_rounds(ctx, result, round_hook=adjust_hook)
+    def finalize(self, result: RunResult, ctx: FederatedContext) -> None:
         finalize_memory(result, ctx, dense_importance_scores=True)
-        return result
 
     def _adaptive_reselect(
         self, ctx: FederatedContext, states: list[dict[str, np.ndarray]]

@@ -16,17 +16,18 @@ from __future__ import annotations
 
 from ..data.dataset import Dataset
 from ..fl.simulation import FederatedContext
+from ..methods import FederatedMethod
 from ..metrics.tracker import RunResult
 from ..pruning.magnitude import magnitude_mask_uniform
 from ..pruning.snip import snip_mask
 from ..pruning.synflow import synflow_mask
 from ..sparse.mask import MaskSet
-from .common import finalize_memory, pretrain_on_server, run_training_rounds
+from .common import pretrain_on_server
 
 __all__ = ["SNIPBaseline", "SynFlowBaseline", "FLPQSUBaseline"]
 
 
-class _ServerPruneBaseline:
+class _ServerPruneBaseline(FederatedMethod):
     """Template: pretrain, server-prune once, fine-tune federated."""
 
     method_name = "server_prune"
@@ -46,15 +47,15 @@ class _ServerPruneBaseline:
     ) -> MaskSet:
         raise NotImplementedError
 
-    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
-        result = ctx.new_result(self.method_name, self.target_density)
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
         pretrain_on_server(ctx, public_data, self.pretrain_epochs)
         masks = self.compute_mask(ctx, public_data)
         ctx.install_masks(masks)
-        result.metadata["layer_densities"] = masks.layer_densities()
-        run_training_rounds(ctx, result)
-        finalize_memory(result, ctx)
-        return result
+        self._layer_densities = masks.layer_densities()
+
+    def finalize(self, result: RunResult, ctx: FederatedContext) -> None:
+        result.metadata["layer_densities"] = self._layer_densities
+        super().finalize(result, ctx)
 
 
 class SNIPBaseline(_ServerPruneBaseline):

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from ..data.dataset import Dataset
 from ..fl.simulation import FederatedContext, FLConfig
+from ..methods import FederatedMethod
 from ..metrics.tracker import RunResult
 from ..nn.models.small_cnn import small_cnn_matching_params
-from .common import finalize_memory, pretrain_on_server, run_training_rounds
+from .common import pretrain_on_server
 
 __all__ = ["SmallModelBaseline", "build_small_model_context"]
 
@@ -48,8 +49,13 @@ def build_small_model_context(
     )
 
 
-class SmallModelBaseline:
-    """Dense FedAvg on a parameter-matched small CNN."""
+class SmallModelBaseline(FederatedMethod):
+    """Dense FedAvg on a parameter-matched small CNN.
+
+    The context passed to :meth:`run` must hold the small model already
+    (see :func:`build_small_model_context`; the experiment runner swaps
+    the context for methods whose spec sets ``replaces_model``).
+    """
 
     method_name = "small_model"
 
@@ -59,12 +65,9 @@ class SmallModelBaseline:
         self.target_density = target_density
         self.pretrain_epochs = pretrain_epochs
 
-    def run(self, ctx: FederatedContext, public_data: Dataset) -> RunResult:
-        """Run dense FedAvg; ``ctx`` must hold the small model already
-        (see :func:`build_small_model_context`)."""
-        result = ctx.new_result(self.method_name, self.target_density)
-        result.metadata["model_parameters"] = ctx.model.num_parameters()
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
         pretrain_on_server(ctx, public_data, self.pretrain_epochs)
-        run_training_rounds(ctx, result)
-        finalize_memory(result, ctx)
-        return result
+
+    def finalize(self, result: RunResult, ctx: FederatedContext) -> None:
+        result.metadata["model_parameters"] = ctx.model.num_parameters()
+        super().finalize(result, ctx)

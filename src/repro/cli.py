@@ -15,8 +15,10 @@ import json
 import sys
 
 from .data.synthetic import DATASET_BUILDERS
-from .experiments import METHOD_NAMES, SCALES, run_experiment
+from .experiments import SCALES, run_experiment
 from .experiments import paper as paper_experiments
+from .fl.executor import available_executors
+from .methods import method_names, method_summaries
 from .nn.models import available_models
 from .sparse.storage import bytes_to_mb
 
@@ -50,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list methods, models, datasets, scales")
 
     run = sub.add_parser("run", help="run one federated pruning experiment")
-    run.add_argument("--method", required=True, choices=METHOD_NAMES)
+    run.add_argument("--method", required=True, choices=method_names())
     run.add_argument("--model", default="resnet18",
                      choices=available_models())
     run.add_argument("--dataset", default="cifar10",
@@ -61,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Dirichlet alpha; <=0 means iid")
     run.add_argument("--rounds", type=int, default=None)
     run.add_argument("--pool-size", type=int, default=None)
+    run.add_argument("--local-epochs", type=int, default=None,
+                     help="override the preset's local epochs per round")
+    run.add_argument("--participation-fraction", type=float, default=None,
+                     help="fraction of clients sampled each round")
+    run.add_argument("--quantize-bits", type=int, default=None,
+                     help="quantize client uploads to this many bits")
+    run.add_argument("--executor", default=None,
+                     choices=available_executors(),
+                     help="client execution backend (default: serial)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit the result record as JSON")
@@ -79,10 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_list() -> int:
-    print("methods :", ", ".join(METHOD_NAMES))
-    print("models  :", ", ".join(available_models()))
-    print("datasets:", ", ".join(sorted(DATASET_BUILDERS)))
-    print("scales  :", ", ".join(sorted(SCALES)))
+    print("methods:")
+    summaries = method_summaries()
+    width = max(len(name) for name in summaries)
+    for name, summary in summaries.items():
+        print(f"  {name:<{width}}  {summary}")
+    print("models   :", ", ".join(available_models()))
+    print("datasets :", ", ".join(sorted(DATASET_BUILDERS)))
+    print("scales   :", ", ".join(sorted(SCALES)))
+    print("executors:", ", ".join(available_executors()))
     print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
     return 0
 
@@ -99,6 +115,10 @@ def _command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         pool_size=args.pool_size,
         rounds=args.rounds,
+        local_epochs=args.local_epochs,
+        participation_fraction=args.participation_fraction,
+        quantize_bits=args.quantize_bits,
+        executor=args.executor,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))

@@ -18,9 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from ..data.dataset import Dataset
 from ..fl.simulation import FederatedContext
+from ..fl.state import get_state
 from ..fl.training import server_pretrain
+from ..methods import FederatedMethod
 from ..metrics.flops import training_flops_per_sample
 from ..metrics.memory import device_memory_footprint
 from ..metrics.tracker import RunResult
@@ -80,8 +84,14 @@ class FedTinyConfig:
         )
 
 
-class FedTiny:
-    """Runs the full FedTiny protocol on a federated context."""
+class FedTiny(FederatedMethod):
+    """Runs the full FedTiny protocol on a federated context.
+
+    The shared :meth:`FederatedMethod.run` loop drives the lifecycle:
+    :meth:`setup` covers pretraining, the coarse-pruned candidate pool
+    and adaptive BN selection; :meth:`round_hook` is the progressive
+    pruning module; :meth:`finalize` the cost accounting.
+    """
 
     def __init__(self, config: FedTinyConfig) -> None:
         self.config = config
@@ -97,14 +107,13 @@ class FedTiny:
             return "vanilla+progressive"
         return "vanilla"
 
-    def run(
-        self, ctx: FederatedContext, public_data: Dataset
-    ) -> RunResult:
-        """Execute the full FedTiny pipeline and return its run record."""
-        cfg = self.config
-        import numpy as np
+    @property
+    def target_density(self) -> float:
+        return self.config.target_density
 
-        result = ctx.new_result(self.method_name, cfg.target_density)
+    def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
+        """Pretrain, build the candidate pool, and select a mask."""
+        cfg = self.config
 
         # 1. Server-side pretraining on the public one-shot dataset.
         server_pretrain(
@@ -115,8 +124,6 @@ class FedTiny:
             lr=ctx.config.lr,
             seed=ctx.config.seed,
         )
-        from ..fl.state import get_state
-
         ctx.server.commit_state(get_state(ctx.model))
 
         # 2. Coarse-pruned candidate pool.
@@ -147,49 +154,51 @@ class FedTiny:
         # Selection traffic is a one-off accounted on the result itself,
         # not in the per-round training deltas.
         ctx.sync_comm_baseline()
-        result.selection_comm_bytes = selection.comm_bytes
-        result.selection_flops = selection.flops_per_device
-        result.metadata.update(
-            selected_candidate=selection.selected_index,
-            pool_size=selection.pool_size,
-            protected_layers=sorted(protected),
-            candidate_losses=selection.candidate_losses,
-        )
+        self._selection = selection
+        self._protected = protected
 
-        # 4. Federated sparse training with progressive pruning.
-        pruner = ProgressivePruner(
+        # 4. The progressive pruning module driven by round_hook.
+        self._pruner = ProgressivePruner(
             cfg.schedule,
             model_blocks(ctx.model),
             protected=protected,
             grad_batch_size=cfg.grad_batch_size,
         )
-        max_samples = max(ctx.sample_counts)
-        for round_index in range(1, ctx.config.rounds + 1):
-            base_flops = (
-                training_flops_per_sample(ctx.profile, ctx.server.masks)
-                * ctx.config.local_epochs
-                * max_samples
-            )
-            states = ctx.run_fedavg_round()
-            extra_flops = 0.0
-            if cfg.use_progressive:
-                adjustment = pruner.maybe_adjust(ctx, round_index, states)
-                if adjustment is not None and adjustment.layer_counts:
-                    extra_flops = training_flops_per_sample(
-                        ctx.profile,
-                        ctx.server.masks,
-                        dense_grad_layers=set(adjustment.layer_counts),
-                    ) * min(cfg.grad_batch_size, max_samples)
-            ctx.record_round(result, round_index, base_flops + extra_flops)
 
-        # 5. Final cost accounting.
+    def round_hook(
+        self, round_index: int, states: list[dict[str, np.ndarray]]
+    ) -> float:
+        """Progressively adjust one block of layers when scheduled."""
+        cfg = self.config
+        if not cfg.use_progressive:
+            return 0.0
+        ctx = self.ctx
+        adjustment = self._pruner.maybe_adjust(ctx, round_index, states)
+        if adjustment is not None and adjustment.layer_counts:
+            return training_flops_per_sample(
+                ctx.profile,
+                ctx.server.masks,
+                dense_grad_layers=set(adjustment.layer_counts),
+            ) * min(cfg.grad_batch_size, max(ctx.sample_counts))
+        return 0.0
+
+    def finalize(self, result: RunResult, ctx: FederatedContext) -> None:
+        """Selection report + final cost accounting."""
+        selection = self._selection
+        result.selection_comm_bytes = selection.comm_bytes
+        result.selection_flops = selection.flops_per_device
+        result.metadata.update(
+            selected_candidate=selection.selected_index,
+            pool_size=selection.pool_size,
+            protected_layers=sorted(self._protected),
+            candidate_losses=selection.candidate_losses,
+        )
         footprint = device_memory_footprint(
             ctx.model,
             ctx.server.masks,
-            topk_buffer_entries=pruner.max_buffer_entries_seen,
+            topk_buffer_entries=self._pruner.max_buffer_entries_seen,
         )
         result.memory_footprint_bytes = footprint.total_bytes
         result.metadata["final_layer_densities"] = (
             ctx.server.masks.layer_densities()
         )
-        return result

@@ -1,6 +1,6 @@
 """Experiment registry, runners and paper-style reporting."""
 
-from .configs import METHOD_NAMES, SCALES, ScalePreset, get_scale
+from .configs import SCALES, ScalePreset, get_scale
 from .figures import (
     render_accuracy_curves,
     render_fig3,
@@ -23,6 +23,17 @@ from .store import (
     result_to_record,
     save_results,
 )
+
+
+def __getattr__(name: str):
+    # Live view of the method registry (see configs.__getattr__).
+    if name == "METHOD_NAMES":
+        from .configs import METHOD_NAMES
+
+        return METHOD_NAMES
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 __all__ = [
     "METHOD_NAMES",

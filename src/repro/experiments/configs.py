@@ -1,4 +1,4 @@
-"""Experiment scale presets and method registry.
+"""Experiment scale presets (the method registry lives in repro.methods).
 
 The paper's experiments run ResNet-18/VGG-11 for 200-300 federated
 rounds on full datasets; this reproduction exposes the same experiment
@@ -49,14 +49,29 @@ class ScalePreset:
         dirichlet_alpha: float | None = 0.5,
         seed: int = 0,
         rounds: int | None = None,
+        local_epochs: int | None = None,
+        participation_fraction: float | None = None,
+        quantize_upload_bits: int | None = None,
+        executor: str | None = None,
+        executor_workers: int | None = None,
     ) -> FLConfig:
         return FLConfig(
             num_clients=self.num_clients,
             rounds=rounds if rounds is not None else self.rounds,
-            local_epochs=self.local_epochs,
+            local_epochs=(
+                local_epochs if local_epochs is not None
+                else self.local_epochs
+            ),
             batch_size=self.batch_size,
             lr=self.lr,
             dirichlet_alpha=dirichlet_alpha,
+            participation_fraction=(
+                participation_fraction
+                if participation_fraction is not None else 1.0
+            ),
+            quantize_upload_bits=quantize_upload_bits,
+            executor=executor if executor is not None else "serial",
+            executor_workers=executor_workers,
             seed=seed,
         )
 
@@ -145,18 +160,14 @@ def get_scale(name: str) -> ScalePreset:
     return SCALES[name]
 
 
-METHOD_NAMES = (
-    "fedavg",
-    "fl-pqsu",
-    "snip",
-    "synflow",
-    "prunefl",
-    "feddst",
-    "lotteryfl",
-    "fedtiny",
-    "small_model",
-    # Ablation arms (paper Fig. 4):
-    "vanilla",
-    "adaptive_bn_only",
-    "vanilla+progressive",
-)
+def __getattr__(name: str):
+    # METHOD_NAMES is derived live from the method registry (PEP 562)
+    # so it stays lazy — importing this module doesn't load the method
+    # catalog — and reflects methods registered after import.
+    if name == "METHOD_NAMES":
+        from ..methods import method_names
+
+        return method_names()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,24 +1,18 @@
-"""Build and run a named (method, model, dataset, density) experiment."""
+"""Build and run a named (method, model, dataset, density) experiment.
+
+Methods resolve through the pluggable registry in :mod:`repro.methods`;
+this module supplies the data/context plumbing around it.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..baselines import (
-    FedAvgBaseline,
-    FedDSTBaseline,
-    FLPQSUBaseline,
-    LotteryFLBaseline,
-    PruneFLBaseline,
-    SmallModelBaseline,
-    SNIPBaseline,
-    SynFlowBaseline,
-    build_small_model_context,
-)
-from ..core import FedTiny, FedTinyConfig
+from ..baselines import build_small_model_context
 from ..data.dataset import Dataset
 from ..data.synthetic import build_dataset
 from ..fl.simulation import FederatedContext
+from ..methods import build_method, get_method_spec
 from ..metrics.tracker import RunResult
 from ..nn.models import build_model
 from ..pruning.schedule import PruningSchedule
@@ -26,10 +20,12 @@ from .configs import ScalePreset, get_scale
 
 __all__ = ["prepare_data", "make_context", "build_method", "run_experiment"]
 
+Splits = tuple[Dataset, Dataset, Dataset]
+
 
 def prepare_data(
     dataset_name: str, scale: ScalePreset, seed: int = 0
-) -> tuple[Dataset, Dataset, Dataset]:
+) -> Splits:
     """(public D_s, federated train, test) splits for a named dataset."""
     train, test = build_dataset(
         dataset_name,
@@ -50,9 +46,20 @@ def make_context(
     dirichlet_alpha: float | None = 0.5,
     seed: int = 0,
     rounds: int | None = None,
+    splits: Splits | None = None,
+    local_epochs: int | None = None,
+    participation_fraction: float | None = None,
+    quantize_upload_bits: int | None = None,
+    executor: str | None = None,
 ) -> tuple[FederatedContext, Dataset]:
-    """A fresh federated context plus the server's public dataset."""
-    public, federated, test = prepare_data(dataset_name, scale, seed)
+    """A fresh federated context plus the server's public dataset.
+
+    ``splits`` lets callers reuse an already-built
+    :func:`prepare_data` result instead of regenerating the dataset.
+    """
+    if splits is None:
+        splits = prepare_data(dataset_name, scale, seed)
+    public, federated, test = splits
     model = build_model(
         model_name,
         num_classes=test.num_classes,
@@ -64,92 +71,19 @@ def make_context(
         model,
         federated,
         test,
-        scale.fl_config(dirichlet_alpha=dirichlet_alpha, seed=seed,
-                        rounds=rounds),
+        scale.fl_config(
+            dirichlet_alpha=dirichlet_alpha,
+            seed=seed,
+            rounds=rounds,
+            local_epochs=local_epochs,
+            participation_fraction=participation_fraction,
+            quantize_upload_bits=quantize_upload_bits,
+            executor=executor,
+        ),
         dataset_name=dataset_name,
         model_name=model_name,
     )
     return ctx, public
-
-
-def build_method(
-    method_name: str,
-    target_density: float,
-    scale: ScalePreset,
-    schedule: PruningSchedule | None = None,
-    pool_size: int | None = None,
-):
-    """Instantiate a method object exposing ``run(ctx, public_data)``."""
-    if schedule is None:
-        schedule = scale.schedule()
-    name = method_name.lower()
-    if name == "fedavg":
-        return FedAvgBaseline(pretrain_epochs=scale.pretrain_epochs)
-    if name == "fl-pqsu":
-        return FLPQSUBaseline(
-            target_density, pretrain_epochs=scale.pretrain_epochs
-        )
-    if name == "snip":
-        return SNIPBaseline(
-            target_density,
-            pretrain_epochs=scale.pretrain_epochs,
-            iterations=scale.snip_iterations,
-        )
-    if name == "synflow":
-        return SynFlowBaseline(
-            target_density,
-            pretrain_epochs=scale.pretrain_epochs,
-            iterations=scale.synflow_iterations,
-        )
-    if name == "prunefl":
-        return PruneFLBaseline(
-            target_density,
-            schedule=schedule,
-            pretrain_epochs=scale.pretrain_epochs,
-        )
-    if name == "feddst":
-        return FedDSTBaseline(
-            target_density,
-            schedule=schedule,
-            pretrain_epochs=scale.pretrain_epochs,
-        )
-    if name == "lotteryfl":
-        return LotteryFLBaseline(
-            target_density,
-            schedule=schedule,
-            pretrain_epochs=scale.pretrain_epochs,
-        )
-    if name == "small_model":
-        return SmallModelBaseline(
-            target_density, pretrain_epochs=scale.pretrain_epochs
-        )
-    ablations = {
-        "fedtiny": (True, True),
-        "vanilla": (False, False),
-        "adaptive_bn_only": (True, False),
-        "vanilla+progressive": (False, True),
-    }
-    if name in ablations:
-        use_bn, use_progressive = ablations[name]
-        if pool_size is None:
-            # Cap the paper's C* = 0.1/d rule by the preset's budget so
-            # reduced-scale runs don't spend all their time in selection.
-            from ..core.fedtiny import optimal_pool_size
-
-            pool_size = min(
-                optimal_pool_size(target_density), scale.max_pool_size
-            )
-        return FedTiny(
-            FedTinyConfig(
-                target_density=target_density,
-                pool_size=pool_size,
-                use_adaptive_bn=use_bn,
-                use_progressive=use_progressive,
-                schedule=schedule,
-                pretrain_epochs=scale.pretrain_epochs,
-            )
-        )
-    raise KeyError(f"unknown method {method_name!r}")
 
 
 def run_experiment(
@@ -163,24 +97,42 @@ def run_experiment(
     schedule: PruningSchedule | None = None,
     pool_size: int | None = None,
     rounds: int | None = None,
+    local_epochs: int | None = None,
+    participation_fraction: float | None = None,
+    quantize_bits: int | None = None,
+    executor: str | None = None,
 ) -> RunResult:
     """End-to-end: build data, context and method, then run it."""
     preset = get_scale(scale) if isinstance(scale, str) else scale
+    splits = prepare_data(dataset_name, preset, seed)
     ctx, public = make_context(
         model_name, dataset_name, preset,
         dirichlet_alpha=dirichlet_alpha, seed=seed, rounds=rounds,
+        splits=splits,
+        local_epochs=local_epochs,
+        participation_fraction=participation_fraction,
+        quantize_upload_bits=quantize_bits,
+        executor=executor,
     )
     method = build_method(
         method_name, target_density, preset,
         schedule=schedule, pool_size=pool_size,
     )
-    if method_name.lower() == "small_model":
-        # The small model replaces the big one entirely.
-        public2, federated, test = prepare_data(dataset_name, preset, seed)
-        small_ctx = build_small_model_context(
+    if get_method_spec(method_name).replaces_model:
+        # The small model replaces the big one entirely; reuse the
+        # already-built splits rather than regenerating the dataset.
+        _, federated, test = splits
+        ctx = build_small_model_context(
             ctx, target_density, federated, test,
-            preset.fl_config(dirichlet_alpha=dirichlet_alpha, seed=seed,
-                             rounds=rounds),
+            preset.fl_config(
+                dirichlet_alpha=dirichlet_alpha, seed=seed, rounds=rounds,
+                local_epochs=local_epochs,
+                participation_fraction=participation_fraction,
+                quantize_upload_bits=quantize_bits,
+                executor=executor,
+            ),
         )
-        return method.run(small_ctx, public2)
-    return method.run(ctx, public)
+    try:
+        return method.run(ctx, public)
+    finally:
+        ctx.close()

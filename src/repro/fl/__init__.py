@@ -14,6 +14,14 @@ from .bn import (
 )
 from .client import Client, LocalTrainResult
 from .comm import CommTracker
+from .executor import (
+    ClientExecutor,
+    ProcessPoolClientExecutor,
+    SerialExecutor,
+    available_executors,
+    build_executor,
+    register_executor,
+)
 from .latency import (
     DeviceProfile,
     heterogeneous_fleet,
@@ -35,12 +43,18 @@ from .training import server_pretrain, train_centralized
 
 __all__ = [
     "Client",
+    "ClientExecutor",
     "CommTracker",
     "DeviceProfile",
     "FLConfig",
     "FederatedContext",
     "LocalTrainResult",
+    "ProcessPoolClientExecutor",
+    "SerialExecutor",
     "Server",
+    "available_executors",
+    "build_executor",
+    "register_executor",
     "aggregate_bn_statistics",
     "aggregate_sparse_gradients",
     "bn_layers",

@@ -1,0 +1,219 @@
+"""Pluggable client-execution backends for the federated round.
+
+``FederatedContext.run_fedavg_round`` delegates the per-client local
+training to a :class:`ClientExecutor`. Two backends ship built in:
+
+- ``serial`` (:class:`SerialExecutor`) — trains every participant one
+  after another through the context's shared model instance, exactly
+  reproducing the original single-threaded simulation byte for byte;
+- ``process`` (:class:`ProcessPoolClientExecutor`) — ships a pickled
+  copy of the global model to a pool of worker processes and trains
+  participants concurrently, then restores each client's RNG state so
+  the round-to-round batch streams stay identical to the serial
+  backend.
+
+Backends are selected via ``FLConfig.executor`` (and the ``--executor``
+CLI flag); new ones can be added with :func:`register_executor` without
+touching the simulation internals.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from .client import Client, LocalTrainResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .simulation import FederatedContext
+
+__all__ = [
+    "ClientExecutor",
+    "SerialExecutor",
+    "ProcessPoolClientExecutor",
+    "available_executors",
+    "build_executor",
+    "register_executor",
+]
+
+
+class ClientExecutor(ABC):
+    """Strategy for running one round of local training."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def run_clients(
+        self, ctx: "FederatedContext", participants: list[Client]
+    ) -> list[LocalTrainResult]:
+        """Train every participant on the current global model.
+
+        Returns one :class:`LocalTrainResult` per participant, aligned
+        with ``participants``. Implementations must leave each client's
+        RNG in the same state serial execution would — methods replay
+        the batch stream across rounds and backends must agree.
+        """
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+
+def _train_kwargs(ctx: "FederatedContext") -> dict:
+    cfg = ctx.config
+    return dict(
+        epochs=cfg.local_epochs,
+        batch_size=cfg.batch_size,
+        lr=cfg.lr,
+        momentum=cfg.momentum,
+        weight_decay=cfg.weight_decay,
+        augment=cfg.augment,
+    )
+
+
+class SerialExecutor(ClientExecutor):
+    """The reference backend: one client at a time on the shared model."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        del max_workers  # accepted for a uniform factory signature
+
+    def run_clients(
+        self, ctx: "FederatedContext", participants: list[Client]
+    ) -> list[LocalTrainResult]:
+        kwargs = _train_kwargs(ctx)
+        results = []
+        for client in participants:
+            ctx.server.load_into_model()
+            results.append(client.train(ctx.model, **kwargs))
+        return results
+
+
+# Worker-process cache: the client population, shipped once per worker
+# at pool start-up instead of once per client per round (client shards
+# are by far the largest payload).
+_WORKER_CLIENTS: list[Client] | None = None
+
+
+def _init_worker(clients_blob: bytes) -> None:
+    global _WORKER_CLIENTS
+    _WORKER_CLIENTS = pickle.loads(clients_blob)
+
+
+def _train_client_task(
+    model_blob: bytes, client_index: int, rng_state: dict, kwargs: dict
+) -> tuple[LocalTrainResult, dict]:
+    """Worker-side body: unpickle a private model copy and train on it."""
+    model = pickle.loads(model_blob)
+    client = _WORKER_CLIENTS[client_index]
+    # The authoritative RNG stream lives in the main process; install it
+    # so batch draws match serial execution regardless of which worker
+    # (with whatever stale cached state) picks the task up.
+    client.rng.bit_generator.state = rng_state
+    result = client.train(model, **kwargs)
+    return result, client.rng.bit_generator.state
+
+
+class ProcessPoolClientExecutor(ClientExecutor):
+    """Train participants concurrently on per-process model copies."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+        self._pool = None
+        self._pool_clients: list[Client] | None = None
+
+    def _ensure_pool(self, clients: list[Client]):
+        if self._pool is not None and self._pool_clients is not clients:
+            self.close()
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = self.max_workers
+            if workers is None:
+                workers = max(1, min(os.cpu_count() or 1, 8))
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(
+                    pickle.dumps(clients, protocol=pickle.HIGHEST_PROTOCOL),
+                ),
+            )
+            self._pool_clients = clients
+        return self._pool
+
+    def run_clients(
+        self, ctx: "FederatedContext", participants: list[Client]
+    ) -> list[LocalTrainResult]:
+        # One download per round: every worker starts from the same
+        # global state + masks, exactly like the serial broadcast.
+        ctx.server.load_into_model()
+        blob = pickle.dumps(ctx.model, protocol=pickle.HIGHEST_PROTOCOL)
+        kwargs = _train_kwargs(ctx)
+        pool = self._ensure_pool(ctx.clients)
+        index_of = {id(c): i for i, c in enumerate(ctx.clients)}
+        futures = [
+            pool.submit(
+                _train_client_task,
+                blob,
+                index_of[id(client)],
+                client.rng.bit_generator.state,
+                kwargs,
+            )
+            for client in participants
+        ]
+        results = []
+        for client, future in zip(participants, futures):
+            result, rng_state = future.result()
+            # The worker trained a cached copy of the client; pull its
+            # advanced RNG back so future rounds draw the same batches
+            # the serial backend would.
+            client.rng.bit_generator.state = rng_state
+            results.append(result)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_clients = None
+
+
+_EXECUTORS: dict[str, Callable[..., ClientExecutor]] = {}
+
+
+def register_executor(
+    name: str, factory: Callable[..., ClientExecutor]
+) -> None:
+    """Register an executor factory under ``name`` (case-insensitive).
+
+    The factory is called as ``factory(max_workers=...)``.
+    """
+    key = name.lower()
+    if key in _EXECUTORS:
+        raise ValueError(f"executor {name!r} already registered")
+    _EXECUTORS[key] = factory
+
+
+def available_executors() -> list[str]:
+    """Sorted names of registered execution backends."""
+    return sorted(_EXECUTORS)
+
+
+def build_executor(
+    name: str, max_workers: int | None = None
+) -> ClientExecutor:
+    """Build a registered execution backend by name."""
+    key = name.lower()
+    if key not in _EXECUTORS:
+        raise KeyError(
+            f"unknown executor {name!r}; available: {available_executors()}"
+        )
+    return _EXECUTORS[key](max_workers=max_workers)
+
+
+register_executor("serial", SerialExecutor)
+register_executor("process", ProcessPoolClientExecutor)

@@ -24,6 +24,7 @@ from ..sparse.mask import MaskSet
 from ..sparse.storage import mask_set_bytes
 from .client import Client
 from .comm import CommTracker
+from .executor import available_executors, build_executor
 from .server import Server
 from .state import set_state
 
@@ -47,6 +48,8 @@ class FLConfig:
     quantize_upload_bits: int | None = None
     eval_every: int = 1
     augment: bool = False
+    executor: str = "serial"
+    executor_workers: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -64,6 +67,13 @@ class FLConfig:
             2 <= self.quantize_upload_bits <= 16
         ):
             raise ValueError("quantize_upload_bits must be in [2, 16]")
+        if self.executor not in available_executors():
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"available: {available_executors()}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
 
 
 class FederatedContext:
@@ -102,6 +112,9 @@ class FederatedContext:
             model, train_data.image_shape
         )
         self.server = Server(model)
+        self.executor = build_executor(
+            config.executor, max_workers=config.executor_workers
+        )
         self.last_participants: list[Client] = list(self.clients)
         # Comm totals already folded into earlier round records, so each
         # record holds this round's delta (RunResult sums them back up).
@@ -143,27 +156,20 @@ class FederatedContext:
     def run_fedavg_round(self) -> list[dict[str, np.ndarray]]:
         """One synchronous round: broadcast, local train, aggregate.
 
-        Returns the uploaded states of the participating clients
-        (aligned with ``last_participants``; some methods inspect them
-        before they are discarded).
+        Local training is delegated to the configured
+        :class:`~repro.fl.executor.ClientExecutor` backend. Returns the
+        uploaded states of the participating clients (aligned with
+        ``last_participants``; some methods inspect them before they
+        are discarded).
         """
         cfg = self.config
         participants = self.sample_participants()
         self.last_participants = participants
-        states = []
         download = self.model_exchange_bytes()
         upload = self.upload_bytes_per_client()
-        for client in participants:
-            self.server.load_into_model()
-            result = client.train(
-                self.model,
-                epochs=cfg.local_epochs,
-                batch_size=cfg.batch_size,
-                lr=cfg.lr,
-                momentum=cfg.momentum,
-                weight_decay=cfg.weight_decay,
-                augment=cfg.augment,
-            )
+        results = self.executor.run_clients(self, participants)
+        states = []
+        for result in results:
             state = result.state
             if cfg.quantize_upload_bits is not None:
                 # Lossy round trip: the server only ever sees the
@@ -205,20 +211,19 @@ class FederatedContext:
         bits = self.config.quantize_upload_bits
         if bits is None:
             return self.model_exchange_bytes()
-        value_bytes = max(1, bits // 8)
-        total = 0
+        total_bits = 0
         masked = set(self.server.masks.layer_names())
         for name, param in self.model.named_parameters():
             if name in masked:
                 active = self.server.masks.layer_active(name)
-                total += min(
-                    active * (value_bytes + 4), param.size * value_bytes
+                total_bits += min(
+                    active * (bits + 32), param.size * bits
                 )
             else:
-                total += param.size * value_bytes
+                total_bits += param.size * bits
         for _, buf in self.model.named_buffers():
-            total += int(buf.size) * value_bytes
-        return total
+            total_bits += int(buf.size) * bits
+        return (total_bits + 7) // 8
 
     def evaluate_global(self) -> tuple[float, float]:
         """(accuracy, loss) of the global model on the test set."""
@@ -254,6 +259,10 @@ class FederatedContext:
                 train_flops=train_flops,
             )
         )
+
+    def close(self) -> None:
+        """Release the execution backend's worker resources."""
+        self.executor.close()
 
     def sync_comm_baseline(self) -> None:
         """Exclude traffic recorded so far from future round deltas.

@@ -1,0 +1,28 @@
+"""Pluggable method API: the FederatedMethod lifecycle and its registry.
+
+Built-in methods (FedTiny, its ablations, and every baseline) register
+in :mod:`repro.methods.catalog`, loaded lazily on first registry
+access; downstream users call :func:`register_method` directly.
+"""
+
+from .base import FederatedMethod
+from .registry import (
+    MethodSpec,
+    build_method,
+    get_method_spec,
+    method_names,
+    method_summaries,
+    register_method,
+    unregister_method,
+)
+
+__all__ = [
+    "FederatedMethod",
+    "MethodSpec",
+    "build_method",
+    "get_method_spec",
+    "method_names",
+    "method_summaries",
+    "register_method",
+    "unregister_method",
+]

@@ -1,0 +1,108 @@
+"""The uniform lifecycle every federated pruning method follows.
+
+:class:`FederatedMethod` owns the shared round loop that used to be
+duplicated across the baselines and FedTiny. A method customizes four
+hooks:
+
+- :meth:`setup` — one-off server-side preparation before round 1
+  (pretraining on the public dataset, initial mask installation,
+  candidate selection, ...);
+- :meth:`train_round` — produce the round's uploaded client states;
+  the default runs a plain FedAvg round through the context's
+  execution backend, methods that replace the round itself (FedDST's
+  train/adjust/fine-tune round) override it;
+- :meth:`round_hook` — post-aggregation mask adjustment; returns any
+  extra per-device FLOPs the method spent that round;
+- :meth:`finalize` — final cost accounting on the run record.
+
+``run`` ties them together and is what callers invoke; the attribute
+``self.ctx`` holds the active context for the duration of a run so
+hooks with the uniform ``(round_index, states)`` signature can still
+reach the server and clients.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..metrics.flops import training_flops_per_sample
+from ..metrics.memory import device_memory_footprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data.dataset import Dataset
+    from ..fl.simulation import FederatedContext
+    from ..metrics.tracker import RunResult
+
+__all__ = ["FederatedMethod"]
+
+
+class FederatedMethod(abc.ABC):
+    """Base class for FedTiny, its ablations, and every baseline."""
+
+    method_name: str = "method"
+    target_density: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def setup(
+        self, ctx: "FederatedContext", public_data: "Dataset"
+    ) -> None:
+        """One-off preparation before the first federated round."""
+
+    def train_round(
+        self, ctx: "FederatedContext", round_index: int
+    ) -> list[dict[str, np.ndarray]]:
+        """Produce this round's uploaded client states (post-aggregation)."""
+        return ctx.run_fedavg_round()
+
+    def round_hook(
+        self, round_index: int, states: list[dict[str, np.ndarray]]
+    ) -> float:
+        """Adjust masks after aggregation; returns extra per-device FLOPs."""
+        del round_index, states
+        return 0.0
+
+    def finalize(
+        self, result: "RunResult", ctx: "FederatedContext"
+    ) -> None:
+        """Record final cost accounting on the run record."""
+        result.memory_footprint_bytes = device_memory_footprint(
+            ctx.model, ctx.server.masks
+        ).total_bytes
+
+    # ------------------------------------------------------------------
+    # The shared round loop
+    # ------------------------------------------------------------------
+    def run(
+        self, ctx: "FederatedContext", public_data: "Dataset"
+    ) -> "RunResult":
+        """Execute the full method lifecycle and return its run record."""
+        self.ctx = ctx
+        try:
+            result = ctx.new_result(self.method_name, self.target_density)
+            self.setup(ctx, public_data)
+            max_samples = max(ctx.sample_counts)
+            for round_index in range(1, ctx.config.rounds + 1):
+                # Charged at the pre-adjustment density: the hook may
+                # change the masks, but this round trained under the
+                # current ones.
+                base_flops = (
+                    training_flops_per_sample(ctx.profile, ctx.server.masks)
+                    * ctx.config.local_epochs
+                    * max_samples
+                )
+                states = self.train_round(ctx, round_index)
+                extra_flops = self.round_hook(round_index, states)
+                ctx.record_round(
+                    result, round_index, base_flops + extra_flops
+                )
+            self.finalize(result, ctx)
+            return result
+        finally:
+            # Don't keep the context (model, server state, every client
+            # shard) alive through a surviving method object.
+            self.ctx = None

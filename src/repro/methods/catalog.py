@@ -1,0 +1,191 @@
+"""Built-in method registrations (FedTiny, ablations, all baselines).
+
+Each builder receives ``(target_density, scale, schedule=None,
+pool_size=None)`` where ``scale`` is a
+:class:`~repro.experiments.configs.ScalePreset`; scale-derived defaults
+(pretraining epochs, scoring iterations, pool-size caps) are resolved
+here so method classes stay preset-agnostic. Imported lazily by the
+registry on first access.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    FedAvgBaseline,
+    FedDSTBaseline,
+    FLPQSUBaseline,
+    LotteryFLBaseline,
+    PruneFLBaseline,
+    SmallModelBaseline,
+    SNIPBaseline,
+    SynFlowBaseline,
+)
+from ..core import FedTiny, FedTinyConfig
+from ..core.fedtiny import optimal_pool_size
+from .registry import register_method
+
+
+def _default_schedule(scale, schedule):
+    return schedule if schedule is not None else scale.schedule()
+
+
+@register_method("fedavg", summary="dense FedAvg, the accuracy upper bound")
+def _build_fedavg(target_density, scale, schedule=None, pool_size=None):
+    return FedAvgBaseline(pretrain_epochs=scale.pretrain_epochs)
+
+
+@register_method(
+    "fl-pqsu",
+    summary="one-shot server magnitude pruning with a frozen mask",
+)
+def _build_fl_pqsu(target_density, scale, schedule=None, pool_size=None):
+    return FLPQSUBaseline(
+        target_density, pretrain_epochs=scale.pretrain_epochs
+    )
+
+
+@register_method(
+    "snip",
+    summary="SNIP connection sensitivity on the server's public data",
+)
+def _build_snip(target_density, scale, schedule=None, pool_size=None):
+    return SNIPBaseline(
+        target_density,
+        pretrain_epochs=scale.pretrain_epochs,
+        iterations=scale.snip_iterations,
+    )
+
+
+@register_method(
+    "synflow",
+    summary="data-free synaptic flow pruning on the server",
+)
+def _build_synflow(target_density, scale, schedule=None, pool_size=None):
+    return SynFlowBaseline(
+        target_density,
+        pretrain_epochs=scale.pretrain_epochs,
+        iterations=scale.synflow_iterations,
+    )
+
+
+@register_method(
+    "prunefl",
+    summary="adaptive mask reselection from full-size dense gradients",
+    dense_memory=True,
+    needs_schedule=True,
+)
+def _build_prunefl(target_density, scale, schedule=None, pool_size=None):
+    return PruneFLBaseline(
+        target_density,
+        schedule=_default_schedule(scale, schedule),
+        pretrain_epochs=scale.pretrain_epochs,
+    )
+
+
+@register_method(
+    "feddst",
+    summary="on-device RigL-style mask adjustment + sparse aggregation",
+    needs_schedule=True,
+)
+def _build_feddst(target_density, scale, schedule=None, pool_size=None):
+    return FedDSTBaseline(
+        target_density,
+        schedule=_default_schedule(scale, schedule),
+        pretrain_epochs=scale.pretrain_epochs,
+    )
+
+
+@register_method(
+    "lotteryfl",
+    summary="iterative magnitude pruning with rewind on the global model",
+    dense_memory=True,
+    needs_schedule=True,
+)
+def _build_lotteryfl(target_density, scale, schedule=None, pool_size=None):
+    return LotteryFLBaseline(
+        target_density,
+        schedule=_default_schedule(scale, schedule),
+        pretrain_epochs=scale.pretrain_epochs,
+    )
+
+
+def _build_fedtiny_arm(
+    target_density, scale, schedule, pool_size, use_bn, use_progressive
+):
+    if pool_size is None:
+        # Cap the paper's C* = 0.1/d rule by the preset's budget so
+        # reduced-scale runs don't spend all their time in selection.
+        pool_size = min(
+            optimal_pool_size(target_density), scale.max_pool_size
+        )
+    return FedTiny(
+        FedTinyConfig(
+            target_density=target_density,
+            pool_size=pool_size,
+            use_adaptive_bn=use_bn,
+            use_progressive=use_progressive,
+            schedule=_default_schedule(scale, schedule),
+            pretrain_epochs=scale.pretrain_epochs,
+        )
+    )
+
+
+@register_method(
+    "fedtiny",
+    summary="adaptive BN candidate selection + progressive pruning",
+    needs_schedule=True,
+)
+def _build_fedtiny(target_density, scale, schedule=None, pool_size=None):
+    return _build_fedtiny_arm(
+        target_density, scale, schedule, pool_size, True, True
+    )
+
+
+@register_method(
+    "small_model",
+    summary="dense FedAvg on a parameter-matched small CNN",
+    replaces_model=True,
+)
+def _build_small_model(target_density, scale, schedule=None, pool_size=None):
+    return SmallModelBaseline(
+        target_density, pretrain_epochs=scale.pretrain_epochs
+    )
+
+
+# Ablation arms (paper Fig. 4): the two FedTiny module switches.
+
+@register_method(
+    "vanilla",
+    summary="FedTiny with both modules off (coarse prune only)",
+    needs_schedule=True,
+)
+def _build_vanilla(target_density, scale, schedule=None, pool_size=None):
+    return _build_fedtiny_arm(
+        target_density, scale, schedule, pool_size, False, False
+    )
+
+
+@register_method(
+    "adaptive_bn_only",
+    summary="FedTiny ablation: adaptive BN selection, no progressive",
+    needs_schedule=True,
+)
+def _build_adaptive_bn_only(
+    target_density, scale, schedule=None, pool_size=None
+):
+    return _build_fedtiny_arm(
+        target_density, scale, schedule, pool_size, True, False
+    )
+
+
+@register_method(
+    "vanilla+progressive",
+    summary="FedTiny ablation: progressive pruning, no adaptive BN",
+    needs_schedule=True,
+)
+def _build_vanilla_progressive(
+    target_density, scale, schedule=None, pool_size=None
+):
+    return _build_fedtiny_arm(
+        target_density, scale, schedule, pool_size, False, True
+    )

@@ -1,0 +1,145 @@
+"""Decorator-based registry of federated pruning methods.
+
+Replaces the old ``if/elif`` chain in ``experiments/runner.py``: every
+method registers a builder under a name, together with one line of
+documentation and the metadata the runner needs (whether the method
+keeps dense per-device state, needs a pruning schedule, or replaces the
+model architecture entirely). Downstream users add their own methods
+without touching repro internals::
+
+    from repro.methods import FederatedMethod, register_method
+
+    @register_method("my-method", summary="my custom pruning protocol")
+    def _build(target_density, scale, schedule=None, pool_size=None):
+        return MyMethod(target_density)
+
+``repro run --method my-method`` then works like any built-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import FederatedMethod
+
+__all__ = [
+    "MethodSpec",
+    "register_method",
+    "unregister_method",
+    "method_names",
+    "method_summaries",
+    "get_method_spec",
+    "build_method",
+]
+
+# Builder signature: (target_density, scale, *, schedule=None,
+# pool_size=None) -> FederatedMethod. ``scale`` is a ScalePreset (duck
+# typed here to keep this module import-light).
+MethodBuilder = Callable[..., "FederatedMethod"]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A registered method: its builder plus runner-facing metadata."""
+
+    name: str
+    summary: str
+    builder: MethodBuilder
+    dense_memory: bool = False  # keeps dense per-device importance state
+    needs_schedule: bool = False  # consumes a PruningSchedule
+    replaces_model: bool = False  # swaps the model architecture (small_model)
+
+
+_REGISTRY: dict[str, MethodSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in catalog on first registry access (lazily, so
+    method modules can import :mod:`repro.methods` without a cycle)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        from . import catalog  # noqa: F401  (registers built-ins on import)
+
+        # Only marked loaded on success: a failed catalog import must
+        # surface again on the next registry access instead of leaving
+        # a silently partial registry behind.
+        _BUILTINS_LOADED = True
+
+
+def register_method(
+    name: str,
+    *,
+    summary: str,
+    builder: MethodBuilder | None = None,
+    dense_memory: bool = False,
+    needs_schedule: bool = False,
+    replaces_model: bool = False,
+):
+    """Register a method builder under ``name`` (case-insensitive).
+
+    Usable as a decorator on the builder, or called directly with
+    ``builder=``. Returns the builder either way.
+    """
+    key = name.lower()
+
+    def _register(fn: MethodBuilder) -> MethodBuilder:
+        if key in _REGISTRY:
+            raise ValueError(f"method {name!r} already registered")
+        _REGISTRY[key] = MethodSpec(
+            name=key,
+            summary=summary,
+            builder=fn,
+            dense_memory=dense_memory,
+            needs_schedule=needs_schedule,
+            replaces_model=replaces_model,
+        )
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def unregister_method(name: str) -> None:
+    """Remove a registered method (no-op if absent)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def method_names() -> tuple[str, ...]:
+    """Registered method names, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def method_summaries() -> dict[str, str]:
+    """``{name: one-line summary}`` for every registered method."""
+    _ensure_builtins()
+    return {name: spec.summary for name, spec in _REGISTRY.items()}
+
+
+def get_method_spec(name: str) -> MethodSpec:
+    """Look up a registered method's spec by name."""
+    _ensure_builtins()
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown method {name!r}; available: {list(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def build_method(
+    method_name: str,
+    target_density: float,
+    scale,
+    schedule=None,
+    pool_size: int | None = None,
+) -> "FederatedMethod":
+    """Instantiate a registered method for one experiment run."""
+    spec = get_method_spec(method_name)
+    return spec.builder(
+        target_density, scale, schedule=schedule, pool_size=pool_size
+    )

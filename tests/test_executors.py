@@ -1,0 +1,109 @@
+"""Tests for the pluggable client-execution backends."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.fl import (
+    ClientExecutor,
+    FLConfig,
+    ProcessPoolClientExecutor,
+    SerialExecutor,
+    available_executors,
+    build_executor,
+    register_executor,
+)
+from repro.fl.executor import _EXECUTORS
+
+
+def _result_record(result):
+    """Everything RunResult captures, in comparable plain-data form."""
+    return {
+        "rounds": [vars(r) for r in result.rounds],
+        "summary": result.to_dict(),
+    }
+
+
+class TestExecutorRegistry:
+    def test_builtins_available(self):
+        assert "serial" in available_executors()
+        assert "process" in available_executors()
+
+    def test_build_by_name(self):
+        assert isinstance(build_executor("serial"), SerialExecutor)
+        executor = build_executor("process", max_workers=2)
+        assert isinstance(executor, ProcessPoolClientExecutor)
+        executor.close()
+
+    def test_unknown_executor_raises(self):
+        with pytest.raises(KeyError):
+            build_executor("quantum")
+
+    def test_flconfig_validates_executor_name(self):
+        with pytest.raises(ValueError):
+            FLConfig(executor="quantum")
+        with pytest.raises(ValueError):
+            FLConfig(executor_workers=0)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_executor("serial", SerialExecutor)
+
+    def test_custom_backend_registration(self):
+        class _Probe(SerialExecutor):
+            name = "probe"
+
+        try:
+            register_executor("probe", _Probe)
+            assert "probe" in available_executors()
+            assert isinstance(build_executor("probe"), _Probe)
+            assert FLConfig(executor="probe").executor == "probe"
+        finally:
+            _EXECUTORS.pop("probe", None)
+
+
+class TestSerialVsParallel:
+    def test_identical_run_results_on_fixed_seed(self):
+        serial = run_experiment(
+            "fedtiny", "resnet18", "cifar10", 0.1,
+            scale="tiny", pool_size=2, seed=0, rounds=2,
+        )
+        parallel = run_experiment(
+            "fedtiny", "resnet18", "cifar10", 0.1,
+            scale="tiny", pool_size=2, seed=0, rounds=2,
+            executor="process",
+        )
+        a, b = _result_record(serial), _result_record(parallel)
+        assert a["summary"] == b["summary"]
+        for ra, rb in zip(a["rounds"], b["rounds"]):
+            assert ra == rb
+
+    def test_process_backend_restores_client_rng(self):
+        # The parallel backend trains pickled client copies; the
+        # original clients' RNG streams must still advance exactly as
+        # under serial execution, otherwise round 2+ batches diverge
+        # (covered end-to-end above; this checks the mechanism).
+        from repro.experiments import make_context, get_scale
+
+        ctx, _ = make_context(
+            "resnet18", "cifar10", get_scale("tiny"), seed=0,
+            executor="process",
+        )
+        before = [c.rng.bit_generator.state for c in ctx.clients]
+        try:
+            ctx.run_fedavg_round()
+        finally:
+            ctx.close()
+        after = [c.rng.bit_generator.state for c in ctx.clients]
+        assert before != after
+
+    def test_executor_close_is_idempotent(self):
+        executor = ProcessPoolClientExecutor(max_workers=1)
+        executor.close()
+        executor.close()
+
+
+class TestExecutorContract:
+    def test_abstract_base_requires_run_clients(self):
+        with pytest.raises(TypeError):
+            ClientExecutor()
