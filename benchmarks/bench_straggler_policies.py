@@ -1,0 +1,78 @@
+"""Straggler round policies — accuracy vs simulated wall clock.
+
+The paper's systems argument made runnable: on a heterogeneous fleet a
+synchronous barrier pays the slowest device's time every round, while
+the deadline policy cuts stragglers and the buffered-async policy
+closes the round at the k-th upload. Each (method, policy) cell reports
+the final accuracy and the cumulative simulated seconds, so the
+accuracy-per-wall-clock tradeoff of every registered method under every
+policy falls out of one table.
+"""
+
+from conftest import emit
+
+from repro.experiments import get_scale, run_experiment
+
+_POLICY_KWARGS = {
+    "sync": {},
+    "deadline": {"deadline_fraction": 1.2},
+    "dropout": {"dropout_rate": 0.2},
+    "async": {"async_buffer_fraction": 0.5, "staleness_discount": 0.5},
+}
+
+
+def _run_grid(scale_name):
+    scale = get_scale(scale_name)
+    density = 0.05
+    methods = ["fedtiny", "prunefl"]
+    rows = []
+    for method in methods:
+        for policy, kwargs in _POLICY_KWARGS.items():
+            result = run_experiment(
+                method, "resnet18", "cifar10", density,
+                scale=scale, rounds=min(6, scale.rounds), seed=0,
+                fleet="heterogeneous:8", round_policy=policy, **kwargs,
+            )
+            rows.append(
+                {
+                    "method": method,
+                    "policy": policy,
+                    "accuracy": result.final_accuracy,
+                    "sim_seconds": result.sim_time_seconds,
+                    "dropped": result.total_dropped_clients,
+                }
+            )
+    return rows
+
+
+def _format(rows):
+    lines = [
+        f"{'method':>10}  {'policy':>9}  {'acc':>6}  "
+        f"{'sim s':>9}  {'dropped':>7}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['method']:>10}  {row['policy']:>9}  "
+            f"{row['accuracy']:>6.3f}  {row['sim_seconds']:>9.2f}  "
+            f"{row['dropped']:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def test_straggler_policies(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        _run_grid, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit(_format(rows))
+    by_key = {(r["method"], r["policy"]): r for r in rows}
+    for method in ("fedtiny", "prunefl"):
+        sync = by_key[(method, "sync")]
+        deadline = by_key[(method, "deadline")]
+        asynchronous = by_key[(method, "async")]
+        assert sync["sim_seconds"] > 0
+        # Cutting stragglers can't lengthen the round; buffered async
+        # closes before the slowest upload. The 10% slack absorbs the
+        # slightly different density trajectories partial aggregation
+        # produces at reduced scale.
+        assert deadline["sim_seconds"] <= sync["sim_seconds"] * 1.10
+        assert asynchronous["sim_seconds"] <= sync["sim_seconds"] * 1.10

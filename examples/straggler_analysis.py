@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Straggler analysis: wall-clock round latency per pruning method.
+"""Straggler analysis: in-loop simulated wall clock per pruning method.
 
 The paper argues that methods needing dense on-device work (PruneFL's
 full-gradient importance scores, LotteryFL's dense training) straggle
-on heterogeneous fleets. This example runs each method briefly to
-measure its per-round FLOPs and communication, then projects round
-latency on a simulated fleet of phones with a 4x speed spread.
+on heterogeneous fleets. Each run below executes with the simulation
+layer enabled — every client carries a DeviceProfile from a 4x-spread
+fleet and the round policy advances a simulated wall clock — so the
+accuracy-vs-wall-clock comparison falls straight out of the
+``RunResult`` instead of an offline projection.
 
 Usage::
 
@@ -14,54 +16,51 @@ Usage::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments import get_scale, run_experiment
-from repro.fl import heterogeneous_fleet, round_latency, straggler_slowdown
 
 
 def main() -> None:
     scale = get_scale("tiny")
     density = 0.05
     methods = ["fedtiny", "prunefl", "lotteryfl"]
+    policies = [
+        ("sync", {}),
+        ("deadline", {"deadline_fraction": 1.0}),
+    ]
 
-    fleet = heterogeneous_fleet(
-        num_devices=10,
-        rng=np.random.default_rng(0),
-        base_flops_per_second=5e9,       # mid-range phone
-        base_bandwidth_bytes_per_second=1.25e6,  # ~10 Mbit/s uplink
-        speed_spread=4.0,
+    print(
+        f"density={density}, fleet=heterogeneous:8 "
+        f"({scale.num_clients} devices), rounds=5\n"
     )
-
-    print(f"density={density}, fleet=10 devices, 4x speed spread\n")
     header = (
-        f"{'method':>10}  {'acc':>6}  {'FLOPs/round':>12}  "
-        f"{'bytes/round':>12}  {'latency':>9}  {'straggle':>8}"
+        f"{'method':>10}  {'policy':>9}  {'acc':>6}  "
+        f"{'sim wall clock':>14}  {'dropped':>7}"
     )
     print(header)
     for method in methods:
-        result = run_experiment(
-            method, "resnet18", "cifar10", density,
-            scale=scale, rounds=5, seed=0,
-        )
-        flops = result.max_training_flops_per_round
-        # Per-device training traffic of one round (selection traffic is
-        # a one-off and excluded here).
-        round_bytes = (
-            (result.total_upload_bytes + result.total_download_bytes)
-            / max(1, len(result.rounds))
-            / scale.num_clients
-        )
-        latency = round_latency(fleet, flops, round_bytes, round_bytes)
-        slowdown = straggler_slowdown(fleet, flops, round_bytes, round_bytes)
-        print(
-            f"{method:>10}  {result.final_accuracy:>6.3f}  "
-            f"{flops:>12.3e}  {round_bytes:>12.3e}  "
-            f"{latency:>8.2f}s  {slowdown:>7.2f}x"
-        )
+        results = {}
+        for policy, kwargs in policies:
+            results[policy] = run_experiment(
+                method, "resnet18", "cifar10", density,
+                scale=scale, rounds=5, seed=0,
+                fleet="heterogeneous:8", round_policy=policy, **kwargs,
+            )
+            result = results[policy]
+            print(
+                f"{method:>10}  {policy:>9}  "
+                f"{result.final_accuracy:>6.3f}  "
+                f"{result.sim_time_seconds:>13.2f}s  "
+                f"{result.total_dropped_clients:>7d}"
+            )
+        # The per-round trajectory gives the accuracy-vs-wall-clock
+        # curve directly: (simulated seconds, accuracy) pairs.
+        curve = results["deadline"].wall_clock_curve()
+        tail = ", ".join(f"({t:.1f}s, {a:.3f})" for t, a in curve[-2:])
+        print(f"{'':>10}  deadline curve tail: {tail}")
     print(
-        "\nLatency = slowest device's compute+transfer time for one "
-        "round.\nDense methods pay the straggler tax on every round."
+        "\nSynchronous rounds pay the slowest device's compute+transfer"
+        "\ntime; the deadline policy trades dropped stragglers for wall"
+        "\nclock. Dense methods pay the straggler tax on every round."
     )
 
 

@@ -18,6 +18,7 @@ from .data.synthetic import DATASET_BUILDERS
 from .experiments import SCALES, run_experiment
 from .experiments import paper as paper_experiments
 from .fl.executor import available_executors
+from .fl.policies import available_policies
 from .methods import method_names, method_summaries
 from .nn.models import available_models
 from .sparse.storage import bytes_to_mb
@@ -72,6 +73,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--executor", default=None,
                      choices=available_executors(),
                      help="client execution backend (default: serial)")
+    run.add_argument("--fleet", default=None,
+                     help="device fleet spec: uniform or "
+                          "heterogeneous[:spread], e.g. heterogeneous:16")
+    run.add_argument("--round-policy", default=None,
+                     choices=available_policies(),
+                     help="round completion policy (default: sync)")
+    run.add_argument("--deadline-fraction", type=float, default=None,
+                     help="deadline policy: round budget as a multiple "
+                          "of the median device's completion time")
+    run.add_argument("--deadline-over-select", type=float, default=None,
+                     help="deadline policy: participant over-selection "
+                          "multiplier (>= 1)")
+    run.add_argument("--dropout-rate", type=float, default=None,
+                     help="dropout policy: per-round client failure "
+                          "probability")
+    run.add_argument("--async-buffer-fraction", type=float, default=None,
+                     help="async policy: fraction of uploads that "
+                          "closes the round")
+    run.add_argument("--staleness-discount", type=float, default=None,
+                     help="async policy: per-round weight discount for "
+                          "late uploads")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit the result record as JSON")
@@ -99,6 +121,7 @@ def _command_list() -> int:
     print("datasets :", ", ".join(sorted(DATASET_BUILDERS)))
     print("scales   :", ", ".join(sorted(SCALES)))
     print("executors:", ", ".join(available_executors()))
+    print("policies :", ", ".join(available_policies()))
     print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
     return 0
 
@@ -119,6 +142,13 @@ def _command_run(args: argparse.Namespace) -> int:
         participation_fraction=args.participation_fraction,
         quantize_bits=args.quantize_bits,
         executor=args.executor,
+        fleet=args.fleet,
+        round_policy=args.round_policy,
+        deadline_fraction=args.deadline_fraction,
+        deadline_over_select=args.deadline_over_select,
+        dropout_rate=args.dropout_rate,
+        async_buffer_fraction=args.async_buffer_fraction,
+        staleness_discount=args.staleness_discount,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
@@ -133,6 +163,9 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"memory footprint  : "
           f"{bytes_to_mb(result.memory_footprint_bytes):.3f} MB")
     print(f"total comm        : {bytes_to_mb(result.total_comm_bytes):.2f} MB")
+    print(f"sim wall clock    : {result.sim_time_seconds:.2f} s")
+    if result.total_dropped_clients:
+        print(f"dropped clients   : {result.total_dropped_clients}")
     return 0
 
 

@@ -54,6 +54,13 @@ class ScalePreset:
         quantize_upload_bits: int | None = None,
         executor: str | None = None,
         executor_workers: int | None = None,
+        fleet: str | None = None,
+        round_policy: str | None = None,
+        deadline_fraction: float | None = None,
+        deadline_over_select: float | None = None,
+        dropout_rate: float | None = None,
+        async_buffer_fraction: float | None = None,
+        staleness_discount: float | None = None,
     ) -> FLConfig:
         return FLConfig(
             num_clients=self.num_clients,
@@ -72,6 +79,26 @@ class ScalePreset:
             quantize_upload_bits=quantize_upload_bits,
             executor=executor if executor is not None else "serial",
             executor_workers=executor_workers,
+            fleet=fleet if fleet is not None else "uniform",
+            round_policy=(
+                round_policy if round_policy is not None else "sync"
+            ),
+            deadline_fraction=(
+                deadline_fraction if deadline_fraction is not None else 1.5
+            ),
+            deadline_over_select=(
+                deadline_over_select
+                if deadline_over_select is not None else 1.5
+            ),
+            dropout_rate=dropout_rate if dropout_rate is not None else 0.1,
+            async_buffer_fraction=(
+                async_buffer_fraction
+                if async_buffer_fraction is not None else 0.5
+            ),
+            staleness_discount=(
+                staleness_discount
+                if staleness_discount is not None else 0.5
+            ),
             seed=seed,
         )
 

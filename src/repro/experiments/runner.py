@@ -51,6 +51,13 @@ def make_context(
     participation_fraction: float | None = None,
     quantize_upload_bits: int | None = None,
     executor: str | None = None,
+    fleet: str | None = None,
+    round_policy: str | None = None,
+    deadline_fraction: float | None = None,
+    deadline_over_select: float | None = None,
+    dropout_rate: float | None = None,
+    async_buffer_fraction: float | None = None,
+    staleness_discount: float | None = None,
 ) -> tuple[FederatedContext, Dataset]:
     """A fresh federated context plus the server's public dataset.
 
@@ -79,6 +86,13 @@ def make_context(
             participation_fraction=participation_fraction,
             quantize_upload_bits=quantize_upload_bits,
             executor=executor,
+            fleet=fleet,
+            round_policy=round_policy,
+            deadline_fraction=deadline_fraction,
+            deadline_over_select=deadline_over_select,
+            dropout_rate=dropout_rate,
+            async_buffer_fraction=async_buffer_fraction,
+            staleness_discount=staleness_discount,
         ),
         dataset_name=dataset_name,
         model_name=model_name,
@@ -101,6 +115,13 @@ def run_experiment(
     participation_fraction: float | None = None,
     quantize_bits: int | None = None,
     executor: str | None = None,
+    fleet: str | None = None,
+    round_policy: str | None = None,
+    deadline_fraction: float | None = None,
+    deadline_over_select: float | None = None,
+    dropout_rate: float | None = None,
+    async_buffer_fraction: float | None = None,
+    staleness_discount: float | None = None,
 ) -> RunResult:
     """End-to-end: build data, context and method, then run it."""
     preset = get_scale(scale) if isinstance(scale, str) else scale
@@ -113,6 +134,13 @@ def run_experiment(
         participation_fraction=participation_fraction,
         quantize_upload_bits=quantize_bits,
         executor=executor,
+        fleet=fleet,
+        round_policy=round_policy,
+        deadline_fraction=deadline_fraction,
+        deadline_over_select=deadline_over_select,
+        dropout_rate=dropout_rate,
+        async_buffer_fraction=async_buffer_fraction,
+        staleness_discount=staleness_discount,
     )
     method = build_method(
         method_name, target_density, preset,
@@ -130,6 +158,13 @@ def run_experiment(
                 participation_fraction=participation_fraction,
                 quantize_upload_bits=quantize_bits,
                 executor=executor,
+                fleet=fleet,
+                round_policy=round_policy,
+                deadline_fraction=deadline_fraction,
+                deadline_over_select=deadline_over_select,
+                dropout_rate=dropout_rate,
+                async_buffer_fraction=async_buffer_fraction,
+                staleness_discount=staleness_discount,
             ),
         )
     try:

@@ -30,6 +30,8 @@ def result_to_record(result: RunResult) -> dict:
             "upload_bytes": r.upload_bytes,
             "download_bytes": r.download_bytes,
             "train_flops": r.train_flops,
+            "sim_time_seconds": r.sim_time_seconds,
+            "dropped_clients": r.dropped_clients,
         }
         for r in result.rounds
     ]
@@ -54,6 +56,8 @@ def record_to_result(record: dict) -> RunResult:
                 upload_bytes=row["upload_bytes"],
                 download_bytes=row["download_bytes"],
                 train_flops=row["train_flops"],
+                sim_time_seconds=row.get("sim_time_seconds", 0.0),
+                dropped_clients=row.get("dropped_clients", 0),
             )
         )
     result.memory_footprint_bytes = record.get("memory_footprint_bytes", 0)

@@ -4,6 +4,7 @@ from .aggregation import (
     aggregate_bn_statistics,
     aggregate_sparse_gradients,
     normalized_weights,
+    staleness_weighted_average_states,
     weighted_average_states,
 )
 from .bn import (
@@ -24,9 +25,24 @@ from .executor import (
 )
 from .latency import (
     DeviceProfile,
+    build_fleet,
     heterogeneous_fleet,
+    parse_fleet_spec,
     round_latency,
     straggler_slowdown,
+    uniform_fleet,
+)
+from .policies import (
+    BufferedAsyncPolicy,
+    DeadlinePolicy,
+    DropoutPolicy,
+    RoundInfo,
+    RoundPlan,
+    RoundPolicy,
+    SynchronousPolicy,
+    available_policies,
+    build_policy,
+    register_policy,
 )
 from .server import Server
 from .simulation import FederatedContext, FLConfig
@@ -42,19 +58,32 @@ from .state import (
 from .training import server_pretrain, train_centralized
 
 __all__ = [
+    "BufferedAsyncPolicy",
     "Client",
     "ClientExecutor",
     "CommTracker",
+    "DeadlinePolicy",
     "DeviceProfile",
+    "DropoutPolicy",
     "FLConfig",
     "FederatedContext",
     "LocalTrainResult",
     "ProcessPoolClientExecutor",
+    "RoundInfo",
+    "RoundPlan",
+    "RoundPolicy",
     "SerialExecutor",
     "Server",
+    "SynchronousPolicy",
     "available_executors",
+    "available_policies",
     "build_executor",
+    "build_fleet",
+    "build_policy",
+    "parse_fleet_spec",
     "register_executor",
+    "register_policy",
+    "uniform_fleet",
     "aggregate_bn_statistics",
     "aggregate_sparse_gradients",
     "bn_layers",
@@ -72,6 +101,7 @@ __all__ = [
     "set_buffers",
     "set_parameters",
     "set_state",
+    "staleness_weighted_average_states",
     "train_centralized",
     "weighted_average_states",
     "zeros_like_state",

@@ -13,13 +13,20 @@ import numpy as np
 __all__ = [
     "normalized_weights",
     "weighted_average_states",
+    "staleness_weighted_average_states",
     "aggregate_bn_statistics",
     "aggregate_sparse_gradients",
 ]
 
 
-def normalized_weights(sample_counts: list[int] | np.ndarray) -> np.ndarray:
-    """|D_k| / sum |D_k| weights used throughout the paper."""
+def normalized_weights(
+    sample_counts: list[int] | list[float] | np.ndarray,
+) -> np.ndarray:
+    """|D_k| / sum |D_k| weights used throughout the paper.
+
+    Accepts any positive weights (e.g. staleness-discounted effective
+    sample counts), not only integer dataset sizes.
+    """
     counts = np.asarray(sample_counts, dtype=np.float64)
     if counts.ndim != 1 or counts.size == 0:
         raise ValueError("sample_counts must be a non-empty 1-D sequence")
@@ -30,7 +37,7 @@ def normalized_weights(sample_counts: list[int] | np.ndarray) -> np.ndarray:
 
 def weighted_average_states(
     states: list[dict[str, np.ndarray]],
-    sample_counts: list[int] | np.ndarray,
+    sample_counts: list[int] | list[float] | np.ndarray,
 ) -> dict[str, np.ndarray]:
     """FedAvg: weighted mean of parameter/buffer dicts."""
     if not states:
@@ -51,6 +58,35 @@ def weighted_average_states(
             acc += weight * state[key]
         aggregated[key] = acc.astype(np.float32)
     return aggregated
+
+
+def staleness_weighted_average_states(
+    states: list[dict[str, np.ndarray]],
+    sample_counts: list[int] | np.ndarray,
+    staleness_rounds: list[int] | np.ndarray,
+    discount: float = 0.5,
+) -> dict[str, np.ndarray]:
+    """Buffered-async aggregation with staleness discounting.
+
+    Upload ``k`` contributes with weight ``|D_k| * discount**s_k`` where
+    ``s_k`` is how many server versions elapsed since the client pulled
+    the model it trained on (0 for a fresh synchronous upload). With
+    every staleness at 0 this reduces exactly to
+    :func:`weighted_average_states`.
+    """
+    if not 0.0 < discount <= 1.0:
+        raise ValueError(f"discount must be in (0, 1], got {discount}")
+    counts = np.asarray(sample_counts, dtype=np.float64)
+    staleness = np.asarray(staleness_rounds, dtype=np.float64)
+    if staleness.shape != counts.shape:
+        raise ValueError(
+            f"{counts.size} sample counts but {staleness.size} staleness "
+            f"entries"
+        )
+    if (staleness < 0).any():
+        raise ValueError("staleness must be non-negative")
+    effective = counts * discount**staleness
+    return weighted_average_states(states, effective)
 
 
 def aggregate_bn_statistics(

@@ -21,6 +21,7 @@ from ..nn.optim import SGD
 from ..sparse.mask import prunable_parameters
 from ..sparse.topk_buffer import TopKBuffer
 from . import bn as bn_utils
+from .latency import DeviceProfile
 from .state import get_state
 
 __all__ = ["Client", "LocalTrainResult"]
@@ -47,11 +48,15 @@ class Client:
         train_data: Dataset,
         dev_fraction: float = 0.1,
         seed: int = 0,
+        device: DeviceProfile | None = None,
     ) -> None:
         if len(train_data) == 0:
             raise ValueError(f"client {client_id} has no local data")
         self.client_id = client_id
         self.train_data = train_data
+        # The simulated hardware this client runs on; the round loop
+        # uses it to translate per-round FLOPs/bytes into seconds.
+        self.device = device
         self.rng = np.random.default_rng(seed * 100_003 + client_id)
         self.dev_data = train_data.sample_fraction(dev_fraction, self.rng)
 

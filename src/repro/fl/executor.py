@@ -1,7 +1,9 @@
 """Pluggable client-execution backends for the federated round.
 
 ``FederatedContext.run_fedavg_round`` delegates the per-client local
-training to a :class:`ClientExecutor`. Two backends ship built in:
+training to a :class:`ClientExecutor`; the round policy (see
+:mod:`repro.fl.policies`) decides *which* clients reach the executor,
+so backends stay policy-agnostic. Two backends ship built in:
 
 - ``serial`` (:class:`SerialExecutor`) — trains every participant one
   after another through the context's shared model instance, exactly
@@ -148,6 +150,10 @@ class ProcessPoolClientExecutor(ClientExecutor):
     def run_clients(
         self, ctx: "FederatedContext", participants: list[Client]
     ) -> list[LocalTrainResult]:
+        if not participants:
+            # A round policy dropped everyone it could; don't pickle the
+            # model or spin up the pool for an empty round.
+            return []
         # One download per round: every worker starts from the same
         # global state + masks, exactly like the serial broadcast.
         ctx.server.load_into_model()

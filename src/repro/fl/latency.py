@@ -18,10 +18,16 @@ import numpy as np
 
 __all__ = [
     "DeviceProfile",
+    "build_fleet",
     "heterogeneous_fleet",
+    "parse_fleet_spec",
     "round_latency",
     "straggler_slowdown",
+    "uniform_fleet",
 ]
+
+_BASE_FLOPS_PER_SECOND = 5e9  # mid-range phone
+_BASE_BANDWIDTH_BYTES_PER_SECOND = 1.25e6  # ~10 Mbit/s uplink
 
 
 @dataclass(frozen=True)
@@ -57,11 +63,30 @@ class DeviceProfile:
         )
 
 
+def uniform_fleet(
+    num_devices: int,
+    base_flops_per_second: float = _BASE_FLOPS_PER_SECOND,
+    base_bandwidth_bytes_per_second: float = _BASE_BANDWIDTH_BYTES_PER_SECOND,
+) -> list[DeviceProfile]:
+    """A homogeneous fleet: every device matches the base capability."""
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    return [
+        DeviceProfile(
+            device_id=index,
+            flops_per_second=base_flops_per_second,
+            upload_bytes_per_second=base_bandwidth_bytes_per_second,
+            download_bytes_per_second=base_bandwidth_bytes_per_second * 4,
+        )
+        for index in range(num_devices)
+    ]
+
+
 def heterogeneous_fleet(
     num_devices: int,
     rng: np.random.Generator,
-    base_flops_per_second: float = 5e9,
-    base_bandwidth_bytes_per_second: float = 1.25e6,
+    base_flops_per_second: float = _BASE_FLOPS_PER_SECOND,
+    base_bandwidth_bytes_per_second: float = _BASE_BANDWIDTH_BYTES_PER_SECOND,
     speed_spread: float = 4.0,
 ) -> list[DeviceProfile]:
     """A fleet with log-uniform speed spread (weakest ~1/spread of base).
@@ -87,6 +112,58 @@ def heterogeneous_fleet(
         )
         for index, factor in enumerate(factors)
     ]
+
+
+def parse_fleet_spec(spec: str) -> tuple[str, float | None]:
+    """Parse a ``--fleet`` spec into ``(kind, parameter)``.
+
+    Accepted forms are ``uniform`` and ``heterogeneous[:spread]``, e.g.
+    ``heterogeneous:16`` for a fleet whose fastest device is 16x the
+    slowest. Raises :class:`ValueError` on anything else, so
+    :class:`~repro.fl.simulation.FLConfig` can validate at build time.
+    """
+    name, _, raw_param = spec.partition(":")
+    name = name.strip().lower()
+    param: float | None = None
+    if raw_param:
+        try:
+            param = float(raw_param)
+        except ValueError:
+            raise ValueError(
+                f"fleet parameter {raw_param!r} in {spec!r} is not a number"
+            ) from None
+    if name == "uniform":
+        if param is not None:
+            raise ValueError("the uniform fleet takes no parameter")
+        return name, None
+    if name == "heterogeneous":
+        if param is not None and param < 1.0:
+            raise ValueError(
+                f"heterogeneous speed spread must be >= 1, got {param}"
+            )
+        return name, param
+    raise ValueError(
+        f"unknown fleet {spec!r}; expected 'uniform' or "
+        f"'heterogeneous[:spread]'"
+    )
+
+
+def build_fleet(
+    spec: str, num_devices: int, seed: int = 0
+) -> list[DeviceProfile]:
+    """Build the device fleet a :class:`FLConfig.fleet` spec describes.
+
+    The fleet draws from its own RNG stream (derived from ``seed``) so
+    that enabling heterogeneity never perturbs client sampling or batch
+    order — simulation realism stays orthogonal to learning dynamics.
+    """
+    kind, param = parse_fleet_spec(spec)
+    if kind == "uniform":
+        return uniform_fleet(num_devices)
+    rng = np.random.default_rng(seed * 7_919 + 97)
+    return heterogeneous_fleet(
+        num_devices, rng, speed_spread=param if param is not None else 4.0
+    )
 
 
 def round_latency(
@@ -118,11 +195,11 @@ def straggler_slowdown(
     """
     if not fleet:
         raise ValueError("fleet is empty")
-    times = sorted(
+    times = [
         device.time_for(compute_flops, upload_bytes, download_bytes)
         for device in fleet
-    )
-    median = times[len(times) // 2]
+    ]
+    median = float(np.median(times))
     if median == 0.0:
         return 1.0
-    return times[-1] / median
+    return max(times) / median

@@ -1,0 +1,350 @@
+"""Round policies: how the server opens and closes one federated round.
+
+The paper's systems argument is that dense on-device work "may lead to
+straggling issues in federated learning". A :class:`RoundPolicy` makes
+that argument executable: given the participants sampled for a round
+and the simulated seconds each needs on its assigned
+:class:`~repro.fl.latency.DeviceProfile`, the policy decides which
+clients actually train, whose uploads the server aggregates, and how
+much simulated wall-clock time the round consumes. Four policies ship
+built in:
+
+- ``sync`` (:class:`SynchronousPolicy`) — the classic FedAvg barrier:
+  every participant trains and is aggregated; the slowest device gates
+  the round. Byte-identical to the pre-policy simulation.
+- ``deadline`` (:class:`DeadlinePolicy`) — the server over-selects
+  participants and closes the round ``deadline_fraction`` past the
+  median device's completion time; stragglers beyond the deadline are
+  dropped (their updates never arrive).
+- ``dropout`` (:class:`DropoutPolicy`) — an availability model: each
+  participant independently goes offline with probability
+  ``dropout_rate``, re-drawn every round from the context's dedicated
+  simulation RNG stream.
+- ``async`` (:class:`BufferedAsyncPolicy`) — FedBuff-style buffered
+  asynchrony: the round closes when an ``async_buffer_fraction`` share
+  of uploads has arrived; late uploads are buffered and folded into
+  the *next* aggregation with a ``staleness_discount`` weight.
+
+New policies register via :func:`register_policy` without touching the
+simulation internals, mirroring the executor registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .aggregation import staleness_weighted_average_states
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .client import Client
+    from .simulation import FederatedContext, FLConfig
+
+__all__ = [
+    "RoundPlan",
+    "RoundInfo",
+    "RoundPolicy",
+    "SynchronousPolicy",
+    "DeadlinePolicy",
+    "DropoutPolicy",
+    "BufferedAsyncPolicy",
+    "available_policies",
+    "build_policy",
+    "register_policy",
+]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """The policy's decision for one round.
+
+    Indices refer to positions in the round's participant list.
+    ``on_time`` holds positions *into* ``trained`` whose uploads reach
+    the server before the round closes; trained-but-not-on-time clients
+    are late (buffered by asynchronous policies). ``dropped``
+    participants never contribute: they either went offline before the
+    broadcast (``dropped_received_broadcast=False``) or missed the
+    deadline after downloading the model.
+    """
+
+    trained: tuple[int, ...]
+    on_time: tuple[int, ...]
+    dropped: tuple[int, ...]
+    elapsed_seconds: float
+    dropped_received_broadcast: bool = True
+
+    def __post_init__(self) -> None:
+        if self.elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds must be non-negative")
+        if any(p >= len(self.trained) for p in self.on_time):
+            raise ValueError("on_time positions exceed the trained list")
+
+
+@dataclass(frozen=True)
+class RoundInfo:
+    """What happened in the last round (``ctx.last_round_info``).
+
+    Method hooks (e.g. :meth:`FederatedMethod.round_hook`) read this to
+    learn which devices were dropped or arrived late, so mask-adjustment
+    protocols can react to partial participation.
+    """
+
+    selected_ids: tuple[int, ...]
+    aggregated_ids: tuple[int, ...]
+    dropped_ids: tuple[int, ...]
+    late_ids: tuple[int, ...]
+    stale_applied: int
+    elapsed_seconds: float
+
+    @property
+    def dropped_count(self) -> int:
+        return len(self.dropped_ids)
+
+
+class RoundPolicy(ABC):
+    """Strategy for participant selection, completion, and aggregation."""
+
+    name: str = "base"
+
+    def __init__(self, config: "FLConfig") -> None:
+        self.config = config
+
+    def select(self, ctx: "FederatedContext") -> list["Client"]:
+        """Sample this round's participants (policies may over-select)."""
+        return ctx.sample_participants()
+
+    @abstractmethod
+    def plan(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        times: list[float],
+    ) -> RoundPlan:
+        """Decide who trains/uploads and how long the round takes.
+
+        ``times`` holds the simulated seconds each participant needs for
+        the full round (download + local compute + upload) on its
+        device profile, aligned with ``participants``.
+        """
+
+    def aggregate(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        plan: RoundPlan,
+        states: list[dict[str, np.ndarray]],
+    ) -> int:
+        """Fold this round's uploads into the global state.
+
+        ``states`` is aligned with ``plan.trained``. Returns the number
+        of stale buffered uploads applied (0 for synchronous policies).
+        """
+        chosen = [states[p] for p in plan.on_time]
+        counts = [
+            participants[plan.trained[p]].num_samples for p in plan.on_time
+        ]
+        ctx.server.aggregate(chosen, counts)
+        return 0
+
+
+class SynchronousPolicy(RoundPolicy):
+    """The classic barrier: wait for everyone, aggregate everyone."""
+
+    name = "sync"
+
+    def plan(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        times: list[float],
+    ) -> RoundPlan:
+        everyone = tuple(range(len(participants)))
+        return RoundPlan(
+            trained=everyone,
+            on_time=everyone,
+            dropped=(),
+            elapsed_seconds=max(times) if times else 0.0,
+        )
+
+
+class DeadlinePolicy(RoundPolicy):
+    """Over-select, then cut stragglers at a median-relative deadline.
+
+    The round budget is ``deadline_fraction`` times the median
+    participant's completion time; devices that would finish past the
+    budget are dropped before spending local compute (the server would
+    discard their upload anyway). At least the fastest participant
+    always survives.
+    """
+
+    name = "deadline"
+
+    def select(self, ctx: "FederatedContext") -> list["Client"]:
+        over = self.config.deadline_over_select
+        fraction = min(1.0, ctx.config.participation_fraction * over)
+        return ctx.sample_participants(fraction)
+
+    def plan(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        times: list[float],
+    ) -> RoundPlan:
+        budget = self.config.deadline_fraction * float(np.median(times))
+        survivors = [i for i, t in enumerate(times) if t <= budget]
+        if not survivors:
+            survivors = [int(np.argmin(times))]
+        dropped = tuple(sorted(set(range(len(times))) - set(survivors)))
+        if dropped:
+            # The server closes at the budget — unless the fallback kept
+            # a lone survivor who finishes after it, in which case the
+            # round can only close when that upload arrives.
+            elapsed = max(budget, max(times[i] for i in survivors))
+        else:
+            elapsed = max(times)
+        return RoundPlan(
+            trained=tuple(survivors),
+            on_time=tuple(range(len(survivors))),
+            dropped=dropped,
+            elapsed_seconds=elapsed,
+        )
+
+
+class DropoutPolicy(RoundPolicy):
+    """Per-round Bernoulli availability: offline clients skip the round.
+
+    Failures are re-drawn every round from the context's simulation RNG
+    stream, so enabling dropout never perturbs participant sampling or
+    batch order. If every draw fails, the client with the luckiest draw
+    stays online so the round can still aggregate.
+    """
+
+    name = "dropout"
+
+    def plan(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        times: list[float],
+    ) -> RoundPlan:
+        draws = ctx.sim_rng.random(len(participants))
+        alive = [
+            i for i, d in enumerate(draws) if d >= self.config.dropout_rate
+        ]
+        if not alive:
+            alive = [int(np.argmax(draws))]
+        dropped = tuple(sorted(set(range(len(times))) - set(alive)))
+        return RoundPlan(
+            trained=tuple(alive),
+            on_time=tuple(range(len(alive))),
+            dropped=dropped,
+            elapsed_seconds=max(times[i] for i in alive),
+            dropped_received_broadcast=False,
+        )
+
+
+class BufferedAsyncPolicy(RoundPolicy):
+    """Buffered asynchronous aggregation with staleness discounting.
+
+    The server closes the round once ``ceil(async_buffer_fraction * n)``
+    uploads have arrived. Every participant still trains (its update is
+    in flight), but late uploads land in a buffer and join the *next*
+    aggregation with weight ``|D_k| * staleness_discount**staleness``,
+    the new weighting path in :mod:`repro.fl.aggregation`.
+    """
+
+    name = "async"
+
+    def __init__(self, config: "FLConfig") -> None:
+        super().__init__(config)
+        # (state, num_samples, rounds-stale-at-next-aggregation - 1)
+        self._buffer: list[tuple[dict[str, np.ndarray], int, int]] = []
+
+    def plan(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        times: list[float],
+    ) -> RoundPlan:
+        n = len(participants)
+        k = max(1, int(np.ceil(self.config.async_buffer_fraction * n)))
+        order = np.argsort(times, kind="stable")
+        on_time = tuple(sorted(int(i) for i in order[:k]))
+        return RoundPlan(
+            trained=tuple(range(n)),
+            on_time=on_time,
+            dropped=(),
+            elapsed_seconds=float(times[order[k - 1]]),
+        )
+
+    def aggregate(
+        self,
+        ctx: "FederatedContext",
+        participants: list["Client"],
+        plan: RoundPlan,
+        states: list[dict[str, np.ndarray]],
+    ) -> int:
+        stale = [(s, n, age + 1) for s, n, age in self._buffer]
+        self._buffer = []
+        fresh = [
+            (states[p], participants[plan.trained[p]].num_samples, 0)
+            for p in plan.on_time
+        ]
+        entries = fresh + stale
+        merged = staleness_weighted_average_states(
+            [e[0] for e in entries],
+            [e[1] for e in entries],
+            [e[2] for e in entries],
+            discount=self.config.staleness_discount,
+        )
+        ctx.server.commit_state(merged)
+        on_time = set(plan.on_time)
+        for p in range(len(plan.trained)):
+            if p not in on_time:
+                self._buffer.append(
+                    (states[p], participants[plan.trained[p]].num_samples, 0)
+                )
+        return len(stale)
+
+
+_POLICIES: dict[str, Callable[["FLConfig"], RoundPolicy]] = {}
+
+
+def register_policy(
+    name: str, factory: Callable[["FLConfig"], RoundPolicy]
+) -> None:
+    """Register a round-policy factory under ``name`` (case-insensitive).
+
+    The factory is called as ``factory(config)`` with the run's
+    :class:`FLConfig`; one policy instance lives per context, so
+    stateful policies (the async buffer) stay run-local.
+    """
+    key = name.lower()
+    if key in _POLICIES:
+        raise ValueError(f"round policy {name!r} already registered")
+    _POLICIES[key] = factory
+
+
+def available_policies() -> list[str]:
+    """Sorted names of registered round policies."""
+    return sorted(_POLICIES)
+
+
+def build_policy(name: str, config: "FLConfig") -> RoundPolicy:
+    """Build a registered round policy by name."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise KeyError(
+            f"unknown round policy {name!r}; "
+            f"available: {available_policies()}"
+        )
+    return _POLICIES[key](config)
+
+
+register_policy("sync", SynchronousPolicy)
+register_policy("deadline", DeadlinePolicy)
+register_policy("dropout", DropoutPolicy)
+register_policy("async", BufferedAsyncPolicy)

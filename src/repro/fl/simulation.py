@@ -6,6 +6,14 @@ population, the test set, cost profiles, and a communication tracker.
 The context provides the one primitive all methods share — a FedAvg
 training round over sparse models — while mask manipulation stays in
 the method implementations.
+
+The round loop is a *systems simulation*, not just a learning loop:
+each client carries a :class:`~repro.fl.latency.DeviceProfile` drawn
+from the configured fleet, a simulated wall clock advances by the
+per-round compute+transfer time the configured
+:class:`~repro.fl.policies.RoundPolicy` charges, and every round record
+carries the cumulative ``sim_time_seconds`` — so accuracy-vs-wall-clock
+curves fall out of ordinary runs.
 """
 
 from __future__ import annotations
@@ -17,7 +25,8 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..data.partition import partition_dataset
 from ..metrics.accuracy import evaluate
-from ..metrics.flops import ModelProfile, profile_model
+from ..metrics.flops import ModelProfile, profile_model, \
+    training_flops_per_sample
 from ..metrics.tracker import RoundRecord, RunResult
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
@@ -25,6 +34,8 @@ from ..sparse.storage import mask_set_bytes
 from .client import Client
 from .comm import CommTracker
 from .executor import available_executors, build_executor
+from .latency import build_fleet, parse_fleet_spec
+from .policies import RoundInfo, available_policies, build_policy
 from .server import Server
 from .state import set_state
 
@@ -50,6 +61,16 @@ class FLConfig:
     augment: bool = False
     executor: str = "serial"
     executor_workers: int | None = None
+    # Systems-simulation knobs: the device fleet spec (see
+    # repro.fl.latency.parse_fleet_spec) and the round policy plus its
+    # parameters (see repro.fl.policies).
+    fleet: str = "uniform"
+    round_policy: str = "sync"
+    deadline_fraction: float = 1.5
+    deadline_over_select: float = 1.5
+    dropout_rate: float = 0.1
+    async_buffer_fraction: float = 0.5
+    staleness_discount: float = 0.5
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +95,22 @@ class FLConfig:
             )
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1")
+        parse_fleet_spec(self.fleet)  # raises on malformed specs
+        if self.round_policy not in available_policies():
+            raise ValueError(
+                f"unknown round policy {self.round_policy!r}; "
+                f"available: {available_policies()}"
+            )
+        if self.deadline_fraction <= 0.0:
+            raise ValueError("deadline_fraction must be positive")
+        if self.deadline_over_select < 1.0:
+            raise ValueError("deadline_over_select must be >= 1")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if not 0.0 < self.async_buffer_fraction <= 1.0:
+            raise ValueError("async_buffer_fraction must be in (0, 1]")
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError("staleness_discount must be in (0, 1]")
 
 
 class FederatedContext:
@@ -99,12 +136,14 @@ class FederatedContext:
         shards = partition_dataset(
             train_data, config.num_clients, config.dirichlet_alpha, self.rng
         )
+        fleet = build_fleet(config.fleet, config.num_clients, config.seed)
         self.clients = [
             Client(
                 client_id=index,
                 train_data=shard,
                 dev_fraction=config.dev_fraction,
                 seed=config.seed,
+                device=fleet[index],
             )
             for index, shard in enumerate(shards)
         ]
@@ -115,6 +154,14 @@ class FederatedContext:
         self.executor = build_executor(
             config.executor, max_workers=config.executor_workers
         )
+        self.round_policy = build_policy(config.round_policy, config)
+        # Simulation-only randomness (availability draws) lives on its
+        # own stream so systems realism never perturbs client sampling
+        # or batch order.
+        self.sim_rng = np.random.default_rng(config.seed * 52_711 + 13)
+        self.sim_time = 0.0
+        self.last_round_info: RoundInfo | None = None
+        self._dropped_since_record = 0
         self.last_participants: list[Client] = list(self.clients)
         # Comm totals already folded into earlier round records, so each
         # record holds this round's delta (RunResult sums them back up).
@@ -136,15 +183,20 @@ class FederatedContext:
             target_density=target_density,
         )
 
-    def sample_participants(self) -> list[Client]:
+    def sample_participants(
+        self, fraction: float | None = None
+    ) -> list[Client]:
         """Clients taking part in the next round.
 
         With ``participation_fraction < 1`` a random subset (at least
         one client) is drawn each round, as in standard FedAvg client
         sampling; the selection is stored on ``last_participants`` so
         mask-adjustment protocols query the same devices that trained.
+        ``fraction`` overrides the configured participation fraction
+        (round policies over-select through it).
         """
-        fraction = self.config.participation_fraction
+        if fraction is None:
+            fraction = self.config.participation_fraction
         if fraction >= 1.0:
             return list(self.clients)
         count = max(1, int(round(fraction * len(self.clients))))
@@ -153,21 +205,54 @@ class FederatedContext:
         )
         return [self.clients[i] for i in sorted(chosen)]
 
-    def run_fedavg_round(self) -> list[dict[str, np.ndarray]]:
-        """One synchronous round: broadcast, local train, aggregate.
+    def participant_round_times(
+        self, participants: list[Client]
+    ) -> list[float]:
+        """Simulated seconds each participant needs for one round.
 
-        Local training is delegated to the configured
-        :class:`~repro.fl.executor.ClientExecutor` backend. Returns the
-        uploaded states of the participating clients (aligned with
-        ``last_participants``; some methods inspect them before they
-        are discarded).
+        Compute time comes from the method's per-sample training FLOPs
+        at the current mask density; transfer time from the same byte
+        accounting the communication tracker charges.
+        """
+        flops_per_sample = training_flops_per_sample(
+            self.profile, self.server.masks
+        )
+        upload = self.upload_bytes_per_client()
+        download = self.model_exchange_bytes()
+        epochs = self.config.local_epochs
+        return [
+            float(
+                client.device.time_for(
+                    flops_per_sample * epochs * client.num_samples,
+                    upload,
+                    download,
+                )
+            )
+            for client in participants
+        ]
+
+    def run_fedavg_round(self) -> list[dict[str, np.ndarray]]:
+        """One policy-driven round: select, train, aggregate, tick.
+
+        The configured :class:`~repro.fl.policies.RoundPolicy` picks the
+        participants, decides which of them train and upload in time on
+        the simulated fleet, and folds the surviving uploads into the
+        global state; the context's simulated wall clock advances by the
+        round's elapsed seconds. Local training is delegated to the
+        configured :class:`~repro.fl.executor.ClientExecutor` backend.
+        Returns the states aggregated at full weight this round (aligned
+        with ``last_participants``; some methods inspect them before
+        they are discarded).
         """
         cfg = self.config
-        participants = self.sample_participants()
-        self.last_participants = participants
+        policy = self.round_policy
+        participants = policy.select(self)
+        times = self.participant_round_times(participants)
+        plan = policy.plan(self, participants, times)
+        trained = [participants[i] for i in plan.trained]
         download = self.model_exchange_bytes()
         upload = self.upload_bytes_per_client()
-        results = self.executor.run_clients(self, participants)
+        results = self.executor.run_clients(self, trained)
         states = []
         for result in results:
             state = result.state
@@ -185,10 +270,34 @@ class FederatedContext:
             states.append(state)
             self.comm.record_download(download)
             self.comm.record_upload(upload)
-        self.server.aggregate(
-            states, [client.num_samples for client in participants]
+        if plan.dropped_received_broadcast:
+            # Deadline stragglers pulled the model before being cut;
+            # offline (dropout) clients never saw the broadcast.
+            for _ in plan.dropped:
+                self.comm.record_download(download)
+        on_time_states = [states[p] for p in plan.on_time]
+        self.last_participants = [trained[p] for p in plan.on_time]
+        stale_applied = policy.aggregate(self, participants, plan, states)
+        self.sim_time += plan.elapsed_seconds
+        self._dropped_since_record += len(plan.dropped)
+        on_time_set = set(plan.on_time)
+        self.last_round_info = RoundInfo(
+            selected_ids=tuple(c.client_id for c in participants),
+            aggregated_ids=tuple(
+                c.client_id for c in self.last_participants
+            ),
+            dropped_ids=tuple(
+                participants[i].client_id for i in plan.dropped
+            ),
+            late_ids=tuple(
+                trained[p].client_id
+                for p in range(len(trained))
+                if p not in on_time_set
+            ),
+            stale_applied=stale_applied,
+            elapsed_seconds=plan.elapsed_seconds,
         )
-        return states
+        return on_time_states
 
     def model_exchange_bytes(self) -> int:
         """Bytes to move the current sparse model one way (float32)."""
@@ -257,8 +366,11 @@ class FederatedContext:
                 upload_bytes=upload_delta,
                 download_bytes=download_delta,
                 train_flops=train_flops,
+                sim_time_seconds=self.sim_time,
+                dropped_clients=self._dropped_since_record,
             )
         )
+        self._dropped_since_record = 0
 
     def close(self) -> None:
         """Release the execution backend's worker resources."""

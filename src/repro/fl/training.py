@@ -30,6 +30,11 @@ def train_centralized(
     """Plain SGD training; returns the final mean epoch loss."""
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if len(dataset) == 0:
+        raise ValueError(
+            "cannot train on an empty dataset; check the public split "
+            "fraction / dataset construction"
+        )
     rng = np.random.default_rng(seed)
     optimizer = SGD(model, lr=lr, momentum=momentum,
                     weight_decay=weight_decay)

@@ -12,7 +12,10 @@ hooks:
   execution backend, methods that replace the round itself (FedDST's
   train/adjust/fine-tune round) override it;
 - :meth:`round_hook` — post-aggregation mask adjustment; returns any
-  extra per-device FLOPs the method spent that round;
+  extra per-device FLOPs the method spent that round. Hooks that need
+  to know which devices were dropped by the round policy (straggler
+  cut-off, offline clients) or uploaded late read
+  ``self.ctx.last_round_info`` (a :class:`~repro.fl.policies.RoundInfo`);
 - :meth:`finalize` — final cost accounting on the run record.
 
 ``run`` ties them together and is what callers invoke; the attribute
@@ -62,7 +65,12 @@ class FederatedMethod(abc.ABC):
     def round_hook(
         self, round_index: int, states: list[dict[str, np.ndarray]]
     ) -> float:
-        """Adjust masks after aggregation; returns extra per-device FLOPs."""
+        """Adjust masks after aggregation; returns extra per-device FLOPs.
+
+        ``states`` holds the uploads aggregated this round, aligned with
+        ``self.ctx.last_participants``; ``self.ctx.last_round_info``
+        reports dropped/late devices and the round's simulated seconds.
+        """
         del round_index, states
         return 0.0
 

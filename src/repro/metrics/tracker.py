@@ -18,6 +18,12 @@ class RoundRecord:
     upload_bytes: int
     download_bytes: int
     train_flops: float
+    # Cumulative simulated wall-clock seconds at the end of this round
+    # (0.0 for records predating the simulation layer).
+    sim_time_seconds: float = 0.0
+    # Participants dropped (straggler cut-off or offline) since the
+    # previous recorded round.
+    dropped_clients: int = 0
 
 
 @dataclass
@@ -68,6 +74,17 @@ class RunResult:
         return sum(r.download_bytes for r in self.rounds)
 
     @property
+    def sim_time_seconds(self) -> float:
+        """Total simulated wall-clock seconds (cumulative, last round)."""
+        if not self.rounds:
+            return 0.0
+        return self.rounds[-1].sim_time_seconds
+
+    @property
+    def total_dropped_clients(self) -> int:
+        return sum(r.dropped_clients for r in self.rounds)
+
+    @property
     def total_comm_bytes(self) -> int:
         return (
             self.total_upload_bytes
@@ -77,6 +94,10 @@ class RunResult:
 
     def accuracy_curve(self) -> list[tuple[int, float]]:
         return [(r.round_index, r.test_accuracy) for r in self.rounds]
+
+    def wall_clock_curve(self) -> list[tuple[float, float]]:
+        """(simulated seconds, accuracy) pairs — accuracy vs wall clock."""
+        return [(r.sim_time_seconds, r.test_accuracy) for r in self.rounds]
 
     def to_dict(self) -> dict:
         """Plain-dict form for JSON dumps in EXPERIMENTS.md tooling."""
@@ -93,6 +114,8 @@ class RunResult:
             "selection_comm_bytes": self.selection_comm_bytes,
             "selection_flops": self.selection_flops,
             "total_comm_bytes": self.total_comm_bytes if self.rounds else 0,
+            "sim_time_seconds": self.sim_time_seconds,
+            "total_dropped_clients": self.total_dropped_clients,
             "num_rounds": len(self.rounds),
             "metadata": dict(self.metadata),
         }

@@ -83,6 +83,22 @@ class TestRoundLatency:
             narrow, *work
         )
 
+    def test_straggler_slowdown_true_median_even_fleet(self):
+        # Devices at 1/2/3/4 GFLOP/s -> round times 4, 2, 4/3, 1 s for
+        # 4 GFLOPs of work. The true median is (2 + 4/3) / 2 = 5/3, not
+        # the upper-middle element 2 the old len//2 indexing picked.
+        fleet = [DeviceProfile(i, s * 1e9, 1e12, 1e12)
+                 for i, s in enumerate([1.0, 2.0, 3.0, 4.0])]
+        slowdown = straggler_slowdown(fleet, 4e9, 0.0, 0.0)
+        assert slowdown == pytest.approx(4.0 / (5.0 / 3.0))
+
+    def test_straggler_slowdown_true_median_odd_fleet(self):
+        # Odd-sized fleet: the median is the middle element.
+        fleet = [DeviceProfile(i, s * 1e9, 1e12, 1e12)
+                 for i, s in enumerate([1.0, 2.0, 4.0])]
+        slowdown = straggler_slowdown(fleet, 4e9, 0.0, 0.0)
+        assert slowdown == pytest.approx(4.0 / 2.0)
+
     def test_dense_method_amplifies_stragglers_in_wall_clock(self):
         """The paper's straggling argument: a dense-compute method's
         round latency grows far faster than a sparse method's on the

@@ -1,0 +1,190 @@
+"""Property-style algebraic invariants over randomized shapes and seeds.
+
+Three families the rest of the suite only covers pointwise:
+
+- quantize/dequantize round trips obey the analytic uniform-quantization
+  error bound and get monotonically tighter as bits increase;
+- ``col2im`` is the exact adjoint of ``im2col``
+  (⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for every shape/stride/pad);
+- ``save_model``/``load_model`` preserve parameters, masks and buffers
+  bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoint import load_model, save_model
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.models import build_model
+from repro.sparse.quantize import (
+    dequantize_tensor,
+    quantize_state,
+    dequantize_state,
+    quantize_tensor,
+    quantization_error,
+)
+
+
+class TestQuantizationRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("bits", [2, 4, 8, 12, 16])
+    def test_error_within_analytic_bound(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(16, 2048))
+        values = rng.normal(scale=rng.uniform(0.01, 10.0), size=size)
+        values = values.astype(np.float32)
+        quantized = quantize_tensor(values, bits)
+        reconstructed = dequantize_tensor(quantized)
+        # Round-to-nearest on a uniform grid: per-element error is at
+        # most half the step size (plus float32 rounding slack, which
+        # matters once the grid is finer than float32 resolution).
+        peak = float(np.abs(values).max())
+        slack = 4 * peak * np.finfo(np.float32).eps
+        per_element_bound = quantized.scale / 2 + slack
+        max_err = np.abs(values - reconstructed).max()
+        assert max_err <= per_element_bound
+        # And the relative L2 error obeys the same bound aggregated.
+        rel = quantization_error(values, bits)
+        bound = per_element_bound * np.sqrt(size) / np.linalg.norm(values)
+        assert rel <= bound
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_error_monotone_in_bits(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        values = rng.normal(size=512).astype(np.float32)
+        errors = [quantization_error(values, b) for b in (2, 4, 8, 12, 16)]
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine <= coarse + 1e-9
+        assert errors[-1] < errors[0] / 100  # 16 bits is far tighter
+
+    def test_shape_and_peak_preserved(self, rng):
+        values = rng.normal(size=(3, 5, 2)).astype(np.float32)
+        quantized = quantize_tensor(values, 8)
+        reconstructed = dequantize_tensor(quantized)
+        assert reconstructed.shape == values.shape
+        # The extreme value sits exactly on the grid.
+        peak_pos = np.unravel_index(np.abs(values).argmax(), values.shape)
+        assert reconstructed[peak_pos] == pytest.approx(
+            values[peak_pos], abs=1e-7
+        )
+
+    def test_zero_and_constant_tensors(self):
+        zeros = np.zeros(17, dtype=np.float32)
+        assert quantization_error(zeros, 8) == 0.0
+        constant = np.full(9, 3.25, dtype=np.float32)
+        reconstructed = dequantize_tensor(quantize_tensor(constant, 8))
+        np.testing.assert_allclose(reconstructed, constant, rtol=1e-6)
+
+    def test_state_round_trip_keys_and_shapes(self, rng):
+        state = {
+            "a": rng.normal(size=(4, 4)).astype(np.float32),
+            "b": rng.normal(size=7).astype(np.float32),
+        }
+        back = dequantize_state(quantize_state(state, 12))
+        assert set(back) == set(state)
+        for key in state:
+            assert back[key].shape == state[key].shape
+            assert np.abs(back[key] - state[key]).max() < 1e-3
+
+
+class TestIm2colAdjoint:
+    """col2im must be the exact adjoint of im2col.
+
+    For linear maps A and Aᵀ: ⟨A x, y⟩ == ⟨x, Aᵀ y⟩ for all x, y. This
+    is what makes col2im compute the convolution input gradient.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_inner_product_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 3))
+        c = int(rng.integers(1, 4))
+        h = int(rng.integers(4, 9))
+        w = int(rng.integers(4, 9))
+        kernel = int(rng.integers(1, 4))
+        stride = int(rng.integers(1, 3))
+        pad = int(rng.integers(0, 2))
+        if conv_output_size(h, kernel, stride, pad) < 1:
+            pytest.skip("degenerate output size")
+        x = rng.normal(size=(n, c, h, w))
+        cols = im2col(x, kernel, kernel, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(
+            np.sum(x * col2im(y, (n, c, h, w), kernel, kernel, stride, pad))
+        )
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_adjoint_of_identity_kernel(self):
+        # 1x1 kernel, stride 1, no padding: im2col is a permutation, so
+        # col2im must be its exact inverse permutation.
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(2, 3, 5, 5))
+        cols = im2col(x, 1, 1, 1, 0)
+        back = col2im(cols, x.shape, 1, 1, 1, 0)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestCheckpointRoundTrip:
+    def _model(self, seed=11):
+        return build_model(
+            "resnet18", num_classes=10, width_multiplier=0.125, seed=seed
+        )
+
+    def _randomize(self, model, rng):
+        """Random weights, random masks on some params, random buffers."""
+        params = dict(model.named_parameters())
+        for index, (name, param) in enumerate(params.items()):
+            param.data = rng.normal(size=param.data.shape).astype(np.float32)
+            if param.data.ndim >= 2 and index % 2 == 0:
+                mask = rng.random(param.data.shape) < 0.5
+                param.set_mask(mask.astype(np.float32))
+                param.apply_mask()
+        for name, buf in model.named_buffers():
+            model._assign_buffer(
+                name, rng.normal(size=buf.shape).astype(buf.dtype)
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bit_for_bit_round_trip(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        model = self._model()
+        self._randomize(model, rng)
+        path = tmp_path / "ckpt.npz"
+        save_model(model, path)
+
+        saved_params = {
+            name: (param.data.copy(),
+                   None if param.mask is None else param.mask.copy())
+            for name, param in model.named_parameters()
+        }
+        saved_buffers = {
+            name: buf.copy() for name, buf in model.named_buffers()
+        }
+
+        fresh = self._model(seed=99)  # different init, same architecture
+        load_model(fresh, path)
+
+        for name, param in fresh.named_parameters():
+            data, mask = saved_params[name]
+            assert np.array_equal(param.data, data), name
+            assert param.data.dtype == data.dtype
+            if mask is None:
+                assert param.mask is None, name
+            else:
+                assert param.mask is not None, name
+                assert np.array_equal(param.mask, mask), name
+        for name, buf in fresh.named_buffers():
+            assert np.array_equal(buf, saved_buffers[name]), name
+            assert buf.dtype == saved_buffers[name].dtype
+
+    def test_masked_positions_stay_zero_after_load(self, tmp_path, rng):
+        model = self._model()
+        self._randomize(model, rng)
+        path = tmp_path / "ckpt.npz"
+        save_model(model, path)
+        fresh = self._model(seed=99)
+        load_model(fresh, path)
+        for name, param in fresh.named_parameters():
+            if param.mask is not None:
+                assert np.all(param.data[param.mask == 0] == 0.0), name
