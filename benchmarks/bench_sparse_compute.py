@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the sparsity-aware compute engine.
+
+Times one Conv2d forward+backward step for the three variants the perf
+harness tracks — the pre-engine legacy path, the engine's dense path,
+and the engine's sparse dispatch at 10% structured density — so CI's
+``--benchmark-json`` output carries directly comparable rows. The
+density x shape grid with machine-readable acceptance ratios comes from
+``python -m repro bench`` (see ``repro.perf.sparse_compute``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import engine
+from repro.perf.sparse_compute import ConvShape, _conv_cases
+
+_SHAPE = ConvShape("conv_matmul_bound", 8, 64, 16, 16, 128, 3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_conv_step_legacy(benchmark, rng):
+    legacy_step, _ = _conv_cases(_SHAPE, 1.0, rng)
+    benchmark(legacy_step)
+
+
+def test_conv_step_engine_dense(benchmark, rng):
+    _, engine_step = _conv_cases(_SHAPE, 1.0, rng)
+    benchmark(engine_step)
+
+
+def test_conv_step_engine_sparse10(benchmark, rng):
+    _, engine_step = _conv_cases(_SHAPE, 0.1, rng)
+    saved = engine.get_config().density_threshold
+    engine.configure(density_threshold=1.0)
+
+    def step():
+        with engine.masked_weight_grads():
+            engine_step()
+
+    try:
+        benchmark(step)
+    finally:
+        engine.configure(density_threshold=saved)

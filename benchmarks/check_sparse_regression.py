@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fail CI when the sparse-compute engine regresses against its baseline.
+
+Compares the *speedup ratios* in a fresh ``BENCH_sparse_compute.json``
+against the checked-in baseline ratios. Ratios (engine versus the
+in-process legacy reference, measured interleaved) are stable across
+machines, unlike absolute step times, so the baseline does not need to
+be re-captured per CI runner generation.
+
+Usage::
+
+    python benchmarks/check_sparse_regression.py \
+        BENCH_sparse_compute.json \
+        benchmarks/baselines/sparse_compute_baseline.json
+
+Exits non-zero when any tracked conv forward/backward ratio falls more
+than ``TOLERANCE`` (25%) below its baseline value.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.25
+
+
+def _acceptance(path: Path) -> dict[str, float]:
+    record = json.loads(path.read_text())
+    config = record.get("config")
+    if config is not None:
+        print(f"{path.name}: config={config}")
+    return record["summary"]["acceptance"]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    current = _acceptance(Path(argv[1]))
+    baseline = _acceptance(Path(argv[2]))
+    failures = []
+    for key, base_value in sorted(baseline.items()):
+        value = current.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        floor = base_value * (1.0 - TOLERANCE)
+        status = "OK" if value >= floor else "REGRESSION"
+        print(
+            f"{key}: current={value:.2f}x baseline={base_value:.2f}x "
+            f"floor={floor:.2f}x [{status}]"
+        )
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.2f}x is >{TOLERANCE:.0%} below "
+                f"baseline {base_value:.2f}x"
+            )
+    if failures:
+        print("\nbenchmark regression detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

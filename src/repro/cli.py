@@ -6,12 +6,14 @@ Usage::
     python -m repro run --method fedtiny --model resnet18 \
         --dataset cifar10 --density 0.05 --scale tiny
     python -m repro experiment table1 --scale bench
+    python -m repro bench --out BENCH_sparse_compute.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .data.synthetic import DATASET_BUILDERS
@@ -20,6 +22,7 @@ from .experiments import paper as paper_experiments
 from .fl.executor import available_executors
 from .fl.policies import available_policies
 from .methods import method_names, method_summaries
+from .nn import engine
 from .nn.models import available_models
 from .sparse.storage import bytes_to_mb
 
@@ -94,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--staleness-discount", type=float, default=None,
                      help="async policy: per-round weight discount for "
                           "late uploads")
+    run.add_argument("--density-threshold", type=float, default=None,
+                     help="enable sparse row dispatch below this weight "
+                          "density (default 0: off, byte-identical to "
+                          "the dense engine)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit the result record as JSON")
@@ -108,6 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="also render the figure as an ASCII chart (fig3/4/5/6)",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the sparse-compute micro-benchmark grid",
+        description=(
+            "Measure Conv2d/Linear forward+backward across a density x "
+            "shape grid against the pre-engine reference path and emit "
+            "a machine-readable JSON record."
+        ),
+    )
+    bench.add_argument("--out", default="BENCH_sparse_compute.json",
+                       help="output JSON path")
+    bench.add_argument("--repeats", type=int, default=7,
+                       help="interleaved timing samples per variant")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller grid for CI smoke runs")
     return parser
 
 
@@ -128,6 +151,10 @@ def _command_list() -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     alpha = None if args.alpha is not None and args.alpha <= 0 else args.alpha
+    if args.density_threshold is not None:
+        engine.configure(density_threshold=args.density_threshold)
+        # Spawned executor workers read the knob from the environment.
+        os.environ["REPRO_DENSITY_THRESHOLD"] = str(args.density_threshold)
     result = run_experiment(
         args.method,
         args.model,
@@ -177,6 +204,26 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from .perf import run_sparse_compute_bench, write_bench_json
+
+    record = run_sparse_compute_bench(
+        repeats=args.repeats, quick=args.quick
+    )
+    path = write_bench_json(record, args.out)
+    print(f"wrote {path}")
+    print("shape                     density  variant                "
+          "     ms/step")
+    for row in record["results"]:
+        print(f"{row['shape']:<25} {row['density']:>6.2f}  "
+              f"{row['variant']:<25} {row['seconds'] * 1e3:>8.3f}")
+    print()
+    acceptance = record["summary"]["acceptance"]
+    for key, value in sorted(acceptance.items()):
+        print(f"{key}: {value:.2f}x")
+    return 0
+
+
 def _render_plots(output) -> None:
     """ASCII charts for the figure experiments (no-op for tables)."""
     from .experiments import figures
@@ -208,6 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "bench":
+        return _command_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

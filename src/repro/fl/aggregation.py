@@ -139,17 +139,29 @@ def aggregate_sparse_gradients(
         layer_names.update(device)
     aggregated: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for name in sorted(layer_names):
-        sums: dict[int, float] = {}
+        index_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
         for weight, device in zip(weights, per_device):
             if name not in device:
                 continue
             indices, values = device[name]
-            for index, value in zip(indices, values):
-                key = int(index)
-                sums[key] = sums.get(key, 0.0) + float(weight) * float(value)
-        if not sums:
+            index_parts.append(np.asarray(indices, dtype=np.int64))
+            # float64 products and accumulation, matching the scalar
+            # reference: weighted values are summed at full precision and
+            # rounded to float32 exactly once at the end.
+            value_parts.append(
+                weight * np.asarray(values, dtype=np.float64)
+            )
+        if not index_parts:
             continue
-        idx = np.array(sorted(sums), dtype=np.int64)
-        val = np.array([sums[i] for i in idx], dtype=np.float32)
-        aggregated[name] = (idx, val)
+        all_indices = np.concatenate(index_parts)
+        if all_indices.size == 0:
+            continue
+        all_values = np.concatenate(value_parts)
+        idx, inverse = np.unique(all_indices, return_inverse=True)
+        sums = np.zeros(idx.size, dtype=np.float64)
+        # Unbuffered scatter-add: contributions land in upload order, so
+        # per-index accumulation order matches the scalar loop exactly.
+        np.add.at(sums, inverse, all_values)
+        aggregated[name] = (idx, sums.astype(np.float32))
     return aggregated

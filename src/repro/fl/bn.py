@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..nn import engine
 from ..nn.layers import BatchNorm2d
 from ..nn.module import Module
 
@@ -70,11 +71,14 @@ def recalibrate_bn_statistics(
     try:
         for _, layer in layers:
             layer.reset_stats()
-        for index, (images, _) in enumerate(dataset.batches(batch_size)):
-            momentum = index / (index + 1.0)
-            for _, layer in layers:
-                layer.momentum = momentum
-            model(images)
+        # Stats-only forwards: inference mode keeps the layers from
+        # recording backward caches they will never consume.
+        with engine.inference_mode():
+            for index, (images, _) in enumerate(dataset.batches(batch_size)):
+                momentum = index / (index + 1.0)
+                for _, layer in layers:
+                    layer.momentum = momentum
+                model(images)
     finally:
         for layer, momentum in saved_momentum:
             layer.momentum = momentum

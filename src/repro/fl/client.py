@@ -15,6 +15,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..data.transforms import augment_batch
+from ..nn import engine
 from ..nn.loss import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
@@ -95,19 +96,24 @@ class Client:
         loss_fn = CrossEntropyLoss()
         loss_sum = 0.0
         iterations = 0
-        for _ in range(epochs):
-            for images, labels in self.train_data.batches(
-                batch_size, rng=self.rng
-            ):
-                if augment:
-                    images = augment_batch(images, self.rng)
-                logits = model(images)
-                loss = loss_fn(logits, labels)
-                model.zero_grad()
-                model.backward(loss_fn.backward())
-                optimizer.step()
-                loss_sum += loss
-                iterations += 1
+        # Local SGD applies masked updates (paper Eq. 5), so gradients of
+        # fully-pruned output rows would be discarded anyway — let the
+        # engine skip computing them. Growth-signal collection (Eq. 6)
+        # happens in compute_topk_pruned_gradients, outside this context.
+        with engine.masked_weight_grads():
+            for _ in range(epochs):
+                for images, labels in self.train_data.batches(
+                    batch_size, rng=self.rng
+                ):
+                    if augment:
+                        images = augment_batch(images, self.rng)
+                    logits = model(images)
+                    loss = loss_fn(logits, labels)
+                    model.zero_grad()
+                    model.backward(loss_fn.backward())
+                    optimizer.step()
+                    loss_sum += loss
+                    iterations += 1
         return LocalTrainResult(
             state=get_state(model),
             num_samples=self.num_samples,
@@ -210,8 +216,9 @@ class Client:
         model.eval()
         loss_sum = 0.0
         count = 0
-        for images, labels in self.dev_data.batches(batch_size):
-            loss_sum += loss_fn(model(images), labels) * len(labels)
-            count += len(labels)
+        with engine.inference_mode():
+            for images, labels in self.dev_data.batches(batch_size):
+                loss_sum += loss_fn(model(images), labels) * len(labels)
+                count += len(labels)
         model.train(was_training)
         return loss_sum / count

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..nn import engine
 from ..nn.loss import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
@@ -41,17 +42,20 @@ def train_centralized(
     loss_fn = CrossEntropyLoss()
     model.train(True)
     mean_loss = float("nan")
-    for _ in range(epochs):
-        loss_sum = 0.0
-        batches = 0
-        for images, labels in dataset.batches(batch_size, rng=rng):
-            loss = loss_fn(model(images), labels)
-            model.zero_grad()
-            model.backward(loss_fn.backward())
-            optimizer.step()
-            loss_sum += loss
-            batches += 1
-        mean_loss = loss_sum / max(1, batches)
+    # SGD updates are masked, so fully-pruned-row weight gradients are
+    # dead weight here; the engine may skip them.
+    with engine.masked_weight_grads():
+        for _ in range(epochs):
+            loss_sum = 0.0
+            batches = 0
+            for images, labels in dataset.batches(batch_size, rng=rng):
+                loss = loss_fn(model(images), labels)
+                model.zero_grad()
+                model.backward(loss_fn.backward())
+                optimizer.step()
+                loss_sum += loss
+                batches += 1
+            mean_loss = loss_sum / max(1, batches)
     return mean_loss
 
 

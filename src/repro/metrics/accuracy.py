@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..nn import engine
 from ..nn.loss import CrossEntropyLoss
 from ..nn.module import Module
 
@@ -34,13 +35,20 @@ def evaluate(
         raise ValueError("cannot evaluate on an empty dataset")
     was_training = model.training
     model.eval()
+    # Forward-only pass: drop stale training caches up front and keep
+    # the layers from recording new ones. (Duck-typed stand-in models
+    # without free_caches are accepted, as in Module.eval's contract.)
+    free_caches = getattr(model, "free_caches", None)
+    if free_caches is not None:
+        free_caches()
     loss_fn = CrossEntropyLoss()
     correct = 0
     loss_sum = 0.0
-    for images, labels in dataset.batches(batch_size):
-        logits = model(images)
-        loss_sum += loss_fn(logits, labels) * len(labels)
-        correct += int((logits.argmax(axis=1) == labels).sum())
+    with engine.inference_mode():
+        for images, labels in dataset.batches(batch_size):
+            logits = model(images)
+            loss_sum += loss_fn(logits, labels) * len(labels)
+            correct += int((logits.argmax(axis=1) == labels).sum())
     model.train(was_training)
     n = len(dataset)
     return EvalResult(correct / n, loss_sum / n, n)

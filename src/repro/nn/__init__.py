@@ -6,7 +6,7 @@ optimizers with masked updates, and weight initialization — the PyTorch
 surface the paper assumes, rebuilt from scratch.
 """
 
-from . import functional, init
+from . import engine, functional, init
 from .checkpoint import load_model, save_model
 from .gradcheck import check_module_gradients, numerical_gradient
 from .layers import (
@@ -46,6 +46,7 @@ __all__ = [
     "Sequential",
     "StepLR",
     "check_module_gradients",
+    "engine",
     "functional",
     "load_model",
     "init",

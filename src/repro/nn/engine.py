@@ -1,0 +1,172 @@
+"""Sparsity-aware execution-engine configuration.
+
+The compute layers (:class:`~repro.nn.layers.Conv2d`,
+:class:`~repro.nn.layers.Linear`) consult this module to decide *how* to
+run, independently of *what* they compute:
+
+``density_threshold``
+    Below this parameter density a layer drops the all-zero output rows
+    of its reshaped effective weight from every matrix multiplication, so
+    fully-pruned output channels cost nothing. Above it the layer runs
+    the plain dense kernels. Dropping exactly-zero rows never changes the
+    mathematical result, but BLAS may associate the surviving partial
+    sums differently for the smaller matmul shapes, so results can drift
+    by a few ULPs versus the dense kernels. The threshold therefore
+    defaults to ``0.0`` (dispatch off): runs stay byte-identical to the
+    pre-engine substrate unless the caller opts in (``repro run
+    --density-threshold``, :func:`configure`, or the environment
+    variable below).
+
+:func:`inference_mode`
+    Layers skip all backward-pass bookkeeping (``_cache`` activations,
+    max-pool argmax indices, BN ``x_hat`` tensors) inside this context.
+    Evaluation and BN recalibration run forward-only, so the caches are
+    pure memory and time overhead there.
+
+:func:`masked_weight_grads`
+    Inside this context, layers skip the weight-gradient computation for
+    fully-pruned output rows. The masked SGD update (paper Eq. 5)
+    multiplies gradients by the mask before applying them, so local
+    training loops can enable this without changing a single update;
+    growth-signal collection (paper Eq. 6) must run *outside* it so
+    pruned positions keep their dense gradients.
+
+The threshold can be pre-set for a whole process tree with the
+``REPRO_DENSITY_THRESHOLD`` environment variable (read at import, so it
+propagates to spawned executor workers).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "EngineConfig",
+    "get_config",
+    "configure",
+    "dispatch_rows",
+    "inference_mode",
+    "caching_enabled",
+    "masked_weight_grads",
+    "weight_grads_masked",
+]
+
+_DEFAULT_DENSITY_THRESHOLD = 0.0
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of the sparsity-aware compute engine."""
+
+    #: Sparse row dispatch activates when a prunable parameter's density
+    #: is strictly below this value (0.0, the default, disables it
+    #: entirely; 1.0 means always try to drop rows).
+    density_threshold: float = _DEFAULT_DENSITY_THRESHOLD
+
+
+def _validated_threshold(value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"density_threshold must be in [0, 1], got {value}"
+        )
+    return float(value)
+
+
+def _initial_config() -> EngineConfig:
+    raw = os.environ.get("REPRO_DENSITY_THRESHOLD")
+    if raw is None:
+        return EngineConfig()
+    try:
+        threshold = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_DENSITY_THRESHOLD must be a float, got {raw!r}"
+        ) from exc
+    return EngineConfig(density_threshold=_validated_threshold(threshold))
+
+
+_config = _initial_config()
+
+
+def get_config() -> EngineConfig:
+    """The live engine configuration (mutate via :func:`configure`)."""
+    return _config
+
+
+def configure(*, density_threshold: float | None = None) -> EngineConfig:
+    """Update engine knobs; returns the updated config."""
+    if density_threshold is not None:
+        _config.density_threshold = _validated_threshold(density_threshold)
+    return _config
+
+
+def dispatch_rows(param, num_rows: int):
+    """Active output-row indices for sparse dispatch, or ``None``.
+
+    ``None`` means run the dense kernels: the parameter is unmasked, its
+    density is at or above the threshold, or no output row is fully
+    pruned (so there is nothing to drop).
+    """
+    if param.mask is None:
+        return None
+    if param.density >= _config.density_threshold:
+        return None
+    rows = param.active_output_rows()
+    if rows.size == num_rows:
+        return None
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Inference fast path (no backward bookkeeping)
+# ----------------------------------------------------------------------
+_inference_depth = 0
+
+
+@contextmanager
+def inference_mode():
+    """Forward-only context: layers keep no state for ``backward``.
+
+    A ``backward`` call after a forward pass taken inside this context
+    raises ``RuntimeError("backward called before forward")``, exactly as
+    if no forward had run.
+    """
+    global _inference_depth
+    _inference_depth += 1
+    try:
+        yield
+    finally:
+        _inference_depth -= 1
+
+
+def caching_enabled() -> bool:
+    """Whether layers should record backward-pass caches."""
+    return _inference_depth == 0
+
+
+# ----------------------------------------------------------------------
+# Masked weight gradients (training fast path)
+# ----------------------------------------------------------------------
+_masked_grad_depth = 0
+
+
+@contextmanager
+def masked_weight_grads():
+    """Skip weight gradients of fully-pruned output rows.
+
+    Only safe where gradients feed a *masked* update (local SGD); never
+    wrap growth-signal collection in this.
+    """
+    global _masked_grad_depth
+    _masked_grad_depth += 1
+    try:
+        yield
+    finally:
+        _masked_grad_depth -= 1
+
+
+def weight_grads_masked() -> bool:
+    """Whether fully-pruned-row weight gradients may be skipped."""
+    return _masked_grad_depth > 0

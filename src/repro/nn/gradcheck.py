@@ -67,7 +67,15 @@ def check_module_gradients(
     np.testing.assert_allclose(grad_in, numeric_in, atol=atol, rtol=rtol)
 
     for name, param in module.named_parameters():
-        numeric = numerical_gradient(objective, param.data)
+        # numerical_gradient perturbs param.data in place through a view,
+        # which the version-tagged effective-weight cache cannot see.
+        def perturbed_objective(param=param) -> float:
+            param.bump_version()
+            return objective()
+
+        numeric = numerical_gradient(perturbed_objective, param.data)
+        # The final in-place restore is also invisible to the cache.
+        param.bump_version()
         np.testing.assert_allclose(
             analytic_params[name],
             numeric,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import engine
 from ..module import Module
 
 __all__ = ["ReLU"]
@@ -14,17 +15,20 @@ class ReLU(Module):
 
     def __init__(self) -> None:
         super().__init__()
-        self._mask: np.ndarray | None = None
+        self._cache: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+        if not engine.caching_enabled():
+            self._cache = None
+            return np.maximum(x, 0.0)
+        self._cache = x > 0
+        return x * self._cache
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        if self._cache is None:
             raise RuntimeError("backward called before forward")
-        grad_in = grad_out * self._mask
-        self._mask = None
+        grad_in = grad_out * self._cache
+        self._cache = None
         return grad_in
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import engine
 from .. import functional as F
 from ..module import Module
 
@@ -29,7 +30,9 @@ class AvgPool2d(Module):
         out_w = F.conv_output_size(w, k, s, p)
         col = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
         out = col.mean(axis=1).reshape(n, c, out_h, out_w)
-        self._cache = (x.shape, col.shape)
+        self._cache = (
+            (x.shape, col.shape) if engine.caching_enabled() else None
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import engine
 from ..module import Module
 from ..parameter import Parameter
 
@@ -107,7 +108,11 @@ class BatchNorm2d(Module):
             self.gamma.data[None, :, None, None] * x_hat
             + self.beta.data[None, :, None, None]
         )
-        self._cache = (x_hat, inv_std, x.shape)
+        # x_hat is a full activation-sized tensor; keep it only when a
+        # backward pass can actually consume it.
+        self._cache = (
+            (x_hat, inv_std, x.shape) if engine.caching_enabled() else None
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import engine
 from .. import functional as F
 from ..init import kaiming_normal
 from ..module import Module
@@ -20,6 +21,14 @@ class Conv2d(Module):
     always uses the *effective* (masked) weight, and ``backward`` writes
     the gradient with respect to the effective weight, which is the RigL
     growth signal the progressive-pruning module consumes.
+
+    When the weight density falls below the engine's
+    ``density_threshold``, the layer drops the all-zero output rows of
+    the reshaped effective weight from every matmul, so fully-pruned
+    output channels cost nothing. The dropped rows contribute exactly
+    zero, so the dispatch never changes the result; growth-signal weight
+    gradients stay dense unless the caller opted into
+    :func:`repro.nn.engine.masked_weight_grads`.
     """
 
     def __init__(
@@ -62,36 +71,75 @@ class Conv2d(Module):
         k, s, p = self.kernel_size, self.stride, self.padding
         out_h = F.conv_output_size(h, k, s, p)
         out_w = F.conv_output_size(w, k, s, p)
-        col = F.im2col(x, k, k, s, p)  # (N*out_h*out_w, C*k*k)
         w_eff = self.weight.effective.reshape(self.out_channels, -1)
-        out = col @ w_eff.T
-        if self.bias is not None:
-            out += self.bias.data
-        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(
-            0, 3, 1, 2
+        active = engine.dispatch_rows(self.weight, self.out_channels)
+        caching = engine.caching_enabled()
+        if active is None:
+            col = F.im2col(x, k, k, s, p)
+            out = col @ w_eff.T
+            if self.bias is not None:
+                out += self.bias.data
+            out = out.reshape(n, out_h, out_w, self.out_channels).transpose(
+                0, 3, 1, 2
+            )
+            self._cache = (x.shape, col, None, False) if caching else None
+            return out
+        # Sparse dispatch: kernel-major lowering and batched matmuls over
+        # the active output rows only. With every channel pruned, the
+        # column matrix is needed solely for dense growth-signal weight
+        # gradients; the masked-grads decision is recorded in the cache
+        # so backward stays coherent with what forward kept.
+        masked_grads = engine.weight_grads_masked()
+        need_col = active.size > 0 or (caching and not masked_grads)
+        col = F.im2col_kernel_major(x, k, k, s, p) if need_col else None
+        out = np.zeros(
+            (n, self.out_channels, out_h * out_w), dtype=np.float32
         )
-        self._cache = (x.shape, col)
+        if active.size:
+            out[:, active] = np.matmul(w_eff[active], col)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        self._cache = (
+            (x.shape, col, active, masked_grads) if caching else None
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        input_shape, col = self._cache
+        input_shape, col, active, masked_grads = self._cache
         n, c_out, out_h, out_w = grad_out.shape
-        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
-        if self.bias is not None:
-            self.bias.grad += grad_flat.sum(axis=0)
-        self.weight.grad += (grad_flat.T @ col).reshape(self.weight.shape)
+        k, s, p = self.kernel_size, self.stride, self.padding
         w_eff = self.weight.effective.reshape(self.out_channels, -1)
-        grad_col = grad_flat @ w_eff
-        grad_in = F.col2im(
-            grad_col,
-            input_shape,
-            self.kernel_size,
-            self.kernel_size,
-            self.stride,
-            self.padding,
-        )
+        if active is None:
+            grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, c_out)
+            if self.bias is not None:
+                self.bias.grad += grad_flat.sum(axis=0)
+            self.weight.grad += (grad_flat.T @ col).reshape(self.weight.shape)
+            grad_col = grad_flat @ w_eff
+            grad_in = F.col2im(grad_col, input_shape, k, k, s, p)
+            self._cache = None
+            return grad_in
+        # Sparse dispatch: batched kernel-major backward.
+        grad3 = grad_out.reshape(n, c_out, out_h * out_w)
+        if self.bias is not None:
+            self.bias.grad += grad3.sum(axis=(0, 2))
+        grad_w = self.weight.grad.reshape(self.out_channels, -1)
+        if masked_grads:
+            if active.size:
+                grad3a = grad3[:, active]
+                grad_w[active] += np.matmul(
+                    grad3a, col.transpose(0, 2, 1)
+                ).sum(axis=0)
+        else:
+            grad_w += np.matmul(grad3, col.transpose(0, 2, 1)).sum(axis=0)
+            grad3a = grad3[:, active] if active.size else None
+        if active.size == 0:
+            self._cache = None
+            return np.zeros(input_shape, dtype=grad_out.dtype)
+        grad_col = np.matmul(w_eff[active].T, grad3a)
+        grad_in = F.col2im_kernel_major(grad_col, input_shape, k, k, s, p)
         self._cache = None
         return grad_in
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import engine
 from ..init import kaiming_normal
 from ..module import Module
 from ..parameter import Parameter
@@ -12,7 +13,13 @@ __all__ = ["Linear"]
 
 
 class Linear(Module):
-    """Affine map ``y = x W^T + b`` with a prunable weight."""
+    """Affine map ``y = x W^T + b`` with a prunable weight.
+
+    Like :class:`~repro.nn.layers.Conv2d`, the layer drops all-zero
+    output rows of the effective weight from its matmuls when the weight
+    density is below the engine's ``density_threshold``; the dropped
+    rows contribute exactly zero, so results are unchanged.
+    """
 
     def __init__(
         self,
@@ -34,7 +41,7 @@ class Linear(Module):
             if bias
             else None
         )
-        self._cache: np.ndarray | None = None
+        self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
@@ -42,20 +49,46 @@ class Linear(Module):
                 f"expected input of shape (N, {self.in_features}), "
                 f"got {x.shape}"
             )
-        self._cache = x
-        out = x @ self.weight.effective.T
+        w_eff = self.weight.effective
+        active = engine.dispatch_rows(self.weight, self.out_features)
+        if active is None:
+            out = x @ w_eff.T
+        else:
+            out = np.zeros((x.shape[0], self.out_features), dtype=np.float32)
+            if active.size:
+                out[:, active] = x @ w_eff[active].T
         if self.bias is not None:
             out += self.bias.data
+        self._cache = (
+            (x, active, engine.weight_grads_masked())
+            if engine.caching_enabled()
+            else None
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        x = self._cache
-        self.weight.grad += grad_out.T @ x
+        x, active, masked_grads = self._cache
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)
-        grad_in = grad_out @ self.weight.effective
+        w_eff = self.weight.effective
+        if active is None:
+            self.weight.grad += grad_out.T @ x
+            grad_in = grad_out @ w_eff
+        else:
+            if masked_grads:
+                if active.size:
+                    self.weight.grad[active] += grad_out[:, active].T @ x
+            else:
+                self.weight.grad += grad_out.T @ x
+            if active.size:
+                grad_in = grad_out[:, active] @ w_eff[active]
+            else:
+                grad_in = np.zeros(
+                    (grad_out.shape[0], self.in_features),
+                    dtype=grad_out.dtype,
+                )
         self._cache = None
         return grad_in
 

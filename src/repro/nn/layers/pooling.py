@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import engine
 from .. import functional as F
 from ..module import Module
 
@@ -30,6 +31,10 @@ class MaxPool2d(Module):
         # Pool each channel independently by folding channels into the
         # batch dimension before the im2col lowering.
         col = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
+        if not engine.caching_enabled():
+            # Forward-only: no argmax bookkeeping needed.
+            self._cache = None
+            return col.max(axis=1).reshape(n, c, out_h, out_w)
         argmax = col.argmax(axis=1)
         out = col[np.arange(col.shape[0]), argmax]
         out = out.reshape(n, c, out_h, out_w)
@@ -60,7 +65,7 @@ class GlobalAvgPool2d(Module):
         self._shape: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._shape = x.shape
+        self._shape = x.shape if engine.caching_enabled() else None
         return x.mean(axis=(2, 3))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

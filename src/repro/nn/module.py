@@ -127,6 +127,21 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def free_caches(self) -> None:
+        """Drop every layer's backward-pass cache tree-wide.
+
+        Layers release their caches at the end of ``backward``, but a
+        forward pass that is never backpropagated (an abandoned batch, a
+        stats-only pass) leaves activation-sized arrays pinned. Calling
+        this returns the model to its post-``backward`` memory footprint;
+        a subsequent ``backward`` without a fresh ``forward`` raises.
+        """
+        for module in self.modules():
+            if "_cache" in module.__dict__:
+                object.__setattr__(module, "_cache", None)
+            if "_shape" in module.__dict__:
+                object.__setattr__(module, "_shape", None)
+
     # ------------------------------------------------------------------
     # Counting helpers
     # ------------------------------------------------------------------

@@ -13,6 +13,14 @@ A :class:`Parameter` owns three arrays:
 ``mask``
     Optional binary array of the same shape. ``None`` means dense. The
     effective value used in the forward pass is ``data * mask``.
+
+``data`` and ``mask`` are version-tagged properties: every assignment
+(including augmented assignments such as ``param.data -= update``, which
+route through the setter) bumps an internal version counter. The
+``effective`` product and the row/density statistics are cached against
+that counter, so they are computed once per mutation instead of once per
+read. Code that mutates ``data`` in place *through a separate view*
+(the only case the setters cannot see) must call :meth:`bump_version`.
 """
 
 from __future__ import annotations
@@ -26,31 +34,76 @@ class Parameter:
     """A named, optionally masked, trainable array."""
 
     def __init__(self, data: np.ndarray, prunable: bool = False) -> None:
-        self.data = np.asarray(data, dtype=np.float32)
-        self.grad = np.zeros_like(self.data)
-        self.mask: np.ndarray | None = None
+        self._data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self._data)
+        self._mask: np.ndarray | None = None
         self.prunable = bool(prunable)
+        self._version = 0
+        # Version-tagged caches (valid while their tag == self._version).
+        self._effective_cache: np.ndarray | None = None
+        self._effective_tag = -1
+        self._num_active_cache = 0
+        self._num_active_tag = -1
+        self._active_rows_cache: np.ndarray | None = None
+        self._active_rows_tag = -1
+
+    # ------------------------------------------------------------------
+    # Versioned storage
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = np.asarray(value, dtype=np.float32)
+        self._version += 1
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        return self._mask
+
+    @mask.setter
+    def mask(self, value: np.ndarray | None) -> None:
+        self._mask = value
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every data/mask mutation."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Invalidate caches after an in-place edit through a view."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Shape helpers
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
-        return self.data.shape
+        return self._data.shape
 
     @property
     def size(self) -> int:
-        return int(self.data.size)
+        return int(self._data.size)
 
     # ------------------------------------------------------------------
     # Sparsity
     # ------------------------------------------------------------------
     @property
     def effective(self) -> np.ndarray:
-        """Value used in the forward pass (``data * mask`` when masked)."""
-        if self.mask is None:
-            return self.data
-        return self.data * self.mask
+        """Value used in the forward pass (``data * mask`` when masked).
+
+        Masked parameters return a cached product that is recomputed only
+        when the version changes; treat it as read-only.
+        """
+        if self._mask is None:
+            return self._data
+        if self._effective_tag != self._version:
+            self._effective_cache = self._data * self._mask
+            self._effective_tag = self._version
+        return self._effective_cache
 
     def set_mask(self, mask: np.ndarray | None) -> None:
         """Install a binary mask (or remove it with ``None``)."""
@@ -58,24 +111,27 @@ class Parameter:
             self.mask = None
             return
         mask = np.asarray(mask)
-        if mask.shape != self.data.shape:
+        if mask.shape != self._data.shape:
             raise ValueError(
                 f"mask shape {mask.shape} does not match parameter shape "
-                f"{self.data.shape}"
+                f"{self._data.shape}"
             )
         self.mask = (mask != 0).astype(np.float32)
 
     def apply_mask(self) -> None:
         """Zero the stored data at pruned positions (paper: theta = Theta * m)."""
-        if self.mask is not None:
-            self.data *= self.mask
+        if self._mask is not None:
+            self.data = self._data * self._mask
 
     @property
     def num_active(self) -> int:
         """Number of unpruned entries."""
-        if self.mask is None:
+        if self._mask is None:
             return self.size
-        return int(self.mask.sum())
+        if self._num_active_tag != self._version:
+            self._num_active_cache = int(np.count_nonzero(self._mask))
+            self._num_active_tag = self._version
+        return self._num_active_cache
 
     @property
     def density(self) -> float:
@@ -83,6 +139,21 @@ class Parameter:
         if self.size == 0:
             return 1.0
         return self.num_active / self.size
+
+    def active_output_rows(self) -> np.ndarray | None:
+        """Indices of axis-0 rows with at least one unpruned entry.
+
+        ``None`` for dense parameters. For a conv/linear weight, axis 0
+        is the output-channel/feature dimension, so a missing index is a
+        fully-pruned output row the compute engine can skip.
+        """
+        if self._mask is None:
+            return None
+        if self._active_rows_tag != self._version:
+            rows = np.asarray(self._mask).reshape(self.shape[0], -1)
+            self._active_rows_cache = np.flatnonzero(rows.any(axis=1))
+            self._active_rows_tag = self._version
+        return self._active_rows_cache
 
     # ------------------------------------------------------------------
     # Gradients

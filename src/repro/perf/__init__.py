@@ -1,0 +1,5 @@
+"""Performance measurement harnesses for the compute substrate."""
+
+from .sparse_compute import run_sparse_compute_bench, write_bench_json
+
+__all__ = ["run_sparse_compute_bench", "write_bench_json"]

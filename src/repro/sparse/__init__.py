@@ -1,6 +1,6 @@
 """Sparsity substrate: masks, streaming top-K buffers, storage model."""
 
-from .mask import MaskSet, prunable_parameters
+from .mask import MaskSet, prunable_parameters, structured_row_mask
 from .storage import (
     INDEX_BYTES,
     VALUE_BYTES,
@@ -37,4 +37,5 @@ __all__ = [
     "quantize_state",
     "quantize_tensor",
     "sparse_bytes",
+    "structured_row_mask",
 ]

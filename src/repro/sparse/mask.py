@@ -13,12 +13,43 @@ import numpy as np
 
 from ..nn.module import Module
 
-__all__ = ["MaskSet", "prunable_parameters"]
+__all__ = ["MaskSet", "prunable_parameters", "structured_row_mask"]
 
 
 def prunable_parameters(model: Module):
     """Ordered ``(name, Parameter)`` pairs of the prunable parameters."""
     return [(n, p) for n, p in model.named_parameters() if p.prunable]
+
+
+def structured_row_mask(
+    shape: tuple[int, ...],
+    density: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Output-channel-structured mask of roughly the requested density.
+
+    Keeps ``round(density * shape[0])`` whole rows of axis 0 (at least
+    one) and prunes the rest entirely. For a conv/linear weight, axis 0
+    is the output dimension, so the pruned rows are exactly the
+    fully-pruned output channels the compute engine's density dispatch
+    can skip. Used by the sparse-compute benchmarks and available to
+    structured-pruning experiments.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if len(shape) == 0:
+        raise ValueError("mask shape must have at least one dimension")
+    rows = shape[0]
+    keep = max(1, int(round(density * rows))) if density > 0.0 else 0
+    mask = np.zeros(shape, dtype=bool)
+    if keep == 0:
+        return mask
+    if rng is None:
+        kept = np.arange(keep)
+    else:
+        kept = np.sort(rng.choice(rows, size=keep, replace=False))
+    mask[kept] = True
+    return mask
 
 
 class MaskSet:

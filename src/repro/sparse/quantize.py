@@ -47,9 +47,13 @@ def quantize_tensor(values: np.ndarray, bits: int = 8) -> QuantizedTensor:
     max_code = (1 << (bits - 1)) - 1
     peak = float(np.abs(values).max()) if values.size else 0.0
     scale = peak / max_code if peak > 0 else 1.0
+    # Narrowest integer dtype that holds [-max_code - 1, max_code], so
+    # in-memory copies and process-executor pickles of quantized uploads
+    # stay close to the on-the-wire payload size.
+    dtype = np.int8 if bits <= 8 else np.int16
     codes = np.clip(
         np.round(values / scale), -max_code - 1, max_code
-    ).astype(np.int32)
+    ).astype(dtype)
     return QuantizedTensor(
         codes=codes, scale=scale, bits=bits, shape=values.shape
     )

@@ -168,3 +168,69 @@ class TestAggregateSparseGradients:
                 for w, vec, rep in zip(weights, dense, reports)
             )
             assert value == pytest.approx(expected, rel=1e-5, abs=1e-6)
+
+
+class TestVectorizedSparseAggregationEquivalence:
+    """The np.unique/np.add.at bulk path must reproduce the scalar
+    accumulation loop it replaced bit-for-bit (same float64 products,
+    same per-index accumulation order, one final float32 rounding)."""
+
+    @staticmethod
+    def _scalar_reference(per_device, sample_counts):
+        weights = normalized_weights(sample_counts)
+        layer_names = set()
+        for device in per_device:
+            layer_names.update(device)
+        aggregated = {}
+        for name in sorted(layer_names):
+            sums = {}
+            for weight, device in zip(weights, per_device):
+                if name not in device:
+                    continue
+                indices, values = device[name]
+                for index, value in zip(indices, values):
+                    key = int(index)
+                    sums[key] = (
+                        sums.get(key, 0.0) + float(weight) * float(value)
+                    )
+            if not sums:
+                continue
+            idx = np.array(sorted(sums), dtype=np.int64)
+            val = np.array([sums[i] for i in idx], dtype=np.float32)
+            aggregated[name] = (idx, val)
+        return aggregated
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_identical_on_ragged_reports(self, seed):
+        rng = np.random.default_rng(seed)
+        num_devices = int(rng.integers(1, 6))
+        layers = ["a", "b", "c"][: int(rng.integers(1, 4))]
+        per_device = []
+        for _ in range(num_devices):
+            report = {}
+            for layer in layers:
+                if rng.random() < 0.3:
+                    continue  # ragged: device skips this layer
+                count = int(rng.integers(0, 9))
+                idx = rng.choice(50, size=count, replace=False)
+                values = rng.normal(size=count).astype(np.float32)
+                report[layer] = (idx.astype(np.int64), values)
+            per_device.append(report)
+        counts = [int(c) for c in rng.integers(1, 100, size=num_devices)]
+
+        got = aggregate_sparse_gradients(per_device, counts)
+        want = self._scalar_reference(per_device, counts)
+
+        assert set(got) == set(want)
+        for name in want:
+            np.testing.assert_array_equal(got[name][0], want[name][0])
+            assert got[name][1].dtype == np.float32
+            assert np.array_equal(got[name][1], want[name][1]), name
+
+    def test_all_empty_reports_produce_no_layers(self):
+        per_device = [
+            {"l": (np.array([], dtype=np.int64), np.array([], dtype=np.float32))},
+            {},
+        ]
+        assert aggregate_sparse_gradients(per_device, [1, 2]) == {}

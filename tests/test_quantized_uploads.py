@@ -101,3 +101,60 @@ class TestQuantizedUploads:
             FLConfig(quantize_upload_bits=1)
         with pytest.raises(ValueError):
             FLConfig(quantize_upload_bits=32)
+
+
+class TestNarrowCodeDtypes:
+    """quantize_tensor must store codes in the narrowest integer dtype
+    that fits, so pickled process-executor uploads shrink accordingly."""
+
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [(2, np.int8), (4, np.int8), (8, np.int8),
+         (9, np.int16), (12, np.int16), (16, np.int16)],
+    )
+    def test_dtype_is_narrowest_fit(self, bits, expected):
+        from repro.sparse import quantize_tensor
+
+        values = np.linspace(-1.0, 1.0, 64, dtype=np.float32)
+        quantized = quantize_tensor(values, bits=bits)
+        assert quantized.codes.dtype == expected
+        # Full code range must survive the dtype.
+        max_code = (1 << (bits - 1)) - 1
+        assert quantized.codes.max() == max_code
+        assert quantized.codes.min() >= -max_code - 1
+
+    def test_payload_bytes_unchanged_by_dtype(self):
+        from repro.sparse import quantize_tensor
+
+        values = np.linspace(-1.0, 1.0, 100, dtype=np.float32)
+        for bits in (2, 8, 12, 16):
+            quantized = quantize_tensor(values, bits=bits)
+            # On-the-wire accounting is bit-packed + one float32 scale,
+            # independent of the in-memory dtype.
+            assert quantized.payload_bytes == (100 * bits + 7) // 8 + 4
+
+    def test_roundtrip_unchanged(self):
+        from repro.sparse import dequantize_tensor, quantize_tensor
+
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(7, 9)).astype(np.float32)
+        for bits in (4, 8, 16):
+            restored = dequantize_tensor(quantize_tensor(values, bits))
+            assert restored.shape == values.shape
+            assert np.abs(restored - values).max() <= 2.0 * (
+                np.abs(values).max() / ((1 << (bits - 1)) - 1)
+            )
+
+    def test_pickles_shrink(self):
+        import pickle
+
+        from repro.sparse import quantize_tensor
+
+        values = np.random.default_rng(1).normal(size=4096).astype(
+            np.float32)
+        int8_payload = pickle.dumps(quantize_tensor(values, bits=8))
+        int16_payload = pickle.dumps(quantize_tensor(values, bits=16))
+        raw_payload = pickle.dumps(values)
+        assert len(int8_payload) < len(int16_payload) < len(raw_payload)
+        # int8 codes: ~1 byte per element instead of 4.
+        assert len(int8_payload) < len(raw_payload) // 3
