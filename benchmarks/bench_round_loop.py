@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the sparse round-transport subsystem.
+
+Times the broadcast / upload / aggregate phases of one federated round
+for the legacy (pickle + allocating FedAvg) and packed (shared-memory
+codec + allocation-free aggregation) pipelines at 10% density, so CI's
+``--benchmark-json`` output carries directly comparable rows. The full
+clients x density x model grid with machine-readable acceptance ratios
+comes from ``python -m repro bench --suite round_loop`` (see
+``repro.perf.round_loop``).
+"""
+
+import pytest
+
+from repro.perf.round_loop import MODEL_GRID, _Cell
+
+_CASE = MODEL_GRID[1]  # resnet18_w025: convnet-sized, transport-bound
+_CLIENTS = 8
+_DENSITY = 0.1
+
+
+@pytest.fixture(scope="module")
+def cell():
+    cell = _Cell(_CASE, _CLIENTS, _DENSITY)
+    yield cell
+    cell.close()
+
+
+def test_broadcast_legacy(benchmark, cell):
+    benchmark(cell.legacy_broadcast)
+
+
+def test_broadcast_packed(benchmark, cell):
+    benchmark(cell.packed_broadcast)
+
+
+def test_upload_legacy(benchmark, cell):
+    benchmark(cell.legacy_upload)
+
+
+def test_upload_packed(benchmark, cell):
+    benchmark(cell.packed_upload)
+
+
+def test_aggregate_legacy(benchmark, cell):
+    benchmark(cell.legacy_aggregate)
+
+
+def test_aggregate_packed(benchmark, cell):
+    benchmark(cell.packed_aggregate)

@@ -1,20 +1,25 @@
 #!/usr/bin/env python
-"""Fail CI when the sparse-compute engine regresses against its baseline.
+"""Fail CI when a perf suite regresses against its checked-in baseline.
 
-Compares the *speedup ratios* in a fresh ``BENCH_sparse_compute.json``
-against the checked-in baseline ratios. Ratios (engine versus the
-in-process legacy reference, measured interleaved) are stable across
-machines, unlike absolute step times, so the baseline does not need to
-be re-captured per CI runner generation.
+Compares the *speedup ratios* in a fresh benchmark record's
+``summary.acceptance`` block against the checked-in baseline ratios.
+Ratios (new path versus the in-process legacy reference, measured
+interleaved) are stable across machines, unlike absolute step times, so
+baselines do not need to be re-captured per CI runner generation. Both
+the sparse-compute and the round-loop suites emit this block, so one
+gate serves both.
 
 Usage::
 
     python benchmarks/check_sparse_regression.py \
         BENCH_sparse_compute.json \
         benchmarks/baselines/sparse_compute_baseline.json
+    python benchmarks/check_sparse_regression.py \
+        BENCH_round_loop.json \
+        benchmarks/baselines/round_loop_baseline.json
 
-Exits non-zero when any tracked conv forward/backward ratio falls more
-than ``TOLERANCE`` (25%) below its baseline value.
+Exits non-zero when any tracked ratio falls more than ``TOLERANCE``
+(25%) below its baseline value.
 """
 
 from __future__ import annotations

@@ -7,6 +7,7 @@ Usage::
         --dataset cifar10 --density 0.05 --scale tiny
     python -m repro experiment table1 --scale bench
     python -m repro bench --out BENCH_sparse_compute.json
+    python -m repro bench --suite round_loop --out BENCH_round_loop.json
 """
 
 from __future__ import annotations
@@ -118,15 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the sparse-compute micro-benchmark grid",
+        help="run a micro-benchmark suite (sparse compute or round loop)",
         description=(
-            "Measure Conv2d/Linear forward+backward across a density x "
-            "shape grid against the pre-engine reference path and emit "
-            "a machine-readable JSON record."
+            "Measure a performance suite against its pre-change "
+            "reference path and emit a machine-readable JSON record: "
+            "'sparse_compute' times Conv2d/Linear forward+backward "
+            "across a density x shape grid; 'round_loop' times the "
+            "broadcast/upload/aggregate transport of one federated "
+            "round across a clients x density x model grid."
         ),
     )
-    bench.add_argument("--out", default="BENCH_sparse_compute.json",
-                       help="output JSON path")
+    bench.add_argument("--suite", default="sparse_compute",
+                       choices=("sparse_compute", "round_loop"),
+                       help="which benchmark grid to run")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: "
+                            "BENCH_<suite>.json)")
     bench.add_argument("--repeats", type=int, default=7,
                        help="interleaved timing samples per variant")
     bench.add_argument("--quick", action="store_true",
@@ -205,18 +213,35 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from .perf import run_sparse_compute_bench, write_bench_json
+    from .perf import run_round_loop_bench, run_sparse_compute_bench, \
+        write_bench_json
 
-    record = run_sparse_compute_bench(
-        repeats=args.repeats, quick=args.quick
-    )
-    path = write_bench_json(record, args.out)
-    print(f"wrote {path}")
-    print("shape                     density  variant                "
-          "     ms/step")
-    for row in record["results"]:
-        print(f"{row['shape']:<25} {row['density']:>6.2f}  "
-              f"{row['variant']:<25} {row['seconds'] * 1e3:>8.3f}")
+    out = args.out or f"BENCH_{args.suite}.json"
+    if args.suite == "round_loop":
+        record = run_round_loop_bench(
+            repeats=args.repeats, quick=args.quick
+        )
+        path = write_bench_json(record, out)
+        print(f"wrote {path}")
+        print("model           clients  density  phase      variant "
+              "    ms/round")
+        for row in record["results"]:
+            if "seconds" not in row:
+                continue
+            print(f"{row['model']:<15} {row['clients']:>7} "
+                  f"{row['density']:>8.2f}  {row['phase']:<10} "
+                  f"{row['variant']:<7} {row['seconds'] * 1e3:>9.3f}")
+    else:
+        record = run_sparse_compute_bench(
+            repeats=args.repeats, quick=args.quick
+        )
+        path = write_bench_json(record, out)
+        print(f"wrote {path}")
+        print("shape                     density  variant            "
+              "         ms/step")
+        for row in record["results"]:
+            print(f"{row['shape']:<25} {row['density']:>6.2f}  "
+                  f"{row['variant']:<25} {row['seconds'] * 1e3:>8.3f}")
     print()
     acceptance = record["summary"]["acceptance"]
     for key, value in sorted(acceptance.items()):

@@ -11,12 +11,81 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "AggregationWorkspace",
     "normalized_weights",
     "weighted_average_states",
+    "aggregate_packed_states",
     "staleness_weighted_average_states",
     "aggregate_bn_statistics",
     "aggregate_sparse_gradients",
 ]
+
+
+class AggregationWorkspace:
+    """Reusable accumulation buffers for :func:`weighted_average_states`.
+
+    FedAvg runs every round over states of identical shapes, yet the
+    naive implementation allocates a float64 accumulator, one float64
+    product per contribution, and a float32 result — per key, per round.
+    A workspace preallocates all three once and the aggregation then
+    runs entirely through ``out=`` ufunc calls; buffers are rebuilt only
+    when the state layout (keys or shapes) changes.
+
+    The float32 arrays handed back by an aggregation using a workspace
+    are the workspace's own output buffers: treat them as invalidated by
+    the next aggregation call (the server copies them into its state
+    before that).
+    """
+
+    def __init__(self) -> None:
+        self._layout: tuple | None = None
+        self._acc: dict[str, np.ndarray] = {}
+        self._scratch: dict[str, np.ndarray] = {}
+        self._out: dict[str, np.ndarray] = {}
+        self._out_shapes: dict[str, tuple[int, ...]] = {}
+
+    def bind(self, template: dict[str, np.ndarray]) -> None:
+        """Size the buffers for states shaped like ``template``."""
+        self.bind_layout(
+            tuple((name, value.shape) for name, value in template.items())
+        )
+
+    def bind_layout(
+        self, layout: tuple[tuple[str, tuple[int, ...]], ...]
+    ) -> None:
+        """Size the buffers for a ``((name, shape), ...)`` layout."""
+        if layout == self._layout:
+            return
+        self._acc = {
+            name: np.empty(shape, dtype=np.float64)
+            for name, shape in layout
+        }
+        self._scratch = {
+            name: np.empty(shape, dtype=np.float64)
+            for name, shape in layout
+        }
+        # Output buffers are allocated on first request: the packed
+        # aggregation only rounds *sparse* tensors through them (dense
+        # results get their own storage), so eager allocation would pin
+        # a dead float32 copy of every dense tensor.
+        self._out = {}
+        self._out_shapes = dict(layout)
+        self._layout = layout
+
+    def accumulator(self, name: str) -> np.ndarray:
+        acc = self._acc[name]
+        acc.fill(0.0)
+        return acc
+
+    def scratch(self, name: str) -> np.ndarray:
+        return self._scratch[name]
+
+    def output(self, name: str) -> np.ndarray:
+        out = self._out.get(name)
+        if out is None:
+            out = np.empty(self._out_shapes[name], dtype=np.float32)
+            self._out[name] = out
+        return out
 
 
 def normalized_weights(
@@ -38,8 +107,17 @@ def normalized_weights(
 def weighted_average_states(
     states: list[dict[str, np.ndarray]],
     sample_counts: list[int] | list[float] | np.ndarray,
+    workspace: AggregationWorkspace | None = None,
 ) -> dict[str, np.ndarray]:
-    """FedAvg: weighted mean of parameter/buffer dicts."""
+    """FedAvg: weighted mean of parameter/buffer dicts.
+
+    With a :class:`AggregationWorkspace` the accumulation runs through
+    preallocated buffers and in-place ufuncs — bit-identical to the
+    allocating path (same float64 products, same summation order, one
+    final float32 rounding) but allocation-free in steady state. The
+    returned arrays are then the workspace's output buffers, valid until
+    its next use.
+    """
     if not states:
         raise ValueError("no states to aggregate")
     weights = normalized_weights(sample_counts)
@@ -52,11 +130,103 @@ def weighted_average_states(
         if set(state) != keys:
             raise ValueError("states have mismatched keys")
     aggregated: dict[str, np.ndarray] = {}
+    if workspace is not None:
+        workspace.bind(states[0])
     for key in states[0]:
-        acc = np.zeros_like(states[0][key], dtype=np.float64)
-        for weight, state in zip(weights, states):
-            acc += weight * state[key]
-        aggregated[key] = acc.astype(np.float32)
+        if workspace is None:
+            acc = np.zeros_like(states[0][key], dtype=np.float64)
+            for weight, state in zip(weights, states):
+                acc += weight * state[key]
+            aggregated[key] = acc.astype(np.float32)
+        else:
+            acc = workspace.accumulator(key)
+            scratch = workspace.scratch(key)
+            for weight, state in zip(weights, states):
+                np.multiply(state[key], weight, out=scratch)
+                np.add(acc, scratch, out=acc)
+            out = workspace.output(key)
+            out[...] = acc
+            aggregated[key] = out
+    return aggregated
+
+
+def aggregate_packed_states(
+    payloads: list,
+    sample_counts: list[int] | list[float] | np.ndarray,
+    workspace: AggregationWorkspace | None = None,
+) -> dict[str, np.ndarray]:
+    """FedAvg over :class:`~repro.fl.payload.PackedPayload` uploads.
+
+    The sparse-aware twin of :func:`weighted_average_states`: for
+    sparse-encoded tensors only the active entries are multiplied and
+    accumulated — work and traffic both scale with density — and the
+    result is scattered into a dense state once at the end (pruned
+    positions come out as exactly ``+0.0``). All payloads must share one
+    spec layout (same masks); accumulation is float64 with a single
+    final float32 rounding, matching the dense path at every active
+    position.
+    """
+    if not payloads:
+        raise ValueError("no payloads to aggregate")
+    weights = normalized_weights(sample_counts)
+    if len(weights) != len(payloads):
+        raise ValueError(
+            f"{len(payloads)} payloads but {len(weights)} sample counts"
+        )
+    first = payloads[0]
+    if any(p.delta for p in payloads):
+        raise ValueError("delta payloads must be resolved before aggregation")
+    sparse_specs = [s for s in first.specs if s.encoding == "sparse"]
+    for other in payloads[1:]:
+        if other.specs is not first.specs and other.specs != first.specs:
+            raise ValueError(
+                "payloads have mismatched specs (different masks?)"
+            )
+        # Equal specs do not imply equal masks: two masks with the same
+        # per-tensor active counts produce identical spec tuples but
+        # different index segments, and summing values at unrelated
+        # coordinates would be silently wrong. Index segments are
+        # contiguous int32 views, so this is a memcmp per tensor.
+        for spec in sparse_specs:
+            if not np.array_equal(
+                other.indices_view(spec), first.indices_view(spec)
+            ):
+                raise ValueError(
+                    f"payloads have mismatched active indices for "
+                    f"{spec.name!r} (different masks?)"
+                )
+    if workspace is not None:
+        workspace.bind_layout(
+            tuple((spec.name, (spec.num_active,)) for spec in first.specs)
+        )
+    aggregated: dict[str, np.ndarray] = {}
+    for spec in first.specs:
+        if workspace is None:
+            acc = np.zeros(spec.num_active, dtype=np.float64)
+            for weight, payload in zip(weights, payloads):
+                acc += weight * payload.values_view(spec)
+        else:
+            acc = workspace.accumulator(spec.name)
+            scratch = workspace.scratch(spec.name)
+            for weight, payload in zip(weights, payloads):
+                np.multiply(payload.values_view(spec), weight, out=scratch)
+                np.add(acc, scratch, out=acc)
+        if spec.encoding == "sparse":
+            if workspace is None:
+                active32 = acc.astype(np.float32)
+            else:
+                active32 = workspace.output(spec.name)
+                active32[...] = acc
+            dense = np.zeros(spec.size, dtype=np.float32)
+            dense[first.indices_view(spec)] = active32
+            aggregated[spec.name] = dense.reshape(spec.shape)
+        else:
+            # Dense results must outlive the (reused) workspace buffers,
+            # so round them straight into their own storage — the same
+            # single allocation the legacy path pays.
+            aggregated[spec.name] = (
+                acc.astype(np.float32).reshape(spec.shape)
+            )
     return aggregated
 
 

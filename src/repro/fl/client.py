@@ -32,12 +32,23 @@ _STREAM_CHUNK = 4096
 
 @dataclass
 class LocalTrainResult:
-    """What a device uploads after local training."""
+    """What a device uploads after local training.
 
-    state: dict[str, np.ndarray]
+    ``state`` is the flat ``{name: array}`` upload every consumer
+    (policies, aggregation, method hooks) reads. Executors that move
+    packed sparse uploads attach the decoded
+    :class:`~repro.fl.payload.PackedPayload` as ``payload`` so byte
+    accounting can be reconciled against the actually-transferred size;
+    ``state`` may be ``None`` only transiently on the worker side when
+    the caller asked :meth:`Client.train` not to materialize the dict
+    (``collect_state=False``).
+    """
+
+    state: dict[str, np.ndarray] | None
     num_samples: int
     num_iterations: int
     mean_loss: float
+    payload: object | None = None
 
 
 class Client:
@@ -81,11 +92,15 @@ class Client:
         momentum: float = 0.9,
         weight_decay: float = 0.0,
         augment: bool = False,
+        collect_state: bool = True,
     ) -> LocalTrainResult:
         """Run ``epochs`` of local SGD and return the updated state.
 
         The model must already carry the global parameters and masks;
         updates are masked so pruned positions stay exactly zero.
+        ``collect_state=False`` skips the full state-dict copy — for
+        callers (executor workers) that read the trained values straight
+        off the model, e.g. to pack a sparse upload.
         """
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
@@ -115,7 +130,7 @@ class Client:
                     loss_sum += loss
                     iterations += 1
         return LocalTrainResult(
-            state=get_state(model),
+            state=get_state(model) if collect_state else None,
             num_samples=self.num_samples,
             num_iterations=iterations,
             mean_loss=loss_sum / max(1, iterations),

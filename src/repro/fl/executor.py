@@ -6,13 +6,20 @@ training to a :class:`ClientExecutor`; the round policy (see
 so backends stay policy-agnostic. Two backends ship built in:
 
 - ``serial`` (:class:`SerialExecutor`) — trains every participant one
-  after another through the context's shared model instance, exactly
-  reproducing the original single-threaded simulation byte for byte;
-- ``process`` (:class:`ProcessPoolClientExecutor`) — ships a pickled
-  copy of the global model to a pool of worker processes and trains
-  participants concurrently, then restores each client's RNG state so
-  the round-to-round batch streams stay identical to the serial
-  backend.
+  after another through the context's shared model instance. The
+  per-client "download" restores the model from the server's flat
+  broadcast snapshot (one memcpy, no allocation) and is bit-identical
+  to the original per-client ``load_into_model`` installation;
+- ``process`` (:class:`ProcessPoolClientExecutor`) — persistent worker
+  processes cache the model structure from start-up and receive each
+  round's state as a *packed sparse payload* through a
+  ``multiprocessing.shared_memory`` arena: the master packs and writes
+  once per round, every worker maps the same segment and restores its
+  cached model through zero-copy ``np.frombuffer`` views. Uploads come
+  back packed as well, so per-round data movement scales with the
+  active-parameter count instead of the dense model size. Client RNG
+  streams are shipped and restored per task, keeping the round-to-round
+  batch draws identical to the serial backend.
 
 Backends are selected via ``FLConfig.executor`` (and the ``--executor``
 CLI flag); new ones can be added with :func:`register_executor` without
@@ -23,10 +30,16 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
+from ..sparse.mask import MaskSet
 from .client import Client, LocalTrainResult
+from .payload import ModelBinding, PackedPayload, StatePacker, \
+    build_mask_indices, unpack_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .simulation import FederatedContext
@@ -85,41 +98,186 @@ class SerialExecutor(ClientExecutor):
     def run_clients(
         self, ctx: "FederatedContext", participants: list[Client]
     ) -> list[LocalTrainResult]:
+        if not participants:
+            return []
         kwargs = _train_kwargs(ctx)
         results = []
+        # One full install + snapshot per round; each client then "downloads"
+        # the broadcast with a flat in-place restore instead of re-running
+        # the allocating per-tensor installation.
+        ctx.server.broadcast()
         for client in participants:
-            ctx.server.load_into_model()
+            ctx.server.restore_broadcast()
             results.append(client.train(ctx.model, **kwargs))
         return results
 
 
-# Worker-process cache: the client population, shipped once per worker
-# at pool start-up instead of once per client per round (client shards
-# are by far the largest payload).
+# ----------------------------------------------------------------------
+# Shared-memory broadcast arena
+# ----------------------------------------------------------------------
+#: Arena prologue: masks-blob length, payload length (both uint64).
+_ARENA_HEADER = struct.Struct("<QQ")
+
+
+def _arena_payload_offset(masks_len: int) -> int:
+    """Start of the payload segment: 8-aligned past the masks blob.
+
+    The codec guarantees 8-aligned tensor segments relative to the
+    payload start; the pickled masks blob has arbitrary length, so the
+    payload must be placed at an aligned offset or every worker-side
+    int32/float32 view into the arena goes unaligned.
+    """
+    return (_ARENA_HEADER.size + masks_len + 7) & ~7
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing segment without resource-tracker hijacking.
+
+    On Python < 3.13 every attach registers the segment with a resource
+    tracker that tries to unlink it again at exit (bpo-39959). The
+    master owns the segment's lifetime. Under ``fork`` the workers share
+    the master's tracker process and registration is a set — the
+    duplicate is harmless and must *not* be unregistered (that would
+    strip the master's own entry). Under ``spawn`` each worker has its
+    own tracker, which would spuriously unlink at worker exit, so there
+    the worker unregisters its attachment.
+    """
+    import multiprocessing
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method(allow_none=True) != "fork":
+        try:  # pragma: no cover - depends on interpreter internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+def _pack_masks_blob(masks: MaskSet) -> bytes:
+    """Bit-packed wire form of a mask structure (1 bit per parameter)."""
+    packed = {
+        name: (mask.shape, np.packbits(mask.reshape(-1)).tobytes())
+        for name, mask in masks.items()
+    }
+    return pickle.dumps(packed, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _unpack_masks_blob(blob: bytes) -> MaskSet:
+    packed = pickle.loads(blob)
+    masks = {}
+    for name, (shape, bits) in packed.items():
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        flat = np.unpackbits(
+            np.frombuffer(bits, dtype=np.uint8), count=size
+        )
+        masks[name] = flat.astype(bool).reshape(shape)
+    return MaskSet(masks)
+
+
+# Worker-process caches. The client population and the model structure
+# ship once per worker at pool start-up; per round the worker re-reads
+# only the packed broadcast from the shared-memory arena.
 _WORKER_CLIENTS: list[Client] | None = None
+_WORKER_MODEL = None
+_WORKER_BCAST: dict = {
+    "shm": None,
+    "shm_name": None,
+    "round_tag": None,
+    "payload": None,
+    "mask_epoch": None,
+    "masks": None,
+    "indices": None,
+    "binding": None,
+}
 
 
-def _init_worker(clients_blob: bytes) -> None:
-    global _WORKER_CLIENTS
+def _init_worker(clients_blob: bytes, model_blob: bytes) -> None:
+    global _WORKER_CLIENTS, _WORKER_MODEL
     _WORKER_CLIENTS = pickle.loads(clients_blob)
+    _WORKER_MODEL = pickle.loads(model_blob)
 
 
-def _train_client_task(
-    model_blob: bytes, client_index: int, rng_state: dict, kwargs: dict
-) -> tuple[LocalTrainResult, dict]:
-    """Worker-side body: unpickle a private model copy and train on it."""
-    model = pickle.loads(model_blob)
+def _worker_refresh_broadcast(
+    shm_name: str, round_tag: int, mask_epoch: int
+) -> None:
+    """Map this round's broadcast (arena + payload views) if not cached."""
+    cache = _WORKER_BCAST
+    if cache["round_tag"] == round_tag:
+        return
+    if cache["shm_name"] != shm_name:
+        # Drop every view into the old segment before closing it, or
+        # close() refuses while exported buffers exist.
+        cache["payload"] = None
+        if cache["binding"] is not None:
+            cache["binding"].release()
+        if cache["shm"] is not None:
+            try:
+                cache["shm"].close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+        cache["shm"] = _attach_shared_memory(shm_name)
+        cache["shm_name"] = shm_name
+    buf = cache["shm"].buf
+    masks_len, payload_len = _ARENA_HEADER.unpack_from(buf)
+    epoch_changed = cache["mask_epoch"] != mask_epoch
+    if epoch_changed:
+        start = _ARENA_HEADER.size
+        masks = _unpack_masks_blob(bytes(buf[start : start + masks_len]))
+        # Applying the masks zeroes every pruned position, which is what
+        # lets each task's restore scatter only the active entries.
+        masks.apply(_WORKER_MODEL)
+        cache["masks"] = masks
+        cache["indices"] = build_mask_indices(masks)
+        cache["mask_epoch"] = mask_epoch
+    offset = _arena_payload_offset(masks_len)
+    payload = PackedPayload.from_bytes(
+        buf[offset : offset + payload_len], copy=False
+    )
+    if epoch_changed or cache["binding"] is None \
+            or cache["binding"].specs != payload.specs:
+        cache["binding"] = ModelBinding(_WORKER_MODEL, payload.specs)
+    cache["payload"] = payload
+    cache["round_tag"] = round_tag
+
+
+def _train_client_shm(
+    shm_name: str,
+    round_tag: int,
+    mask_epoch: int,
+    client_index: int,
+    rng_state: dict,
+    kwargs: dict,
+) -> tuple[bytes, int, int, float, dict]:
+    """Worker-side round body: restore from the arena, train, pack back."""
+    _worker_refresh_broadcast(shm_name, round_tag, mask_epoch)
+    cache = _WORKER_BCAST
+    model = _WORKER_MODEL
+    # Zero-copy download: scatter the packed broadcast straight from the
+    # shared segment into the cached model's storage. Pruned positions
+    # are already zero (mask application on epoch change, masked SGD in
+    # between), so only active entries are written.
+    cache["binding"].restore(cache["payload"], assume_masked=True)
     client = _WORKER_CLIENTS[client_index]
     # The authoritative RNG stream lives in the main process; install it
     # so batch draws match serial execution regardless of which worker
     # (with whatever stale cached state) picks the task up.
     client.rng.bit_generator.state = rng_state
-    result = client.train(model, **kwargs)
-    return result, client.rng.bit_generator.state
+    result = client.train(model, collect_state=False, **kwargs)
+    packed = cache["binding"].pack(indices=cache["indices"])
+    return (
+        packed.to_wire(),
+        result.num_samples,
+        result.num_iterations,
+        result.mean_loss,
+        client.rng.bit_generator.state,
+    )
 
 
 class ProcessPoolClientExecutor(ClientExecutor):
-    """Train participants concurrently on per-process model copies."""
+    """Train participants concurrently on persistent worker models."""
 
     name = "process"
 
@@ -127,8 +285,19 @@ class ProcessPoolClientExecutor(ClientExecutor):
         self.max_workers = max_workers
         self._pool = None
         self._pool_clients: list[Client] | None = None
+        self._arena = None
+        self._arena_name: str | None = None
+        self._arena_gen = 0
+        self._round_tag = 0
+        self._indices_epoch: int | None = None
+        self._indices: dict[str, np.ndarray] | None = None
+        self._masks_blob: bytes | None = None
+        self._packer: StatePacker | None = None
+        self._spec_cache: dict = {}
 
-    def _ensure_pool(self, clients: list[Client]):
+    # -- pool ----------------------------------------------------------
+    def _ensure_pool(self, ctx: "FederatedContext"):
+        clients = ctx.clients
         if self._pool is not None and self._pool_clients is not clients:
             self.close()
         if self._pool is None:
@@ -142,29 +311,97 @@ class ProcessPoolClientExecutor(ClientExecutor):
                 initializer=_init_worker,
                 initargs=(
                     pickle.dumps(clients, protocol=pickle.HIGHEST_PROTOCOL),
+                    pickle.dumps(
+                        ctx.model, protocol=pickle.HIGHEST_PROTOCOL
+                    ),
                 ),
             )
             self._pool_clients = clients
         return self._pool
 
+    # -- arena ---------------------------------------------------------
+    def _ensure_arena(self, nbytes: int):
+        """A shared segment with capacity for ``nbytes`` (grow-only)."""
+        from multiprocessing import shared_memory
+
+        if self._arena is not None and self._arena.size >= nbytes:
+            return self._arena
+        self._release_arena()
+        self._arena_gen += 1
+        # Slack so mask adjustments that grow the payload a little do
+        # not force a remap every round. The name is OS-generated
+        # (guaranteed collision-free, unlike anything derived from
+        # pid/id) and shipped to workers with each task.
+        capacity = max(1024, int(nbytes * 1.25))
+        self._arena = shared_memory.SharedMemory(
+            create=True, size=capacity
+        )
+        self._arena_name = self._arena.name
+        return self._arena
+
+    def _release_arena(self) -> None:
+        if self._arena is not None:
+            try:
+                self._arena.close()
+                self._arena.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._arena = None
+            self._arena_name = None
+
+    def _publish_broadcast(self, ctx: "FederatedContext") -> int:
+        """Pack the global state into the arena; returns the round tag.
+
+        One write per round: the packed payload plus the bit-packed mask
+        structure (workers deserialize masks only when the server's mask
+        epoch changes).
+        """
+        server = ctx.server
+        if self._indices_epoch != server.mask_epoch:
+            self._indices = build_mask_indices(server.masks)
+            self._masks_blob = _pack_masks_blob(server.masks)
+            self._packer = StatePacker(
+                server.state, server.masks, indices=self._indices
+            )
+            # Upload headers from previous mask epochs can never recur;
+            # keeping them would grow one multi-KB entry per epoch.
+            self._spec_cache.clear()
+            self._indices_epoch = server.mask_epoch
+        payload = self._packer.pack(server.state)
+        masks_blob = self._masks_blob
+        body_len = payload.wire_nbytes
+        body_offset = _arena_payload_offset(len(masks_blob))
+        total = body_offset + body_len
+        arena = self._ensure_arena(total)
+        _ARENA_HEADER.pack_into(arena.buf, 0, len(masks_blob), body_len)
+        offset = _ARENA_HEADER.size
+        arena.buf[offset : offset + len(masks_blob)] = masks_blob
+        payload.write_into(arena.buf, body_offset)
+        self._round_tag += 1
+        return self._round_tag
+
+    # -- round ---------------------------------------------------------
     def run_clients(
         self, ctx: "FederatedContext", participants: list[Client]
     ) -> list[LocalTrainResult]:
         if not participants:
-            # A round policy dropped everyone it could; don't pickle the
-            # model or spin up the pool for an empty round.
+            # A round policy dropped everyone it could; don't publish
+            # the broadcast or spin up the pool for an empty round.
             return []
-        # One download per round: every worker starts from the same
-        # global state + masks, exactly like the serial broadcast.
+        # Keep the master model in sync with the broadcast, exactly as
+        # the serial backend leaves it after a round's downloads.
         ctx.server.load_into_model()
-        blob = pickle.dumps(ctx.model, protocol=pickle.HIGHEST_PROTOCOL)
         kwargs = _train_kwargs(ctx)
-        pool = self._ensure_pool(ctx.clients)
+        pool = self._ensure_pool(ctx)
+        round_tag = self._publish_broadcast(ctx)
+        mask_epoch = ctx.server.mask_epoch
         index_of = {id(c): i for i, c in enumerate(ctx.clients)}
         futures = [
             pool.submit(
-                _train_client_task,
-                blob,
+                _train_client_shm,
+                self._arena_name,
+                round_tag,
+                mask_epoch,
                 index_of[id(client)],
                 client.rng.bit_generator.state,
                 kwargs,
@@ -173,12 +410,28 @@ class ProcessPoolClientExecutor(ClientExecutor):
         ]
         results = []
         for client, future in zip(participants, futures):
-            result, rng_state = future.result()
+            blob, num_samples, num_iterations, mean_loss, rng_state = (
+                future.result()
+            )
             # The worker trained a cached copy of the client; pull its
             # advanced RNG back so future rounds draw the same batches
             # the serial backend would.
             client.rng.bit_generator.state = rng_state
-            results.append(result)
+            # Trusted same-run producer; the blob backs the payload's
+            # buffer zero-copy for as long as the result holds it.
+            upload = PackedPayload.from_bytes(
+                blob, copy=False, validate=False,
+                spec_cache=self._spec_cache,
+            )
+            results.append(
+                LocalTrainResult(
+                    state=unpack_state(upload, validate=False),
+                    num_samples=num_samples,
+                    num_iterations=num_iterations,
+                    mean_loss=mean_loss,
+                    payload=upload,
+                )
+            )
         return results
 
     def close(self) -> None:
@@ -186,6 +439,12 @@ class ProcessPoolClientExecutor(ClientExecutor):
             self._pool.shutdown()
             self._pool = None
             self._pool_clients = None
+        self._release_arena()
+        self._indices_epoch = None
+        self._indices = None
+        self._masks_blob = None
+        self._packer = None
+        self._spec_cache.clear()
 
 
 _EXECUTORS: dict[str, Callable[..., ClientExecutor]] = {}

@@ -6,20 +6,34 @@ import numpy as np
 
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
-from .aggregation import weighted_average_states
-from .state import get_state, set_state
+from .aggregation import AggregationWorkspace, weighted_average_states
+from .state import FlatStateSnapshot, get_state, set_state
 
 __all__ = ["Server"]
 
 
 class Server:
-    """Holds the authoritative global model state and mask structure."""
+    """Holds the authoritative global model state and mask structure.
+
+    Round-loop hot paths are allocation-free in steady state: FedAvg
+    accumulates through a reusable :class:`AggregationWorkspace`,
+    committed states are written back into the existing ``_state``
+    arrays in place, and :meth:`broadcast`/:meth:`restore_broadcast`
+    reset the shared model between clients with flat memcpys instead of
+    re-running the per-tensor :func:`set_state` installation.
+    """
 
     def __init__(self, model: Module, masks: MaskSet | None = None) -> None:
         self.model = model
         self.masks = masks if masks is not None else MaskSet.dense(model)
         self.masks.apply(model)
         self._state = get_state(model)
+        # Monotonic counter, bumped whenever the mask structure changes.
+        # Executors key their shipped-mask caches on it.
+        self.mask_epoch = 0
+        self._workspace = AggregationWorkspace()
+        self._snapshot = FlatStateSnapshot()
+        self._snapshot_fresh = False
 
     # ------------------------------------------------------------------
     # State movement
@@ -32,14 +46,55 @@ class Server:
     def load_into_model(self) -> Module:
         """Install the global state and masks into the shared model."""
         self.masks.apply(self.model)
-        set_state(self.model, self._state)
+        set_state(self.model, self._state, inplace=True)
         return self.model
+
+    def broadcast(self) -> Module:
+        """One round's download: install the global state and snapshot it.
+
+        After this, :meth:`restore_broadcast` resets the model to the
+        exact broadcast bytes without allocating — the per-client
+        "download" of a serial round.
+        """
+        self.load_into_model()
+        self._snapshot.capture(self.model)
+        self._snapshot_fresh = True
+        return self.model
+
+    def restore_broadcast(self) -> Module:
+        """Reset the shared model to the last :meth:`broadcast`."""
+        if not self._snapshot_fresh:
+            return self.broadcast()
+        self._snapshot.restore(self.model)
+        return self.model
+
+    def _write_back_state(self) -> None:
+        """Refresh ``_state`` from the model, reusing its arrays.
+
+        Keys and shapes are stable across rounds, so the copies land in
+        the existing arrays; any layout change falls back to a rebuild.
+        """
+        self._snapshot_fresh = False
+        state = self._state
+        for name, param in self.model.named_parameters():
+            target = state.get(name)
+            if target is None or target.shape != param.data.shape:
+                self._state = get_state(self.model)
+                return
+            np.copyto(target, param.data)
+        for name, buf in self.model.named_buffers():
+            key = "buffer::" + name
+            target = state.get(key)
+            if target is None or target.shape != buf.shape:
+                self._state = get_state(self.model)
+                return
+            np.copyto(target, buf)
 
     def commit_state(self, state: dict[str, np.ndarray]) -> None:
         """Replace the global state (masking prunable parameters)."""
-        self._state = state
-        self.load_into_model()
-        self._state = get_state(self.model)
+        self.masks.apply(self.model)
+        set_state(self.model, state, inplace=True)
+        self._write_back_state()
 
     # ------------------------------------------------------------------
     # Aggregation and mask updates
@@ -49,16 +104,25 @@ class Server:
         client_states: list[dict[str, np.ndarray]],
         sample_counts: list[int],
     ) -> None:
-        """FedAvg the uploaded states into the global state."""
+        """FedAvg the uploaded states into the global state.
+
+        The aggregation reuses the server's workspace buffers;
+        ``commit_state`` copies the result into ``_state`` before the
+        workspace can be clobbered by the next round.
+        """
         self.commit_state(
-            weighted_average_states(client_states, sample_counts)
+            weighted_average_states(
+                client_states, sample_counts, workspace=self._workspace
+            )
         )
 
     def set_masks(self, masks: MaskSet) -> None:
         """Install a new mask structure and re-apply it to the state."""
         self.masks = masks
-        self.load_into_model()
-        self._state = get_state(self.model)
+        self.mask_epoch += 1
+        self.masks.apply(self.model)
+        set_state(self.model, self._state, inplace=True)
+        self._write_back_state()
 
     @property
     def density(self) -> float:

@@ -30,11 +30,11 @@ from ..metrics.flops import ModelProfile, profile_model, \
 from ..metrics.tracker import RoundRecord, RunResult
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
-from ..sparse.storage import mask_set_bytes
 from .client import Client
 from .comm import CommTracker
 from .executor import available_executors, build_executor
 from .latency import build_fleet, parse_fleet_spec
+from .payload import packed_nbytes
 from .policies import RoundInfo, available_policies, build_policy
 from .server import Server
 from .state import set_state
@@ -300,16 +300,15 @@ class FederatedContext:
         return on_time_states
 
     def model_exchange_bytes(self) -> int:
-        """Bytes to move the current sparse model one way (float32)."""
-        sparse = mask_set_bytes(self.server.masks)
-        dense_rest = 0
-        masked = set(self.server.masks.layer_names())
-        for name, param in self.model.named_parameters():
-            if name not in masked:
-                dense_rest += param.size * 4
-        for _, buf in self.model.named_buffers():
-            dense_rest += int(buf.size) * 4
-        return sparse + dense_rest
+        """Bytes to move the current sparse model one way (float32).
+
+        This is the *measured* size of the packed payload the transport
+        codec actually ships (active values + int32 indices, dense
+        fallback at the crossover), which by construction reconciles
+        with the :mod:`repro.sparse.storage` accounting model — see
+        :func:`repro.fl.payload.packed_nbytes`.
+        """
+        return packed_nbytes(self.model, self.server.masks)
 
     def upload_bytes_per_client(self) -> int:
         """Upload size, honoring ``quantize_upload_bits`` if enabled.

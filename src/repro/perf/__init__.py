@@ -1,5 +1,10 @@
 """Performance measurement harnesses for the compute substrate."""
 
+from .round_loop import run_round_loop_bench
 from .sparse_compute import run_sparse_compute_bench, write_bench_json
 
-__all__ = ["run_sparse_compute_bench", "write_bench_json"]
+__all__ = [
+    "run_round_loop_bench",
+    "run_sparse_compute_bench",
+    "write_bench_json",
+]

@@ -9,6 +9,7 @@ from .storage import (
     mask_set_bytes,
     model_parameter_bytes,
     sparse_bytes,
+    sparse_is_cheaper,
 )
 from .quantize import (
     QuantizedTensor,
@@ -37,5 +38,6 @@ __all__ = [
     "quantize_state",
     "quantize_tensor",
     "sparse_bytes",
+    "sparse_is_cheaper",
     "structured_row_mask",
 ]

@@ -19,6 +19,7 @@ __all__ = [
     "INDEX_BYTES",
     "dense_bytes",
     "sparse_bytes",
+    "sparse_is_cheaper",
     "mask_set_bytes",
     "model_parameter_bytes",
     "bytes_to_mb",
@@ -26,6 +27,20 @@ __all__ = [
 
 VALUE_BYTES = 4
 INDEX_BYTES = 4
+
+
+def sparse_is_cheaper(num_active: int, dense_size: int) -> bool:
+    """True when COO storage strictly beats dense for this tensor.
+
+    This is the 50% crossover (at 4-byte values and indices): exactly
+    the rule the transport codec uses to pick a tensor's encoding, kept
+    here so the accounting model and the wire format can never disagree.
+    Ties go to dense (same bytes, cheaper to decode).
+    """
+    if num_active < 0 or dense_size < 0:
+        raise ValueError("sizes must be non-negative")
+    coo = num_active * (VALUE_BYTES + INDEX_BYTES)
+    return coo < dense_bytes(dense_size)
 
 
 def dense_bytes(num_elements: int) -> int:

@@ -6,8 +6,11 @@ import pytest
 from repro.core import FedTiny, FedTinyConfig
 from repro.data import SyntheticSpec, generate
 from repro.fl import FederatedContext, FLConfig
+from repro.fl.payload import pack_model_state, pack_state, packed_nbytes
 from repro.nn.models import build_model
 from repro.pruning import PruningSchedule
+from repro.sparse.mask import MaskSet
+from repro.sparse.storage import dense_bytes, sparse_bytes
 
 
 @pytest.fixture(scope="module")
@@ -108,3 +111,98 @@ class TestFedTinyCommSplit:
         sparse_per_round = result.rounds[-1].upload_bytes
         dense_per_round = dense.rounds[-1].upload_bytes
         assert sparse_per_round < 0.5 * dense_per_round
+
+
+class TestPackedPayloadReconciliation:
+    """Tracker bytes == measured packed size == storage.py prediction.
+
+    The three byte counts — what :class:`CommTracker` records per
+    exchange, what the transport codec actually packs, and what the
+    ``storage.py`` COO-vs-dense model predicts — must agree exactly at
+    every density, including both sides of the 50% crossover where the
+    codec switches from sparse to dense encoding.
+    """
+
+    def _masked_ctx(self, setup, density):
+        ctx, public = _ctx(setup, rounds=1)
+        if density >= 1.0:
+            masks = MaskSet.dense(ctx.model)
+        else:
+            rng = np.random.default_rng(17)
+            masks = {}
+            for name, param in ctx.model.named_parameters():
+                if not param.prunable:
+                    continue
+                masks[name] = rng.random(param.shape) < density
+            masks = MaskSet(masks)
+        ctx.install_masks(masks)
+        return ctx
+
+    def _storage_prediction(self, ctx):
+        masks = ctx.server.masks
+        total = 0
+        for name, param in ctx.model.named_parameters():
+            if name in masks:
+                total += sparse_bytes(masks.layer_active(name), param.size)
+            else:
+                total += dense_bytes(param.size)
+        for _, buf in ctx.model.named_buffers():
+            total += dense_bytes(int(buf.size))
+        return total
+
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 1.0])
+    def test_three_way_agreement(self, setup, density):
+        ctx = self._masked_ctx(setup, density)
+        # Measured: actually pack the state the server would broadcast.
+        ctx.server.load_into_model()
+        measured = pack_model_state(ctx.model, ctx.server.masks).nbytes
+        assert measured == pack_state(
+            ctx.server.state, ctx.server.masks
+        ).nbytes
+        # Modeled: the storage.py COO/dense prediction.
+        predicted = self._storage_prediction(ctx)
+        assert measured == predicted
+        assert packed_nbytes(ctx.model, ctx.server.masks) == predicted
+        # Recorded: run one round and check the tracker charged exactly
+        # the packed size per client per direction.
+        ctx.comm.reset()
+        ctx.run_fedavg_round()
+        clients = ctx.config.num_clients
+        assert ctx.comm.upload_bytes == clients * measured
+        assert ctx.comm.download_bytes == clients * measured
+
+    def test_crossover_boundary_tensors(self):
+        # At exactly 50% density COO costs the same as dense and the
+        # codec must fall back to dense; just below it stays sparse.
+        assert sparse_bytes(50, 100) == dense_bytes(100)
+        assert sparse_bytes(49, 100) == 49 * 8
+        model = build_model(
+            "resnet18", num_classes=4, width_multiplier=0.125, seed=5
+        )
+        for name, param in model.named_parameters():
+            if param.prunable and param.size % 2 == 0:
+                half = np.zeros(param.size, dtype=bool)
+                half[: param.size // 2] = True
+                masks = MaskSet({name: half.reshape(param.shape)})
+                payload = pack_state(
+                    {name: param.data * half.reshape(param.shape)}, masks
+                )
+                spec = payload.specs[0]
+                assert spec.encoding == "dense"
+                assert spec.nbytes == dense_bytes(param.size)
+                break
+
+    def test_process_backend_upload_payload_matches_accounting(self, setup):
+        ctx, _ = _ctx(setup, rounds=1)
+        from repro.fl.executor import build_executor
+
+        ctx.executor.close()
+        ctx.executor = build_executor("process", max_workers=2)
+        try:
+            results = ctx.executor.run_clients(ctx, list(ctx.clients))
+            expected = ctx.model_exchange_bytes()
+            for result in results:
+                assert result.payload is not None
+                assert result.payload.nbytes == expected
+        finally:
+            ctx.close()

@@ -107,3 +107,257 @@ class TestExecutorContract:
     def test_abstract_base_requires_run_clients(self):
         with pytest.raises(TypeError):
             ClientExecutor()
+
+
+def _state_bits(model):
+    from repro.fl.state import get_state
+
+    return {
+        k: v.copy().view(np.uint32) for k, v in get_state(model).items()
+    }
+
+
+class TestSerialSnapshotRestore:
+    """The flat-snapshot download must be bit-identical to reinstall."""
+
+    def _ctx(self):
+        from repro.experiments import make_context, get_scale
+
+        ctx, _ = make_context(
+            "resnet18", "cifar10", get_scale("tiny"), seed=0
+        )
+        return ctx
+
+    def test_restore_matches_load_into_model(self):
+        ctx = self._ctx()
+        ctx.server.broadcast()
+        reference = _state_bits(ctx.model)
+        # Scribble over the model the way a client's local SGD would.
+        for _, param in ctx.model.named_parameters():
+            param.data = param.data + 0.25
+        ctx.server.restore_broadcast()
+        fast = _state_bits(ctx.model)
+        ctx.server.load_into_model()
+        canonical = _state_bits(ctx.model)
+        for name in reference:
+            assert (fast[name] == canonical[name]).all(), name
+            assert (fast[name] == reference[name]).all(), name
+        ctx.close()
+
+    def test_restore_without_broadcast_falls_back(self):
+        ctx = self._ctx()
+        ctx.server.restore_broadcast()  # no prior broadcast: full install
+        canonical = _state_bits(ctx.server.load_into_model())
+        fast = _state_bits(ctx.model)
+        for name in canonical:
+            assert (fast[name] == canonical[name]).all(), name
+        ctx.close()
+
+    def test_commit_invalidates_snapshot(self):
+        from repro.fl.state import get_state
+
+        ctx = self._ctx()
+        ctx.server.broadcast()
+        new_state = {
+            k: v + 1.0 for k, v in get_state(ctx.model).items()
+        }
+        ctx.server.commit_state(new_state)
+        ctx.server.restore_broadcast()  # must re-capture, not reuse
+        state = get_state(ctx.model)
+        for name, value in ctx.server.state.items():
+            np.testing.assert_array_equal(state[name], value, err_msg=name)
+        ctx.close()
+
+
+class TestWorkersSurviveMaskChanges:
+    """Persistent shm workers must track FedTiny-style mask updates."""
+
+    def test_mask_epoch_installs_new_masks_in_workers(self):
+        from repro.experiments import make_context, get_scale
+        from repro.sparse.mask import MaskSet
+
+        ctx, _ = make_context(
+            "resnet18", "cifar10", get_scale("tiny"), seed=0,
+            executor="process",
+        )
+        try:
+            ctx.run_fedavg_round()
+            epoch_before = ctx.server.mask_epoch
+            # Prune half of every prunable tensor mid-run, as FedTiny's
+            # mask adjustment would between rounds.
+            rng = np.random.default_rng(3)
+            masks = {}
+            for name, param in ctx.model.named_parameters():
+                if param.prunable:
+                    mask = rng.random(param.shape) < 0.5
+                    mask.reshape(-1)[0] = True
+                    masks[name] = mask
+            ctx.install_masks(MaskSet(masks))
+            assert ctx.server.mask_epoch == epoch_before + 1
+            states = ctx.run_fedavg_round()
+            # Workers trained under the new masks: every upload honors
+            # them (pruned positions exactly zero).
+            for state in states:
+                for name, mask in masks.items():
+                    np.testing.assert_array_equal(
+                        state[name][~mask], 0.0, err_msg=name
+                    )
+        finally:
+            ctx.close()
+
+    def test_serial_process_parity_across_mask_change(self):
+        # End-to-end fedtiny parity (pruning rounds change masks every
+        # round) is covered by TestSerialVsParallel; this pins the
+        # executor-level contract with an explicit mid-run mask swap.
+        from repro.experiments import make_context, get_scale
+        from repro.sparse.mask import MaskSet
+
+        records = {}
+        for executor in ("serial", "process"):
+            ctx, _ = make_context(
+                "resnet18", "cifar10", get_scale("tiny"), seed=0,
+                executor=executor,
+            )
+            try:
+                ctx.run_fedavg_round()
+                rng = np.random.default_rng(7)
+                masks = {}
+                for name, param in ctx.model.named_parameters():
+                    if param.prunable:
+                        mask = rng.random(param.shape) < 0.3
+                        mask.reshape(-1)[0] = True
+                        masks[name] = mask
+                ctx.install_masks(MaskSet(masks))
+                ctx.run_fedavg_round()
+                records[executor] = {
+                    k: v.copy() for k, v in ctx.server.state.items()
+                }
+            finally:
+                ctx.close()
+        for name in records["serial"]:
+            assert np.array_equal(
+                records["serial"][name], records["process"][name]
+            ), name
+
+
+class TestWorkerRoundBodyInProcess:
+    """Drive the shm worker path in-process against a real arena.
+
+    The pool normally runs ``_train_client_shm`` in forked workers,
+    which coverage cannot see; calling it here (with the worker caches
+    initialized by hand) exercises the exact code path — arena attach,
+    mask deserialization, binding restore, packed upload — and checks
+    it against the serial reference.
+    """
+
+    def test_worker_body_matches_serial_training(self):
+        import pickle
+
+        from repro.experiments import make_context, get_scale
+        from repro.fl import executor as ex
+        from repro.fl.payload import PackedPayload, unpack_state
+
+        ctx, _ = make_context(
+            "resnet18", "cifar10", get_scale("tiny"), seed=0
+        )
+        pool_exec = ex.ProcessPoolClientExecutor(max_workers=1)
+        saved = {
+            "clients": ex._WORKER_CLIENTS,
+            "model": ex._WORKER_MODEL,
+            "bcast": dict(ex._WORKER_BCAST),
+        }
+        try:
+            # Serial reference for client 0.
+            client = ctx.clients[0]
+            rng_state = client.rng.bit_generator.state
+            ctx.server.load_into_model()
+            reference = client.train(
+                ctx.model, **ex._train_kwargs(ctx)
+            )
+            # Worker-side caches, as _init_worker would build them.
+            ex._init_worker(
+                pickle.dumps(ctx.clients), pickle.dumps(ctx.model)
+            )
+            ctx.server.load_into_model()
+            round_tag = pool_exec._publish_broadcast(ctx)
+            blob, num_samples, num_iterations, mean_loss, new_rng = (
+                ex._train_client_shm(
+                    pool_exec._arena_name,
+                    round_tag,
+                    ctx.server.mask_epoch,
+                    0,
+                    rng_state,
+                    ex._train_kwargs(ctx),
+                )
+            )
+            state = unpack_state(PackedPayload.from_bytes(blob))
+            assert num_samples == reference.num_samples
+            assert num_iterations == reference.num_iterations
+            assert mean_loss == reference.mean_loss
+            for name, value in reference.state.items():
+                assert np.array_equal(state[name], value), name
+            # Same round again: the cached arena mapping must be reused
+            # and produce the identical upload.
+            blob2, *_ = ex._train_client_shm(
+                pool_exec._arena_name,
+                round_tag,
+                ctx.server.mask_epoch,
+                0,
+                rng_state,
+                ex._train_kwargs(ctx),
+            )
+            assert bytes(blob2) == bytes(blob)
+        finally:
+            cache = ex._WORKER_BCAST
+            if cache.get("binding") is not None:
+                cache["binding"].release()
+            cache["payload"] = None
+            if cache.get("shm") is not None:
+                cache["shm"].close()
+            ex._WORKER_CLIENTS = saved["clients"]
+            ex._WORKER_MODEL = saved["model"]
+            ex._WORKER_BCAST.clear()
+            ex._WORKER_BCAST.update(saved["bcast"])
+            pool_exec.close()
+            ctx.close()
+
+    def test_masks_blob_roundtrip(self):
+        from repro.fl.executor import _pack_masks_blob, _unpack_masks_blob
+        from repro.sparse.mask import MaskSet
+
+        rng = np.random.default_rng(0)
+        masks = MaskSet(
+            {
+                "a": rng.random((8, 3, 3, 3)) < 0.2,
+                "b": rng.random((5, 7)) < 0.7,
+                "c": np.zeros((4,), dtype=bool),
+            }
+        )
+        restored = _unpack_masks_blob(_pack_masks_blob(masks))
+        assert set(restored.layer_names()) == set(masks.layer_names())
+        for name, mask in masks.items():
+            np.testing.assert_array_equal(restored[name], mask)
+
+
+class TestBroadcastArena:
+    def test_arena_grows_when_payload_grows(self):
+        executor = ProcessPoolClientExecutor(max_workers=1)
+        arena = executor._ensure_arena(1000)
+        first_name = executor._arena_name
+        assert arena.size >= 1000
+        same = executor._ensure_arena(500)
+        assert executor._arena_name == first_name  # reused, not remapped
+        bigger = executor._ensure_arena(arena.size + 1)
+        assert executor._arena_name != first_name
+        assert bigger.size >= arena.size + 1
+        executor.close()
+
+    def test_close_releases_arena(self):
+        executor = ProcessPoolClientExecutor(max_workers=1)
+        executor._ensure_arena(128)
+        name = executor._arena_name
+        executor.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
