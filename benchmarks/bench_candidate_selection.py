@@ -1,0 +1,34 @@
+"""Micro-benchmarks of the candidate-selection fast path.
+
+Times one full adaptive-BN selection pass (paper Algorithm 1) for the
+reference per-(candidate, client) loop and the selection engine on a
+representative install-dominated cell, so CI's ``--benchmark-json``
+output carries directly comparable rows. The full pool x clients x
+model grid with machine-readable acceptance ratios comes from
+``python -m repro bench --suite candidate_selection`` (see
+``repro.perf.candidate_selection``).
+"""
+
+import pytest
+
+from repro.perf.candidate_selection import MODEL_GRID, _Cell
+
+_CASE = MODEL_GRID[1]  # resnet18_w025: convnet-sized, install-heavy
+_CLIENTS = 8
+_POOL = 4
+
+
+@pytest.fixture(scope="module")
+def cell():
+    cell = _Cell(_CASE, _CLIENTS, _POOL, with_process=False)
+    yield cell
+    assert cell.outputs_identical()
+    cell.close()
+
+
+def test_selection_reference(benchmark, cell):
+    benchmark.pedantic(cell.reference, rounds=3, iterations=1)
+
+
+def test_selection_fast(benchmark, cell):
+    benchmark.pedantic(cell.fast, rounds=3, iterations=1)

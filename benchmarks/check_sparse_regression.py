@@ -5,18 +5,13 @@ Compares the *speedup ratios* in a fresh benchmark record's
 ``summary.acceptance`` block against the checked-in baseline ratios.
 Ratios (new path versus the in-process legacy reference, measured
 interleaved) are stable across machines, unlike absolute step times, so
-baselines do not need to be re-captured per CI runner generation. Both
-the sparse-compute and the round-loop suites emit this block, so one
-gate serves both.
-
-Usage::
+baselines do not need to be re-captured per CI runner generation. Every
+perf suite (sparse compute, round loop, candidate selection) emits this
+block, so one gate serves the whole CI benchmark matrix::
 
     python benchmarks/check_sparse_regression.py \
-        BENCH_sparse_compute.json \
-        benchmarks/baselines/sparse_compute_baseline.json
-    python benchmarks/check_sparse_regression.py \
-        BENCH_round_loop.json \
-        benchmarks/baselines/round_loop_baseline.json
+        BENCH_<suite>.json \
+        benchmarks/baselines/<suite>_baseline.json
 
 Exits non-zero when any tracked ratio falls more than ``TOLERANCE``
 (25%) below its baseline value.

@@ -15,6 +15,7 @@ class FedAvgBaseline(FederatedMethod):
 
     method_name = "fedavg"
     target_density = 1.0
+    needs_round_states = False  # no round hook reads the uploads
 
     def __init__(self, pretrain_epochs: int = 2) -> None:
         self.pretrain_epochs = pretrain_epochs

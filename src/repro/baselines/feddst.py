@@ -145,7 +145,9 @@ class FedDSTBaseline(FederatedMethod):
             )
             return states
         self._pending_extra_flops = 0.0
-        return ctx.run_fedavg_round()
+        # The round hook only forwards the pending adjustment FLOPs, so
+        # plain rounds can keep their uploads packed.
+        return ctx.run_fedavg_round(need_states=False)
 
     def round_hook(
         self, round_index: int, states: list[dict[str, np.ndarray]]

@@ -63,6 +63,8 @@ class LotteryFLBaseline(FederatedMethod):
             k: v.copy() for k, v in ctx.server.state.items()
         }
 
+    needs_round_states = False  # the hook prunes from the global state
+
     def round_hook(
         self, round_index: int, states: list[dict[str, np.ndarray]]
     ) -> float:

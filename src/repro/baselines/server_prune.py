@@ -31,6 +31,7 @@ class _ServerPruneBaseline(FederatedMethod):
     """Template: pretrain, server-prune once, fine-tune federated."""
 
     method_name = "server_prune"
+    needs_round_states = False  # mask is frozen after setup
 
     def __init__(
         self, target_density: float, pretrain_epochs: int = 2

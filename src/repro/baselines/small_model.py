@@ -58,6 +58,7 @@ class SmallModelBaseline(FederatedMethod):
     """
 
     method_name = "small_model"
+    needs_round_states = False  # no round hook reads the uploads
 
     def __init__(
         self, target_density: float, pretrain_epochs: int = 2

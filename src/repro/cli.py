@@ -119,18 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run a micro-benchmark suite (sparse compute or round loop)",
+        help="run a micro-benchmark suite (compute, transport, selection)",
         description=(
             "Measure a performance suite against its pre-change "
             "reference path and emit a machine-readable JSON record: "
             "'sparse_compute' times Conv2d/Linear forward+backward "
             "across a density x shape grid; 'round_loop' times the "
             "broadcast/upload/aggregate transport of one federated "
-            "round across a clients x density x model grid."
+            "round across a clients x density x model grid; "
+            "'candidate_selection' times the adaptive-BN selection "
+            "protocol end to end across a pool x clients x model grid "
+            "and reports the paper's Table 2 overhead ratios."
         ),
     )
     bench.add_argument("--suite", default="sparse_compute",
-                       choices=("sparse_compute", "round_loop"),
+                       choices=("sparse_compute", "round_loop",
+                                "candidate_selection"),
                        help="which benchmark grid to run")
     bench.add_argument("--out", default=None,
                        help="output JSON path (default: "
@@ -213,11 +217,23 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from .perf import run_round_loop_bench, run_sparse_compute_bench, \
-        write_bench_json
+    from .perf import run_candidate_selection_bench, run_round_loop_bench, \
+        run_sparse_compute_bench, write_bench_json
 
     out = args.out or f"BENCH_{args.suite}.json"
-    if args.suite == "round_loop":
+    if args.suite == "candidate_selection":
+        record = run_candidate_selection_bench(
+            repeats=args.repeats, quick=args.quick
+        )
+        path = write_bench_json(record, out)
+        print(f"wrote {path}")
+        print("model           clients  pool  variant       "
+              "   s/selection  identical")
+        for row in record["results"]:
+            print(f"{row['model']:<15} {row['clients']:>7} "
+                  f"{row['pool_size']:>5}  {row['variant']:<14} "
+                  f"{row['seconds']:>11.3f}  {row['outputs_identical']}")
+    elif args.suite == "round_loop":
         record = run_round_loop_bench(
             repeats=args.repeats, quick=args.quick
         )

@@ -11,6 +11,20 @@ candidate with the lowest weighted loss.
 the paper's ablation (Fig. 4): devices score the raw candidates without
 the BN update, which is exactly the pre-fine-tuning selection that the
 paper shows picks biased structures.
+
+:meth:`AdaptiveBNSelection.select` runs the protocol through the fast
+execution engine (:mod:`repro.core.selection_engine`): candidates are
+installed once per candidate instead of once per (candidate, client)
+pair, dev-batch lowerings are memoized across candidates, and the
+per-client sweeps run through the context's pluggable executor. The
+original nested loop is kept as :meth:`select_reference` — the fast
+path is bit-identical to it in every report field, which the
+equivalence suite asserts.
+
+Selection traffic is accounted by direction: candidate masks and
+aggregated statistics are *downloads*, per-device BN statistics and
+scalar losses are *uploads*, both recorded under the ``"selection"``
+phase of the context's :class:`~repro.fl.comm.CommTracker`.
 """
 
 from __future__ import annotations
@@ -38,6 +52,8 @@ class SelectionReport:
     selected_index: int
     candidate_losses: list[float]
     comm_bytes: int = 0
+    download_bytes: int = 0
+    upload_bytes: int = 0
     flops_per_device: float = 0.0
     pool_size: int = 0
     used_bn_recalibration: bool = True
@@ -51,9 +67,11 @@ class AdaptiveBNSelection:
         self,
         use_bn_recalibration: bool = True,
         batch_size: int = 64,
+        fast_path: bool = True,
     ) -> None:
         self.use_bn_recalibration = use_bn_recalibration
         self.batch_size = batch_size
+        self.fast_path = fast_path
 
     def select(
         self, ctx: FederatedContext, candidates: list[Candidate]
@@ -61,12 +79,30 @@ class AdaptiveBNSelection:
         """Run the full device/server selection protocol."""
         if not candidates:
             raise ValueError("candidate pool is empty")
+        if self.fast_path:
+            from .selection_engine import run_fast_selection
+
+            return run_fast_selection(self, ctx, candidates)
+        return self.select_reference(ctx, candidates)
+
+    def select_reference(
+        self, ctx: FederatedContext, candidates: list[Candidate]
+    ) -> tuple[Candidate, SelectionReport]:
+        """The reference per-(candidate, client) protocol loop.
+
+        Kept as the bit-identity oracle for the fast path (and as the
+        pre-change baseline the candidate-selection benchmark measures
+        against).
+        """
+        if not candidates:
+            raise ValueError("candidate pool is empty")
         dev_counts = [client.num_dev_samples for client in ctx.clients]
         weights = normalized_weights(dev_counts)
         bn_param_count = sum(
             layer.num_features for _, layer in bn_layers(ctx.model)
         )
-        comm_bytes = 0
+        download_bytes = 0
+        upload_bytes = 0
         flops_per_device = 0.0
 
         aggregated_stats = []
@@ -81,15 +117,15 @@ class AdaptiveBNSelection:
                     per_client_stats.append(
                         client.recalibrate_bn(ctx.model, self.batch_size)
                     )
-                    comm_bytes += candidate_bytes  # download
-                    comm_bytes += 2 * bn_param_count * 4  # upload mean+var
+                    download_bytes += candidate_bytes
+                    upload_bytes += 2 * bn_param_count * 4  # mean+var
                 aggregated_stats.append(
                     aggregate_bn_statistics(per_client_stats, dev_counts)
                 )
                 flops_per_device += self._stats_pass_flops(ctx, candidate)
         else:
             aggregated_stats = [None] * len(candidates)
-            comm_bytes += (
+            download_bytes += (
                 sum(mask_set_bytes(c.masks) for c in candidates)
                 * len(ctx.clients)
             )
@@ -101,23 +137,27 @@ class AdaptiveBNSelection:
                 self._install_candidate(ctx, candidate)
                 if stats is not None:
                     set_bn_statistics(ctx.model, stats)
-                    comm_bytes += 2 * bn_param_count * 4  # stats download
+                    download_bytes += 2 * bn_param_count * 4  # stats
                 losses.append(
                     client.evaluate_candidate_loss(ctx.model, self.batch_size)
                 )
-                comm_bytes += _LOSS_SCALAR_BYTES  # scalar loss upload
+                upload_bytes += _LOSS_SCALAR_BYTES  # scalar loss
             candidate_losses.append(float(np.dot(weights, losses)))
             flops_per_device += self._stats_pass_flops(ctx, candidate)
 
         selected_index = int(np.argmin(candidate_losses))
-        ctx.comm.record_download(comm_bytes, phase="selection")
+        ctx.comm.record_download(download_bytes, phase="selection")
+        ctx.comm.record_upload(upload_bytes, phase="selection")
         report = SelectionReport(
             selected_index=selected_index,
             candidate_losses=candidate_losses,
-            comm_bytes=comm_bytes,
+            comm_bytes=download_bytes + upload_bytes,
+            download_bytes=download_bytes,
+            upload_bytes=upload_bytes,
             flops_per_device=flops_per_device,
             pool_size=len(candidates),
             used_bn_recalibration=self.use_bn_recalibration,
+            metadata={"engine": "reference"},
         )
         # Leave the model in its server state (selection must not leak
         # candidate masks or statistics into the global model).

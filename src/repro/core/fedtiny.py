@@ -111,6 +111,12 @@ class FedTiny(FederatedMethod):
     def target_density(self) -> float:
         return self.config.target_density
 
+    @property
+    def needs_round_states(self) -> bool:
+        # Only the progressive pruning hook inspects the round's
+        # uploads; the ablations without it can keep uploads packed.
+        return self.config.use_progressive
+
     def setup(self, ctx: FederatedContext, public_data: Dataset) -> None:
         """Pretrain, build the candidate pool, and select a mask."""
         cfg = self.config

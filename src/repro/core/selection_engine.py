@@ -1,0 +1,232 @@
+"""Fast-path execution engine for adaptive BN candidate selection.
+
+The reference protocol loop (kept as
+:meth:`repro.core.adaptive_bn.AdaptiveBNSelection.select_reference`)
+re-installs the global weights and the candidate's masks once per
+(candidate, client) pair and re-lowers every dev batch from scratch on
+every pass, so server-side selection cost scales as
+``O(pool x clients)`` full installs *plus* forward sweeps. This engine
+restructures the same protocol around three optimizations, each
+bit-identical in its outputs (candidate losses, selected index,
+comm/FLOP accounting) to the reference loop:
+
+1. **Hoisted candidate installs** — the base global state is installed
+   once and frozen into a :class:`~repro.fl.state.FlatStateSnapshot`;
+   each candidate is then installed once per candidate (flat memcpy
+   restore + one in-place mask multiply with a pre-binarized float
+   mask) instead of once per (candidate, client) pair. Stats and loss
+   passes never mutate parameters, and BN recalibration resets the
+   running statistics it touches, so sweeping all clients on one
+   install is byte-identical to reinstalling per client.
+2. **Mask-independent lowering cache** — the ``im2col`` lowering of a
+   dev batch is a pure relayout of the batch, independent of masks and
+   weights, so every layer whose input *is* a dev batch (the stem
+   convolution) re-lowers identical bytes for all ``C`` candidates and
+   both protocol phases. Each client's dev batches are materialized
+   once and registered with an :class:`repro.nn.engine.LoweringCache`,
+   which serves memoized lowerings strictly by input identity — deeper
+   layers (whose activations depend on the candidate) never hit it.
+3. **Executor-parallel client sweeps** — the per-client stats/loss
+   passes run through the context's pluggable
+   :class:`~repro.fl.executor.ClientExecutor` instead of a hand-rolled
+   nested loop: the ``process`` backend broadcasts each candidate once
+   through its shared-memory arena (PR 4's packed codec) and fans the
+   sweeps out across persistent workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..fl.aggregation import aggregate_bn_statistics, normalized_weights
+from ..fl.bn import bn_layers
+from ..fl.executor import SelectionPass
+from ..fl.simulation import FederatedContext
+from ..fl.state import FlatStateSnapshot, set_state
+from ..nn import engine
+from ..pruning.candidate_pool import Candidate
+from ..sparse.mask import prunable_parameters
+from ..sparse.storage import mask_set_bytes
+
+__all__ = ["CandidateInstaller", "run_fast_selection"]
+
+_LOSS_SCALAR_BYTES = 4
+
+#: Process-wide counter making every candidate's mask token unique, so
+#: executor workers never confuse two selections' broadcasts.
+_selection_ids = itertools.count()
+
+
+class CandidateInstaller:
+    """Installs candidates into the shared model, once per candidate.
+
+    Captures the post-``set_state`` base model (weights already carrying
+    the server masks) into a flat snapshot; ``install`` then restores
+    the snapshot with one memcpy and overlays the candidate's masks with
+    an in-place multiply against a float32 mask binarized once at
+    construction. The resulting model bytes — ``state * server_mask *
+    candidate_mask`` with the candidate's masks installed — are
+    identical to the reference's per-pair ``masks.apply`` /
+    ``set_state`` / ``masks.apply`` round-trip.
+
+    Assumes every candidate masks the same parameter set (the pool
+    generator's invariant): parameters outside it keep the server masks
+    installed by the preamble for the whole selection.
+    """
+
+    def __init__(
+        self, ctx: FederatedContext, candidates: list[Candidate]
+    ) -> None:
+        self.ctx = ctx
+        model = ctx.model
+        # The reference preamble, run once: server masks + global state.
+        ctx.server.masks.apply(model)
+        set_state(model, ctx.server.state)
+        self._snapshot = FlatStateSnapshot()
+        self._snapshot.capture(model)
+        params = dict(prunable_parameters(model))
+        self._entries: list[list[tuple[object, np.ndarray]]] = []
+        for candidate in candidates:
+            entries = []
+            for name, mask in candidate.masks.items():
+                param = params.get(name)
+                if param is None:
+                    raise KeyError(
+                        f"candidate masks unknown parameter {name!r}"
+                    )
+                mask = np.asarray(mask)
+                if mask.shape != param.shape:
+                    raise ValueError(
+                        f"mask shape {mask.shape} does not match "
+                        f"parameter shape {param.shape} for {name!r}"
+                    )
+                entries.append((param, mask))
+            self._entries.append(entries)
+
+    def install(self, index: int) -> None:
+        """Restore the base state and overlay candidate ``index``.
+
+        Masks are binarized on the fly — two conversions per candidate
+        over the whole selection (one per protocol phase), negligible
+        against the forward sweeps and O(one model) peak memory, versus
+        pinning a float copy of every candidate's masks at once.
+        """
+        self._snapshot.restore(self.ctx.model)
+        for param, mask in self._entries[index]:
+            float_mask = (mask != 0).astype(np.float32)
+            param.mask = float_mask
+            np.multiply(param.data, float_mask, out=param.data)
+            param.bump_version()
+
+
+def run_fast_selection(
+    selector, ctx: FederatedContext, candidates: list[Candidate]
+):
+    """Execute Algorithm 1 through the fast path.
+
+    ``selector`` is the owning
+    :class:`~repro.core.adaptive_bn.AdaptiveBNSelection` (supplies the
+    protocol knobs and the FLOP model). Returns the selected candidate
+    and a :class:`~repro.core.adaptive_bn.SelectionReport` whose
+    candidate losses, selected index, and comm/FLOP tallies are
+    byte-identical to :meth:`select_reference` on the same context.
+    """
+    from .adaptive_bn import SelectionReport
+
+    if not candidates:
+        raise ValueError("candidate pool is empty")
+    clients = ctx.clients
+    dev_counts = [client.num_dev_samples for client in clients]
+    weights = normalized_weights(dev_counts)
+    bn_param_count = sum(
+        layer.num_features for _, layer in bn_layers(ctx.model)
+    )
+    download_bytes = 0
+    upload_bytes = 0
+    flops_per_device = 0.0
+    num_clients = len(clients)
+
+    installer = CandidateInstaller(ctx, candidates)
+    lowering = engine.LoweringCache()
+    batch_size = selector.batch_size
+    for client in clients:
+        for index, (images, _) in enumerate(client.dev_batches(batch_size)):
+            lowering.register_source(
+                images, (client.client_id, batch_size, index)
+            )
+    tokens = [
+        ("selection", next(_selection_ids), candidate.index)
+        for candidate in candidates
+    ]
+
+    aggregated_stats: list[dict | None] = []
+    if selector.use_bn_recalibration:
+        for position, candidate in enumerate(candidates):
+            candidate_bytes = mask_set_bytes(candidate.masks)
+            installer.install(position)
+            sweep = SelectionPass(
+                kind="bn_stats",
+                batch_size=batch_size,
+                mask_token=tokens[position],
+                masks=candidate.masks,
+            )
+            with engine.lowering_cache(lowering):
+                per_client_stats = ctx.executor.run_selection(
+                    ctx, clients, sweep
+                )
+            download_bytes += candidate_bytes * num_clients
+            upload_bytes += 2 * bn_param_count * 4 * num_clients
+            aggregated_stats.append(
+                aggregate_bn_statistics(per_client_stats, dev_counts)
+            )
+            flops_per_device += selector._stats_pass_flops(ctx, candidate)
+    else:
+        aggregated_stats = [None] * len(candidates)
+        download_bytes += (
+            sum(mask_set_bytes(c.masks) for c in candidates) * num_clients
+        )
+
+    candidate_losses = []
+    for position, (candidate, stats) in enumerate(
+        zip(candidates, aggregated_stats)
+    ):
+        installer.install(position)
+        sweep = SelectionPass(
+            kind="dev_loss",
+            batch_size=batch_size,
+            mask_token=tokens[position],
+            masks=candidate.masks,
+            bn_stats=stats,
+        )
+        with engine.lowering_cache(lowering):
+            losses = ctx.executor.run_selection(ctx, clients, sweep)
+        if stats is not None:
+            download_bytes += 2 * bn_param_count * 4 * num_clients
+        upload_bytes += _LOSS_SCALAR_BYTES * num_clients
+        candidate_losses.append(float(np.dot(weights, losses)))
+        flops_per_device += selector._stats_pass_flops(ctx, candidate)
+
+    selected_index = int(np.argmin(candidate_losses))
+    ctx.comm.record_download(download_bytes, phase="selection")
+    ctx.comm.record_upload(upload_bytes, phase="selection")
+    report = SelectionReport(
+        selected_index=selected_index,
+        candidate_losses=candidate_losses,
+        comm_bytes=download_bytes + upload_bytes,
+        download_bytes=download_bytes,
+        upload_bytes=upload_bytes,
+        flops_per_device=flops_per_device,
+        pool_size=len(candidates),
+        used_bn_recalibration=selector.use_bn_recalibration,
+        metadata={
+            "engine": "fast",
+            "lowering_cache_hits": lowering.hits,
+            "lowering_cache_misses": lowering.misses,
+        },
+    )
+    # Leave the model in its server state (selection must not leak
+    # candidate masks or statistics into the global model).
+    ctx.server.load_into_model()
+    return candidates[selected_index], report

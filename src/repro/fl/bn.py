@@ -52,7 +52,7 @@ def set_bn_statistics(model: Module, stats: BNStats) -> None:
 
 
 def recalibrate_bn_statistics(
-    model: Module, dataset: Dataset, batch_size: int = 64
+    model: Module, dataset, batch_size: int = 64
 ) -> BNStats:
     """Reset and re-estimate BN statistics from ``dataset``.
 
@@ -61,9 +61,21 @@ def recalibrate_bn_statistics(
     and pruning"). The momentum of every BN layer is temporarily set to
     the cumulative-average schedule ``i / (i + 1)`` so the final running
     statistics equal the mean of the per-batch statistics.
+
+    ``dataset`` may be a :class:`~repro.data.dataset.Dataset` or an
+    already-materialized sequence of ``(images, labels)`` batches (the
+    selection fast path reuses one batch list across candidates so the
+    engine's lowering cache can key on the batch arrays' identity); the
+    two are bit-identical as long as the batch contents match.
     """
-    if len(dataset) == 0:
-        raise ValueError("cannot recalibrate on an empty dataset")
+    if isinstance(dataset, Dataset):
+        if len(dataset) == 0:
+            raise ValueError("cannot recalibrate on an empty dataset")
+        batches = dataset.batches(batch_size)
+    else:
+        batches = list(dataset)
+        if not batches:
+            raise ValueError("cannot recalibrate on an empty dataset")
     layers = bn_layers(model)
     saved_momentum = [(layer, layer.momentum) for _, layer in layers]
     was_training = model.training
@@ -74,7 +86,7 @@ def recalibrate_bn_statistics(
         # Stats-only forwards: inference mode keeps the layers from
         # recording backward caches they will never consume.
         with engine.inference_mode():
-            for index, (images, _) in enumerate(dataset.batches(batch_size)):
+            for index, (images, _) in enumerate(batches):
                 momentum = index / (index + 1.0)
                 for _, layer in layers:
                     layer.momentum = momentum

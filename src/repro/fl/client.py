@@ -50,6 +50,20 @@ class LocalTrainResult:
     mean_loss: float
     payload: object | None = None
 
+    def resolve_state(self) -> dict[str, np.ndarray]:
+        """The upload as a flat state dict, decoding the payload lazily.
+
+        Executors that ship packed uploads leave ``state`` unset so
+        fully-packed rounds (sync policy feeding
+        :func:`~repro.fl.aggregation.aggregate_packed_states`) never pay
+        the dense decode; consumers that do want dicts call this.
+        """
+        if self.state is None and self.payload is not None:
+            from .payload import unpack_state
+
+            self.state = unpack_state(self.payload, validate=False)
+        return self.state
+
 
 class Client:
     """One federated device with a local dataset shard."""
@@ -71,6 +85,22 @@ class Client:
         self.device = device
         self.rng = np.random.default_rng(seed * 100_003 + client_id)
         self.dev_data = train_data.sample_fraction(dev_fraction, self.rng)
+        # Materialized dev batches, keyed by batch size. Selection runs
+        # 2C stats/loss sweeps over the same dev set; reusing one batch
+        # list keeps the arrays' identity stable so the engine's
+        # lowering cache can memoize the stem lowering across candidates
+        # (contents are identical to Dataset.batches, so results are
+        # bit-identical with or without the cache).
+        self._dev_batch_cache: dict[int, list] = {}
+        self._eval_loss_fn: CrossEntropyLoss | None = None
+
+    def __getstate__(self) -> dict:
+        # Worker processes rebuild the (derived) caches locally; keeping
+        # them out of the pickle keeps pool start-up payloads lean.
+        state = self.__dict__.copy()
+        state["_dev_batch_cache"] = {}
+        state["_eval_loss_fn"] = None
+        return state
 
     @property
     def num_samples(self) -> int:
@@ -79,6 +109,14 @@ class Client:
     @property
     def num_dev_samples(self) -> int:
         return len(self.dev_data)
+
+    def dev_batches(self, batch_size: int) -> list:
+        """This client's dev set as a cached ``(images, labels)`` list."""
+        batches = self._dev_batch_cache.get(batch_size)
+        if batches is None:
+            batches = list(self.dev_data.batches(batch_size))
+            self._dev_batch_cache[batch_size] = batches
+        return batches
 
     # ------------------------------------------------------------------
     # Local sparse SGD (paper Eq. 5)
@@ -219,20 +257,28 @@ class Client:
     ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
         """Local BN statistics on the development dataset."""
         return bn_utils.recalibrate_bn_statistics(
-            model, self.dev_data, batch_size
+            model, self.dev_batches(batch_size), batch_size
         )
 
     def evaluate_candidate_loss(
         self, model: Module, batch_size: int = 64
     ) -> float:
-        """Mean loss of the (recalibrated) model on the dev dataset."""
-        loss_fn = CrossEntropyLoss()
+        """Mean loss of the (recalibrated) model on the dev dataset.
+
+        The loss object is constructed once per client and the sample
+        sum accumulates in a Python float (IEEE float64) in dataset
+        order — the exact accumulator and summation order of the
+        original per-call implementation, so values are bit-identical.
+        """
+        loss_fn = self._eval_loss_fn
+        if loss_fn is None:
+            loss_fn = self._eval_loss_fn = CrossEntropyLoss()
         was_training = model.training
         model.eval()
         loss_sum = 0.0
         count = 0
         with engine.inference_mode():
-            for images, labels in self.dev_data.batches(batch_size):
+            for images, labels in self.dev_batches(batch_size):
                 loss_sum += loss_fn(model(images), labels) * len(labels)
                 count += len(labels)
         model.train(was_training)

@@ -32,26 +32,52 @@ import os
 import pickle
 import struct
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..nn import engine
 from ..sparse.mask import MaskSet
+from .bn import set_bn_statistics
 from .client import Client, LocalTrainResult
 from .payload import ModelBinding, PackedPayload, StatePacker, \
-    build_mask_indices, unpack_state
+    build_mask_indices, pack_model_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .simulation import FederatedContext
 
 __all__ = [
     "ClientExecutor",
+    "SelectionPass",
     "SerialExecutor",
     "ProcessPoolClientExecutor",
     "available_executors",
     "build_executor",
     "register_executor",
 ]
+
+
+@dataclass(frozen=True)
+class SelectionPass:
+    """One candidate-selection sweep over the clients (Algorithm 1).
+
+    The selection engine installs a candidate into the context's shared
+    model and asks the executor to run one stats or loss pass on every
+    client. ``mask_token`` is a hashable tag unique to the installed
+    candidate — executors that broadcast the candidate to worker
+    processes key their shipped-mask caches on it, exactly like the
+    server's ``mask_epoch`` during training rounds. ``masks`` carries
+    the candidate's :class:`~repro.sparse.mask.MaskSet` for backends
+    that pack the broadcast sparse; in-process backends read the model
+    directly and ignore it.
+    """
+
+    kind: str  # "bn_stats" | "dev_loss"
+    batch_size: int
+    mask_token: object
+    masks: MaskSet | None = None
+    bn_stats: dict | None = None
 
 
 class ClientExecutor(ABC):
@@ -70,6 +96,45 @@ class ClientExecutor(ABC):
         RNG in the same state serial execution would — methods replay
         the batch stream across rounds and backends must agree.
         """
+
+    def run_selection(
+        self,
+        ctx: "FederatedContext",
+        clients: list[Client],
+        selection: SelectionPass,
+    ) -> list:
+        """One per-client stats/loss sweep for candidate selection.
+
+        The candidate is already installed in ``ctx.model`` (weights,
+        masks); ``selection.bn_stats`` — when present — are the
+        aggregated statistics to install before scoring. Returns one
+        per-client BN-stats dict (``kind="bn_stats"``) or scalar loss
+        (``kind="dev_loss"``) aligned with ``clients``. The default
+        implementation runs in-process on the shared model; it is
+        bit-identical to the reference per-(candidate, client) loop
+        because the stats/loss passes never mutate parameters and BN
+        recalibration resets the running statistics it touches.
+        """
+        model = ctx.model
+        if selection.bn_stats is not None:
+            set_bn_statistics(model, selection.bn_stats)
+        results = []
+        for client in clients:
+            if selection.kind == "bn_stats":
+                results.append(
+                    client.recalibrate_bn(model, selection.batch_size)
+                )
+            elif selection.kind == "dev_loss":
+                results.append(
+                    client.evaluate_candidate_loss(
+                        model, selection.batch_size
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"unknown selection pass kind {selection.kind!r}"
+                )
+        return results
 
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
@@ -201,7 +266,7 @@ def _init_worker(clients_blob: bytes, model_blob: bytes) -> None:
 
 
 def _worker_refresh_broadcast(
-    shm_name: str, round_tag: int, mask_epoch: int
+    shm_name: str, round_tag: int, mask_epoch: object
 ) -> None:
     """Map this round's broadcast (arena + payload views) if not cached."""
     cache = _WORKER_BCAST
@@ -241,6 +306,56 @@ def _worker_refresh_broadcast(
         cache["binding"] = ModelBinding(_WORKER_MODEL, payload.specs)
     cache["payload"] = payload
     cache["round_tag"] = round_tag
+
+
+# Worker-side lowering cache: persistent across selection passes (the
+# dev batch arrays it keys on live on the worker's cached clients, so
+# entries stay valid for the worker's lifetime and are bounded by the
+# layers that actually see raw dev batches — the stem).
+_WORKER_LOWERING = engine.LoweringCache()
+_WORKER_LOWERING_REGISTERED: set = set()
+
+
+def _worker_lowering_cache(
+    client: Client, batch_size: int
+) -> engine.LoweringCache:
+    key = (client.client_id, batch_size)
+    if key not in _WORKER_LOWERING_REGISTERED:
+        for index, (images, _) in enumerate(client.dev_batches(batch_size)):
+            _WORKER_LOWERING.register_source(
+                images, (client.client_id, batch_size, index)
+            )
+        _WORKER_LOWERING_REGISTERED.add(key)
+    return _WORKER_LOWERING
+
+
+def _selection_pass_shm(
+    shm_name: str,
+    round_tag: int,
+    mask_epoch: object,
+    client_index: int,
+    kind: str,
+    batch_size: int,
+):
+    """Worker-side selection body: restore the candidate, run one pass.
+
+    The candidate broadcast travels through the same shared-memory
+    arena as training rounds; ``mask_epoch`` is the candidate's mask
+    token, so the worker re-installs masks once per candidate and every
+    subsequent task scatter-restores only the active entries. Aggregated
+    BN statistics for a dev-loss pass arrive inside the broadcast (the
+    master installs them into the model's buffers before packing), so
+    no per-task stats payload is shipped.
+    """
+    _worker_refresh_broadcast(shm_name, round_tag, mask_epoch)
+    cache = _WORKER_BCAST
+    model = _WORKER_MODEL
+    cache["binding"].restore(cache["payload"], assume_masked=True)
+    client = _WORKER_CLIENTS[client_index]
+    with engine.lowering_cache(_worker_lowering_cache(client, batch_size)):
+        if kind == "bn_stats":
+            return client.recalibrate_bn(model, batch_size)
+        return client.evaluate_candidate_loss(model, batch_size)
 
 
 def _train_client_shm(
@@ -349,6 +464,21 @@ class ProcessPoolClientExecutor(ClientExecutor):
             self._arena = None
             self._arena_name = None
 
+    def _write_arena(self, masks_blob: bytes, payload) -> int:
+        """Write one broadcast (masks blob + packed payload) into the
+        arena; returns the new round tag."""
+        body_offset = _arena_payload_offset(len(masks_blob))
+        total = body_offset + payload.wire_nbytes
+        arena = self._ensure_arena(total)
+        _ARENA_HEADER.pack_into(
+            arena.buf, 0, len(masks_blob), payload.wire_nbytes
+        )
+        offset = _ARENA_HEADER.size
+        arena.buf[offset : offset + len(masks_blob)] = masks_blob
+        payload.write_into(arena.buf, body_offset)
+        self._round_tag += 1
+        return self._round_tag
+
     def _publish_broadcast(self, ctx: "FederatedContext") -> int:
         """Pack the global state into the arena; returns the round tag.
 
@@ -368,17 +498,21 @@ class ProcessPoolClientExecutor(ClientExecutor):
             self._spec_cache.clear()
             self._indices_epoch = server.mask_epoch
         payload = self._packer.pack(server.state)
-        masks_blob = self._masks_blob
-        body_len = payload.wire_nbytes
-        body_offset = _arena_payload_offset(len(masks_blob))
-        total = body_offset + body_len
-        arena = self._ensure_arena(total)
-        _ARENA_HEADER.pack_into(arena.buf, 0, len(masks_blob), body_len)
-        offset = _ARENA_HEADER.size
-        arena.buf[offset : offset + len(masks_blob)] = masks_blob
-        payload.write_into(arena.buf, body_offset)
-        self._round_tag += 1
-        return self._round_tag
+        return self._write_arena(self._masks_blob, payload)
+
+    def _publish_candidate(
+        self, ctx: "FederatedContext", masks: MaskSet
+    ) -> int:
+        """Write the candidate currently in ``ctx.model`` into the arena.
+
+        Selection broadcasts reuse the training arena verbatim (packed
+        state + bit-packed masks); they never touch the master's
+        per-mask-epoch training caches, and the next training round's
+        publish rewrites the arena in full anyway.
+        """
+        return self._write_arena(
+            _pack_masks_blob(masks), pack_model_state(ctx.model, masks)
+        )
 
     # -- round ---------------------------------------------------------
     def run_clients(
@@ -418,14 +552,16 @@ class ProcessPoolClientExecutor(ClientExecutor):
             # the serial backend would.
             client.rng.bit_generator.state = rng_state
             # Trusted same-run producer; the blob backs the payload's
-            # buffer zero-copy for as long as the result holds it.
+            # buffer zero-copy for as long as the result holds it. The
+            # dense state dict is decoded lazily (resolve_state), so a
+            # fully-packed aggregation path never materializes it.
             upload = PackedPayload.from_bytes(
                 blob, copy=False, validate=False,
                 spec_cache=self._spec_cache,
             )
             results.append(
                 LocalTrainResult(
-                    state=unpack_state(upload, validate=False),
+                    state=None,
                     num_samples=num_samples,
                     num_iterations=num_iterations,
                     mean_loss=mean_loss,
@@ -433,6 +569,42 @@ class ProcessPoolClientExecutor(ClientExecutor):
                 )
             )
         return results
+
+    def run_selection(
+        self,
+        ctx: "FederatedContext",
+        clients: list[Client],
+        selection: SelectionPass,
+    ) -> list:
+        """Broadcast the installed candidate once, sweep clients in
+        parallel on the persistent workers."""
+        if not clients:
+            return []
+        if selection.masks is None:
+            # Without the candidate's mask structure there is nothing to
+            # pack the broadcast against; run the in-process reference.
+            return super().run_selection(ctx, clients, selection)
+        pool = self._ensure_pool(ctx)
+        if selection.bn_stats is not None:
+            # Bake the aggregated statistics into the broadcast's BN
+            # buffers (exactly what the serial path installs into the
+            # shared model) instead of pickling them into every task.
+            set_bn_statistics(ctx.model, selection.bn_stats)
+        round_tag = self._publish_candidate(ctx, selection.masks)
+        index_of = {id(c): i for i, c in enumerate(ctx.clients)}
+        futures = [
+            pool.submit(
+                _selection_pass_shm,
+                self._arena_name,
+                round_tag,
+                selection.mask_token,
+                index_of[id(client)],
+                selection.kind,
+                selection.batch_size,
+            )
+            for client in clients
+        ]
+        return [future.result() for future in futures]
 
     def close(self) -> None:
         if self._pool is not None:

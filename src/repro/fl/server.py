@@ -6,7 +6,8 @@ import numpy as np
 
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
-from .aggregation import AggregationWorkspace, weighted_average_states
+from .aggregation import AggregationWorkspace, aggregate_packed_states, \
+    weighted_average_states
 from .state import FlatStateSnapshot, get_state, set_state
 
 __all__ = ["Server"]
@@ -113,6 +114,22 @@ class Server:
         self.commit_state(
             weighted_average_states(
                 client_states, sample_counts, workspace=self._workspace
+            )
+        )
+
+    def aggregate_packed(self, payloads: list, sample_counts: list[int]) -> None:
+        """FedAvg packed uploads without decoding them to dense dicts.
+
+        The sparse-aware twin of :meth:`aggregate`: work scales with the
+        active-parameter count and the committed state is bitwise
+        identical to decoding every payload and running the dense path
+        (float64 accumulation in the same order, pruned positions
+        ``+0.0`` exactly as :func:`~repro.fl.payload.unpack_state`
+        canonicalizes them).
+        """
+        self.commit_state(
+            aggregate_packed_states(
+                payloads, sample_counts, workspace=self._workspace
             )
         )
 

@@ -35,7 +35,8 @@ from .comm import CommTracker
 from .executor import available_executors, build_executor
 from .latency import build_fleet, parse_fleet_spec
 from .payload import packed_nbytes
-from .policies import RoundInfo, available_policies, build_policy
+from .policies import RoundInfo, SynchronousPolicy, available_policies, \
+    build_policy
 from .server import Server
 from .state import set_state
 
@@ -231,7 +232,9 @@ class FederatedContext:
             for client in participants
         ]
 
-    def run_fedavg_round(self) -> list[dict[str, np.ndarray]]:
+    def run_fedavg_round(
+        self, need_states: bool = True
+    ) -> list[dict[str, np.ndarray]]:
         """One policy-driven round: select, train, aggregate, tick.
 
         The configured :class:`~repro.fl.policies.RoundPolicy` picks the
@@ -243,6 +246,15 @@ class FederatedContext:
         Returns the states aggregated at full weight this round (aligned
         with ``last_participants``; some methods inspect them before
         they are discarded).
+
+        ``need_states=False`` declares that the caller will not read
+        the returned states (its round hook ignores them). When the
+        active policy is the plain synchronous barrier, uploads are
+        unquantized, and the executor shipped packed payloads, the
+        round then feeds those payloads straight into the sparse-aware
+        :meth:`~repro.fl.server.Server.aggregate_packed` — no per-client
+        dense decode — and returns an empty list. The committed global
+        state is bitwise identical either way.
         """
         cfg = self.config
         policy = self.round_policy
@@ -253,21 +265,29 @@ class FederatedContext:
         download = self.model_exchange_bytes()
         upload = self.upload_bytes_per_client()
         results = self.executor.run_clients(self, trained)
-        states = []
+        packed_fast_path = (
+            not need_states
+            and cfg.quantize_upload_bits is None
+            and type(policy) is SynchronousPolicy
+            and bool(results)
+            and all(r.payload is not None for r in results)
+        )
+        states: list[dict[str, np.ndarray]] = []
         for result in results:
-            state = result.state
-            if cfg.quantize_upload_bits is not None:
-                # Lossy round trip: the server only ever sees the
-                # dequantized upload (FL-PQSU's quantization stage).
-                from ..sparse.quantize import (
-                    dequantize_state,
-                    quantize_state,
-                )
+            if not packed_fast_path:
+                state = result.resolve_state()
+                if cfg.quantize_upload_bits is not None:
+                    # Lossy round trip: the server only ever sees the
+                    # dequantized upload (FL-PQSU's quantization stage).
+                    from ..sparse.quantize import (
+                        dequantize_state,
+                        quantize_state,
+                    )
 
-                state = dequantize_state(
-                    quantize_state(state, cfg.quantize_upload_bits)
-                )
-            states.append(state)
+                    state = dequantize_state(
+                        quantize_state(state, cfg.quantize_upload_bits)
+                    )
+                states.append(state)
             self.comm.record_download(download)
             self.comm.record_upload(upload)
         if plan.dropped_received_broadcast:
@@ -275,9 +295,20 @@ class FederatedContext:
             # offline (dropout) clients never saw the broadcast.
             for _ in plan.dropped:
                 self.comm.record_download(download)
-        on_time_states = [states[p] for p in plan.on_time]
-        self.last_participants = [trained[p] for p in plan.on_time]
-        stale_applied = policy.aggregate(self, participants, plan, states)
+        if packed_fast_path:
+            # Synchronous barrier: everyone trained is aggregated, so
+            # the packed uploads fold straight into the global state.
+            on_time_states = []
+            self.last_participants = list(trained)
+            self.server.aggregate_packed(
+                [r.payload for r in results],
+                [client.num_samples for client in trained],
+            )
+            stale_applied = 0
+        else:
+            on_time_states = [states[p] for p in plan.on_time]
+            self.last_participants = [trained[p] for p in plan.on_time]
+            stale_applied = policy.aggregate(self, participants, plan, states)
         self.sim_time += plan.elapsed_seconds
         self._dropped_since_record += len(plan.dropped)
         on_time_set = set(plan.on_time)

@@ -47,6 +47,11 @@ class FederatedMethod(abc.ABC):
 
     method_name: str = "method"
     target_density: float = 1.0
+    #: Whether :meth:`round_hook` reads the per-client uploaded states.
+    #: Methods that ignore them declare ``False`` so the round loop can
+    #: feed packed uploads straight into the sparse-aware aggregation
+    #: (no per-client dense decode) under the synchronous policy.
+    needs_round_states: bool = True
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
@@ -60,7 +65,7 @@ class FederatedMethod(abc.ABC):
         self, ctx: "FederatedContext", round_index: int
     ) -> list[dict[str, np.ndarray]]:
         """Produce this round's uploaded client states (post-aggregation)."""
-        return ctx.run_fedavg_round()
+        return ctx.run_fedavg_round(need_states=self.needs_round_states)
 
     def round_hook(
         self, round_index: int, states: list[dict[str, np.ndarray]]

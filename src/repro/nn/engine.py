@@ -51,6 +51,9 @@ __all__ = [
     "caching_enabled",
     "masked_weight_grads",
     "weight_grads_masked",
+    "LoweringCache",
+    "lowering_cache",
+    "active_lowering_cache",
 ]
 
 _DEFAULT_DENSITY_THRESHOLD = 0.0
@@ -170,3 +173,89 @@ def masked_weight_grads():
 def weight_grads_masked() -> bool:
     """Whether fully-pruned-row weight gradients may be skipped."""
     return _masked_grad_depth > 0
+
+
+# ----------------------------------------------------------------------
+# Lowering cache (candidate-selection fast path)
+# ----------------------------------------------------------------------
+class LoweringCache:
+    """Memoized ``im2col`` lowerings of registered, immutable inputs.
+
+    The im2col lowering is a pure relayout of its input: it depends on
+    the input values and the layer geometry, never on parameter values
+    or masks. During candidate selection the same dev batches are pushed
+    through ``C`` candidate structures, so the lowering of every layer
+    whose input *is* a dev batch (the stem convolution) is recomputed
+    ``C`` times for bytes that cannot change.
+
+    The cache is keyed by strict object identity: a caller registers the
+    batch arrays it promises not to mutate (:meth:`register_source`),
+    and :meth:`lowering` serves a memoized column matrix only when the
+    layer's input **is** one of those arrays. Any other input — every
+    deeper layer, whose activations do depend on the candidate masks —
+    falls through to a fresh computation and is never cached, so a hit
+    is bit-identical to recomputation by construction. Layers consult
+    the cache only in inference mode (no backward bookkeeping), keeping
+    every training path untouched; the dispatch decision itself still
+    runs through the version-tagged ``Parameter`` caches.
+
+    Cached column matrices must be treated as read-only by consumers
+    (the conv forward only ever multiplies them).
+    """
+
+    def __init__(self) -> None:
+        # id(array) -> (array, source_key); the stored reference keeps
+        # the array alive, so a registered id can never be recycled.
+        self._sources: dict[int, tuple] = {}
+        self._entries: dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def register_source(self, array, key) -> None:
+        """Promise that ``array`` is immutable and identified by ``key``."""
+        self._sources[id(array)] = (array, key)
+
+    def lowering(self, layer, x, kind: tuple, compute):
+        """The lowering of ``x`` for ``layer``, memoized when possible.
+
+        ``kind`` distinguishes lowering layouts (patch-major vs
+        kernel-major) and geometry; ``compute`` is a zero-argument
+        callable producing the column matrix.
+        """
+        source = self._sources.get(id(x))
+        if source is None or source[0] is not x:
+            return compute()
+        key = (id(layer), kind, source[1])
+        col = self._entries.get(key)
+        if col is None:
+            col = compute()
+            self._entries[key] = col
+            self.misses += 1
+        else:
+            self.hits += 1
+        return col
+
+    def clear(self) -> None:
+        """Drop every registered source and memoized lowering."""
+        self._sources.clear()
+        self._entries.clear()
+
+
+_lowering_cache_stack: list[LoweringCache] = []
+
+
+@contextmanager
+def lowering_cache(cache: LoweringCache):
+    """Expose ``cache`` to the compute layers for this context."""
+    _lowering_cache_stack.append(cache)
+    try:
+        yield cache
+    finally:
+        _lowering_cache_stack.pop()
+
+
+def active_lowering_cache() -> LoweringCache | None:
+    """The innermost active lowering cache, or ``None``."""
+    if not _lowering_cache_stack:
+        return None
+    return _lowering_cache_stack[-1]

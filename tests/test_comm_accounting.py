@@ -94,6 +94,42 @@ class TestFedTinyCommSplit:
         )
         assert result.total_comm_bytes == ctx.comm.total_bytes
 
+    def test_selection_traffic_split_by_direction(self, setup):
+        """Selection records uploads through the upload channel.
+
+        Candidate masks and aggregated BN statistics travel down; the
+        per-device BN statistics and scalar losses travel up. Both land
+        under the "selection" phase and their sum is the report total.
+        """
+        ctx, public = _ctx(setup, rounds=2)
+        config = FedTinyConfig(
+            target_density=0.1, pool_size=2,
+            schedule=PruningSchedule(delta_rounds=1, stop_round=2),
+            pretrain_epochs=1,
+        )
+        upload_before = ctx.comm.upload_bytes
+        download_before = ctx.comm.download_bytes
+        result = FedTiny(config).run(ctx, public)
+        # Per-round deltas exclude selection, so the tracker's totals
+        # minus the recorded round deltas leave exactly the selection
+        # split on each channel.
+        selection_upload = (
+            ctx.comm.upload_bytes - upload_before
+            - result.total_upload_bytes
+        )
+        selection_download = (
+            ctx.comm.download_bytes - download_before
+            - result.total_download_bytes
+        )
+        assert selection_upload > 0
+        assert selection_download > 0
+        assert selection_upload + selection_download == (
+            result.selection_comm_bytes
+        )
+        assert ctx.comm.phase_bytes("selection") == (
+            result.selection_comm_bytes
+        )
+
     def test_sparse_training_cheaper_than_dense(self, setup):
         ctx, public = _ctx(setup, rounds=2)
         config = FedTinyConfig(

@@ -1,0 +1,242 @@
+"""Equivalence and unit tests for the candidate-selection fast path.
+
+The selection engine must be *byte-identical* to the reference
+per-(candidate, client) loop in every reported output: candidate
+losses, selected index, comm bytes (split by direction), and FLOP
+accounting — across pool sizes, with BN recalibration on and off, and
+under both execution backends. A second suite covers the packed
+synchronous aggregation fast path and the engine's lowering cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_bn import AdaptiveBNSelection
+from repro.core.selection_engine import CandidateInstaller
+from repro.data.synthetic import build_dataset
+from repro.fl.simulation import FederatedContext, FLConfig
+from repro.fl.state import get_state
+from repro.nn import engine
+from repro.nn.models import build_model
+from repro.pruning.candidate_pool import generate_candidate_pool
+
+
+@pytest.fixture(scope="module")
+def splits():
+    train, test = build_dataset(
+        "cifar10", num_train=260, num_test=40, image_size=16, seed=3
+    )
+    _, federated = train.split(0.2, np.random.default_rng(9))
+    return federated, test
+
+
+def _make_ctx(splits, executor="serial", clients=4):
+    federated, test = splits
+    model = build_model(
+        "resnet18", num_classes=10, width_multiplier=0.125,
+        image_size=16, seed=1,
+    )
+    config = FLConfig(
+        num_clients=clients, rounds=1, local_epochs=1, batch_size=16,
+        executor=executor, executor_workers=2, seed=0,
+    )
+    return FederatedContext(model, federated, test, config)
+
+
+def _make_pool(ctx, pool_size):
+    return generate_candidate_pool(
+        ctx.model, 0.1, pool_size, np.random.default_rng(17), noise=0.9
+    )
+
+
+def _report_tuple(report):
+    return (
+        report.candidate_losses,
+        report.selected_index,
+        report.comm_bytes,
+        report.download_bytes,
+        report.upload_bytes,
+        report.flops_per_device,
+        report.pool_size,
+        report.used_bn_recalibration,
+    )
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("pool_size", [1, 3])
+    @pytest.mark.parametrize("use_bn", [True, False])
+    def test_fast_path_matches_reference(self, splits, pool_size, use_bn):
+        ctx = _make_ctx(splits)
+        pool = _make_pool(ctx, pool_size)
+        selector = AdaptiveBNSelection(
+            use_bn_recalibration=use_bn, batch_size=16
+        )
+        chosen_ref, ref = selector.select_reference(ctx, pool)
+        state_ref = get_state(ctx.model)
+        chosen_fast, fast = selector.select(ctx, pool)
+        state_fast = get_state(ctx.model)
+        assert _report_tuple(fast) == _report_tuple(ref)
+        assert chosen_fast is chosen_ref
+        # Both paths must leave the shared model in the server state.
+        for name in state_ref:
+            np.testing.assert_array_equal(
+                state_fast[name], state_ref[name], err_msg=name
+            )
+
+    def test_selection_comm_split_by_direction(self, splits):
+        ctx = _make_ctx(splits)
+        pool = _make_pool(ctx, 2)
+        selector = AdaptiveBNSelection(batch_size=16)
+        _, report = selector.select(ctx, pool)
+        assert report.download_bytes > 0
+        assert report.upload_bytes > 0
+        assert report.comm_bytes == (
+            report.download_bytes + report.upload_bytes
+        )
+        # The tracker recorded the same split under the selection phase.
+        assert ctx.comm.download_bytes == report.download_bytes
+        assert ctx.comm.upload_bytes == report.upload_bytes
+        assert ctx.comm.phase_bytes("selection") == report.comm_bytes
+
+    def test_process_executor_matches_serial(self, splits):
+        serial_ctx = _make_ctx(splits, executor="serial")
+        process_ctx = _make_ctx(splits, executor="process")
+        selector = AdaptiveBNSelection(batch_size=16)
+        try:
+            pool = _make_pool(serial_ctx, 2)
+            _, serial = selector.select(serial_ctx, pool)
+            _, process = selector.select(
+                process_ctx, _make_pool(process_ctx, 2)
+            )
+            assert _report_tuple(process) == _report_tuple(serial)
+        finally:
+            serial_ctx.close()
+            process_ctx.close()
+
+    def test_repeated_selection_is_deterministic(self, splits):
+        ctx = _make_ctx(splits)
+        pool = _make_pool(ctx, 2)
+        selector = AdaptiveBNSelection(batch_size=16)
+        _, first = selector.select(ctx, pool)
+        _, second = selector.select(ctx, pool)
+        assert first.candidate_losses == second.candidate_losses
+        assert first.selected_index == second.selected_index
+
+    def test_empty_pool_raises(self, splits):
+        ctx = _make_ctx(splits)
+        with pytest.raises(ValueError):
+            AdaptiveBNSelection().select(ctx, [])
+
+
+class TestCandidateInstaller:
+    def test_install_matches_reference_install(self, splits):
+        ctx = _make_ctx(splits)
+        pool = _make_pool(ctx, 2)
+        selector = AdaptiveBNSelection(batch_size=16)
+        installer = CandidateInstaller(ctx, pool)
+        for index, candidate in enumerate(pool):
+            selector._install_candidate(ctx, candidate)
+            reference = {
+                k: v.view(np.uint32)
+                for k, v in get_state(ctx.model).items()
+            }
+            reference_masks = {
+                name: param.mask.copy()
+                for name, param in ctx.model.named_parameters()
+                if param.mask is not None
+            }
+            installer.install(index)
+            fast = get_state(ctx.model)
+            for name in reference:
+                assert (
+                    fast[name].view(np.uint32) == reference[name]
+                ).all(), name
+            for name, param in ctx.model.named_parameters():
+                if name in reference_masks:
+                    np.testing.assert_array_equal(
+                        param.mask, reference_masks[name], err_msg=name
+                    )
+
+
+class TestLoweringCache:
+    def test_unregistered_inputs_bypass_the_cache(self):
+        cache = engine.LoweringCache()
+        calls = []
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        out = cache.lowering(object(), x, ("k",), lambda: calls.append(1))
+        assert calls == [1]
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_registered_inputs_memoize_by_identity(self):
+        cache = engine.LoweringCache()
+        layer = object()
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        cache.register_source(x, ("client", 0))
+        first = cache.lowering(layer, x, ("k",), lambda: np.arange(3))
+        second = cache.lowering(
+            layer, x, ("k",), lambda: pytest.fail("must not recompute")
+        )
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        # An equal-valued but distinct array is not the registered
+        # source: the cache must not serve the memoized lowering.
+        other = x.copy()
+        computed = cache.lowering(layer, other, ("k",), lambda: "fresh")
+        assert computed == "fresh"
+
+    def test_conv_forward_with_cache_is_bit_identical(self, splits):
+        federated, _ = splits
+        model = build_model(
+            "small_cnn", num_classes=10, image_size=16, seed=1
+        )
+        images = federated.images[:4]
+        with engine.inference_mode():
+            reference = model(images)
+            cache = engine.LoweringCache()
+            cache.register_source(images, ("batch", 0))
+            with engine.lowering_cache(cache):
+                primed = model(images)  # miss: primes the cache
+                served = model(images)  # hit: served from the cache
+        assert cache.hits > 0
+        assert (reference.view(np.uint32) == primed.view(np.uint32)).all()
+        assert (reference.view(np.uint32) == served.view(np.uint32)).all()
+
+
+class TestPackedSyncAggregation:
+    def test_packed_round_matches_dense_decode(self, splits):
+        """need_states=False + process uploads must commit the same
+        global state bytes as the dict-decoding path."""
+        dense_ctx = _make_ctx(splits, executor="process")
+        packed_ctx = _make_ctx(splits, executor="process")
+        try:
+            dense_ctx.run_fedavg_round(need_states=True)
+            packed_ctx.run_fedavg_round(need_states=False)
+            for name, value in dense_ctx.server.state.items():
+                assert (
+                    value.view(np.uint32)
+                    == packed_ctx.server.state[name].view(np.uint32)
+                ).all(), name
+        finally:
+            dense_ctx.close()
+            packed_ctx.close()
+
+    def test_packed_round_returns_no_states(self, splits):
+        ctx = _make_ctx(splits, executor="process")
+        try:
+            states = ctx.run_fedavg_round(need_states=False)
+            assert states == []
+            assert len(ctx.last_participants) == len(ctx.clients)
+        finally:
+            ctx.close()
+
+    def test_serial_round_ignores_need_states_flag(self, splits):
+        # Serial uploads are plain dicts; the packed fast path must not
+        # engage and the round still aggregates every participant.
+        ctx = _make_ctx(splits, executor="serial")
+        before = {k: v.copy() for k, v in ctx.server.state.items()}
+        ctx.run_fedavg_round(need_states=False)
+        changed = any(
+            not np.array_equal(ctx.server.state[k], before[k])
+            for k in before
+        )
+        assert changed
