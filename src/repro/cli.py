@@ -43,6 +43,26 @@ _EXPERIMENTS = {
 }
 
 
+def _density_threshold(raw: str) -> float:
+    """Argparse type for ``--density-threshold``: a float in [0, 1].
+
+    Rejecting bad values at parse time keeps the error at the command
+    line (``argument --density-threshold: ...``) instead of a traceback
+    out of :func:`repro.nn.engine.configure` mid-run.
+    """
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a float in [0, 1], got {raw!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in [0, 1], got {raw}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -98,7 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--staleness-discount", type=float, default=None,
                      help="async policy: per-round weight discount for "
                           "late uploads")
-    run.add_argument("--density-threshold", type=float, default=None,
+    run.add_argument("--density-threshold", type=_density_threshold,
+                     default=None,
                      help="enable sparse row dispatch below this weight "
                           "density (default 0: off, byte-identical to "
                           "the dense engine)")

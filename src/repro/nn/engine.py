@@ -69,10 +69,12 @@ class EngineConfig:
     density_threshold: float = _DEFAULT_DENSITY_THRESHOLD
 
 
-def _validated_threshold(value: float) -> float:
+def _validated_threshold(
+    value: float, source: str = "density_threshold"
+) -> float:
     if not 0.0 <= value <= 1.0:
         raise ValueError(
-            f"density_threshold must be in [0, 1], got {value}"
+            f"{source} must be in [0, 1], got {value}"
         )
     return float(value)
 
@@ -85,9 +87,15 @@ def _initial_config() -> EngineConfig:
         threshold = float(raw)
     except ValueError as exc:
         raise ValueError(
-            f"REPRO_DENSITY_THRESHOLD must be a float, got {raw!r}"
+            f"environment variable REPRO_DENSITY_THRESHOLD must be a "
+            f"float in [0, 1], got {raw!r}"
         ) from exc
-    return EngineConfig(density_threshold=_validated_threshold(threshold))
+    return EngineConfig(
+        density_threshold=_validated_threshold(
+            threshold,
+            source="environment variable REPRO_DENSITY_THRESHOLD",
+        )
+    )
 
 
 _config = _initial_config()
