@@ -1,3 +1,10 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # PEP 561: repro.analysis is fully annotated (mypy --strict in CI);
+    # the marker lets downstream type-checkers consume its annotations.
+    package_data={"repro.analysis": ["py.typed"]},
+)

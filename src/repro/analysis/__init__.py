@@ -1,0 +1,62 @@
+"""Static invariant analysis for the repro codebase (``repro lint``).
+
+The reproduction's guarantees — bit-identical golden runs, coherent
+``Parameter`` version caches, leak-free shared-memory arenas — are
+contracts between modules that no unit test can enforce globally: a new
+code path that seeds an RNG from entropy or forgets ``bump_version()``
+after an in-place edit is silently wrong until a golden test happens to
+cross it. This package makes those contracts machine-checked: a small
+stdlib-``ast`` analyzer with a pluggable rule registry (mirroring
+:mod:`repro.methods`), per-line suppressions that require a written
+justification, and stable exit codes for CI.
+
+Usage::
+
+    repro lint src/                       # human-readable report
+    repro lint src/ --format json         # machine-readable report
+    repro lint src/repro/fl --rule shm-lifecycle
+    python -c "from repro.analysis import run_lint; print(run_lint(['src']))"
+
+Suppressing a finding (the reason is mandatory)::
+
+    for name in set(names):  # repro-lint: allow[determinism] -- sorted upstream
+        ...
+
+Exit codes are part of the contract: ``0`` clean, ``1`` unsuppressed
+diagnostics, ``2`` usage or analysis errors (unreadable path, syntax
+error, unknown rule).
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+from .linter import LintResult, run_lint
+from .registry import (
+    Rule,
+    build_rules,
+    get_rule_class,
+    register_rule,
+    rule_ids,
+    rule_summaries,
+)
+from .report import JSON_SCHEMA_ID, render_human, render_json
+from .sources import SourceModule
+from .suppressions import Suppression, SuppressionIndex
+
+__all__ = [
+    "Diagnostic",
+    "JSON_SCHEMA_ID",
+    "LintResult",
+    "Rule",
+    "SourceModule",
+    "Suppression",
+    "SuppressionIndex",
+    "build_rules",
+    "get_rule_class",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "rule_ids",
+    "rule_summaries",
+    "run_lint",
+]

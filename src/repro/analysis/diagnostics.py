@@ -1,0 +1,48 @@
+"""The diagnostic record every rule emits.
+
+A :class:`Diagnostic` is one finding anchored to a file and line. The
+tuple it serializes to is the analyzer's stable wire format: the JSON
+report (``repro lint --format json``) emits exactly these fields, and CI
+consumers key on ``rule`` + ``path`` + ``line``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "SUPPRESSION_RULE_ID"]
+
+#: Pseudo-rule id for malformed suppression comments. Always active
+#: (it guards the suppression mechanism itself) and never suppressible.
+SUPPRESSION_RULE_ID = "suppression"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        """The stable JSON form of this finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: [rule] message`` — the human report line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.rule}] {self.message}"
+        )

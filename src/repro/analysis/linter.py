@@ -1,0 +1,163 @@
+"""The lint driver: collect files, run rules, apply suppressions.
+
+:func:`run_lint` is the single entry point behind both the CLI and the
+test suite. Exit-code contract (stable, scripted against in CI):
+
+- ``0`` — no unsuppressed diagnostics;
+- ``1`` — at least one unsuppressed diagnostic;
+- ``2`` — the analysis itself failed (missing path, unreadable or
+  syntactically invalid file, unknown rule id): findings may be
+  incomplete, so CI must treat this as failure, not success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .diagnostics import SUPPRESSION_RULE_ID, Diagnostic
+from .registry import Rule, build_rules
+from .sources import SourceModule
+
+__all__ = ["LintResult", "run_lint", "collect_files"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+@dataclass
+class LintResult:
+    """Everything one analyzer run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return EXIT_ERROR
+        if self.diagnostics:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return counts
+
+
+def collect_files(paths: Sequence[str | Path]) -> tuple[list[Path],
+                                                        list[str]]:
+    """Resolve path arguments into a sorted, de-duplicated file list.
+
+    Directories are walked recursively for ``*.py`` (skipping
+    ``__pycache__``); missing paths become errors.
+    """
+    files: list[Path] = []
+    errors: list[str] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            candidates = [path]
+        else:
+            errors.append(f"path does not exist: {path}")
+            continue
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files, errors
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """``path`` relative to ``root`` when possible, posix-style."""
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = path
+    return relative.as_posix()
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rule_ids: Iterable[str] | None = None,
+    root: str | Path | None = None,
+) -> LintResult:
+    """Analyze ``paths`` with the selected rules (all by default).
+
+    Raises ``KeyError`` for an unknown rule id — callers surface that as
+    a usage error (exit 2) rather than a finding.
+    """
+    result = LintResult()
+    rules: list[Rule] = build_rules(rule_ids)
+    result.rules_run = tuple(rule.id for rule in rules)
+    root_path = Path(root) if root is not None else Path.cwd()
+
+    files, path_errors = collect_files(paths)
+    result.errors.extend(path_errors)
+
+    modules: list[SourceModule] = []
+    for path in files:
+        display = _display_path(path, root_path)
+        try:
+            modules.append(SourceModule.load(path, display))
+        except SyntaxError as exc:
+            result.errors.append(
+                f"{display}:{exc.lineno or 0}: syntax error: {exc.msg}"
+            )
+        except OSError as exc:
+            result.errors.append(f"{display}: unreadable: {exc}")
+    result.files_checked = len(modules)
+
+    raw: list[Diagnostic] = []
+    for module in modules:
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.check_project(modules))
+
+    by_path = {module.display_path: module for module in modules}
+    for diagnostic in raw:
+        module = by_path.get(diagnostic.path)
+        if module is not None and module.suppressions.is_suppressed(
+            diagnostic.rule, diagnostic.line
+        ):
+            result.suppressed.append(diagnostic)
+        else:
+            result.diagnostics.append(diagnostic)
+
+    # Malformed suppressions are findings of the framework itself: an
+    # exemption without a written reason silences nothing and is
+    # reported regardless of the rule selection.
+    for module in modules:
+        for entry in module.suppressions.invalid():
+            result.diagnostics.append(
+                Diagnostic(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=module.display_path,
+                    line=entry.line,
+                    col=0,
+                    message=(
+                        "suppression is missing its mandatory "
+                        "justification; write `# repro-lint: "
+                        "allow[rule-id] -- reason`."
+                    ),
+                )
+            )
+
+    result.diagnostics.sort(key=Diagnostic.sort_key)
+    result.suppressed.sort(key=Diagnostic.sort_key)
+    return result

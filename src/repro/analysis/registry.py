@@ -1,0 +1,136 @@
+"""The rule registry: pluggable invariants, mirroring ``repro.methods``.
+
+A rule is a class with a stable kebab-case ``id``, a one-line
+``summary``, and one or both check hooks:
+
+``check_module``
+    Called once per analyzed file — the per-module pass most rules use.
+``check_project``
+    Called once with *every* analyzed module — for whole-program
+    invariants (e.g. registry completeness across files).
+
+Third-party rules register without touching analyzer internals::
+
+    from repro.analysis import Rule, register_rule
+
+    @register_rule
+    class NoPrintRule(Rule):
+        id = "no-print"
+        summary = "flag stray print() calls"
+
+        def check_module(self, module):
+            ...
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Iterable, Iterator, Sequence, Type
+
+from .diagnostics import Diagnostic
+from .sources import SourceModule
+
+__all__ = [
+    "Rule",
+    "register_rule",
+    "unregister_rule",
+    "rule_ids",
+    "rule_summaries",
+    "get_rule_class",
+    "build_rules",
+]
+
+
+class Rule(ABC):
+    """Base class for one mechanically-checked invariant."""
+
+    #: Stable kebab-case identifier (used by ``--rule`` and ``allow[...]``).
+    id: str = ""
+    #: One line shown in ``repro lint --list-rules`` and the rule catalog.
+    summary: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        """Per-file findings (default: none)."""
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Diagnostic]:
+        """Whole-fileset findings (default: none)."""
+        return iter(())
+
+    def diagnostic(
+        self, module: SourceModule, line: int, col: int, message: str
+    ) -> Diagnostic:
+        """A finding of this rule anchored into ``module``."""
+        return Diagnostic(
+            rule=self.id,
+            path=module.display_path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in rule catalog on first registry access (lazily,
+    so rule modules can import :mod:`repro.analysis` without a cycle)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        from . import rules  # noqa: F401  (registers built-ins on import)
+
+        _BUILTINS_LOADED = True
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` under its ``id``."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} must define a non-empty id")
+    if not cls.summary:
+        raise ValueError(f"rule {cls.id!r} must define a one-line summary")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"rule {cls.id!r} already registered")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a registered rule (no-op if absent)."""
+    _REGISTRY.pop(rule_id, None)
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def rule_summaries() -> dict[str, str]:
+    """``{id: one-line summary}`` for every registered rule."""
+    _ensure_builtins()
+    return {rule_id: cls.summary for rule_id, cls in _REGISTRY.items()}
+
+
+def get_rule_class(rule_id: str) -> Type[Rule]:
+    """Look up a registered rule class by id."""
+    _ensure_builtins()
+    if rule_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; available: {list(_REGISTRY)}"
+        )
+    return _REGISTRY[rule_id]
+
+
+def build_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    _ensure_builtins()
+    if only is None:
+        return [cls() for cls in _REGISTRY.values()]
+    selected: list[Rule] = []
+    for rule_id in only:
+        selected.append(get_rule_class(rule_id)())
+    return selected

@@ -1,0 +1,69 @@
+"""Report rendering: the human console format and the JSON schema.
+
+The JSON document (``schema: repro-lint/v1``) is a stable contract for
+CI artifact consumers: new fields may be added, existing fields keep
+their meaning and types.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .linter import LintResult
+from .registry import rule_summaries
+
+__all__ = ["render_human", "render_json", "JSON_SCHEMA_ID"]
+
+JSON_SCHEMA_ID = "repro-lint/v1"
+
+
+def render_human(result: LintResult) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [diagnostic.render() for diagnostic in result.diagnostics]
+    lines.extend(f"error: {message}" for message in result.errors)
+    total = len(result.diagnostics)
+    summary = (
+        f"{result.files_checked} file"
+        f"{'' if result.files_checked == 1 else 's'} checked, "
+        f"{total} finding{'' if total == 1 else 's'}"
+    )
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed"
+    if result.errors:
+        summary += f", {len(result.errors)} errors"
+    by_rule = result.counts_by_rule()
+    if by_rule:
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        summary += f" ({breakdown})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (see :data:`JSON_SCHEMA_ID`)."""
+    document = {
+        "schema": JSON_SCHEMA_ID,
+        "rules": {
+            rule_id: summary
+            for rule_id, summary in rule_summaries().items()
+            if rule_id in result.rules_run
+        },
+        "diagnostics": [
+            diagnostic.to_dict() for diagnostic in result.diagnostics
+        ],
+        "suppressed": [
+            diagnostic.to_dict() for diagnostic in result.suppressed
+        ],
+        "errors": list(result.errors),
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.diagnostics),
+            "suppressed": len(result.suppressed),
+            "errors": len(result.errors),
+            "by_rule": result.counts_by_rule(),
+            "exit_code": result.exit_code,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

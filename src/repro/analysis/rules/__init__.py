@@ -1,0 +1,25 @@
+"""Built-in rule catalog (importing this package registers every rule).
+
+One module per invariant; see each module's docstring for the contract
+it enforces and the repro subsystem that contract comes from.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    cache_coherence,
+    determinism,
+    engine_mode,
+    float_accumulation,
+    registry_completeness,
+    shm_lifecycle,
+)
+
+__all__ = [
+    "cache_coherence",
+    "determinism",
+    "engine_mode",
+    "float_accumulation",
+    "registry_completeness",
+    "shm_lifecycle",
+]

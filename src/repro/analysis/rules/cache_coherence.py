@@ -1,0 +1,149 @@
+"""Rule ``cache-coherence`` — in-place ``Parameter`` edits must bump
+the version counter.
+
+``repro.nn.parameter.Parameter`` caches its effective (masked) value,
+active-entry count, and active-row index against a version counter.
+Plain assignments (``p.data = x``, ``p.data -= u``) route through the
+property setter and bump it automatically; writes *through a view* are
+invisible to the setter and must call ``bump_version()`` explicitly::
+
+    p.data[rows] = update          # setter never fires
+    np.multiply(p.data, m, out=p.data)
+    p.bump_version()               # required
+
+A missed bump is the worst kind of bug: every consumer of
+``p.effective`` silently reads stale pre-edit bytes, and only a golden
+test that happens to cross the path notices. This rule flags any
+function that writes through a ``.data``/``.mask`` view — subscript
+stores, ``out=`` arguments, ``np.copyto`` targets, in-place array
+methods — without a reachable ``bump_version()`` call (or a plain
+``.data``/``.mask`` assignment, whose setter bumps) in the same
+function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule, node_calls_name, resolve_dotted, \
+    walk_functions
+
+__all__ = ["CacheCoherenceRule"]
+
+#: Attributes whose storage is version-tagged on ``Parameter``.
+_VERSIONED_ATTRS = frozenset({"data", "mask"})
+
+#: ndarray methods that mutate their receiver in place.
+_INPLACE_METHODS = frozenset({"fill", "put", "sort", "partition", "setflags"})
+
+#: numpy functions whose *first positional argument* is written in place.
+_INPLACE_FIRST_ARG = frozenset({"numpy.copyto", "numpy.place", "numpy.putmask"})
+
+
+def _versioned_attribute(node: ast.expr) -> ast.Attribute | None:
+    """``node`` if it is a ``<obj>.data`` / ``<obj>.mask`` access."""
+    if isinstance(node, ast.Attribute) and node.attr in _VERSIONED_ATTRS:
+        return node
+    return None
+
+
+def _view_writes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    aliases: dict[str, str],
+) -> Iterator[tuple[ast.AST, str]]:
+    """(node, description) for every through-a-view write in ``func``."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _versioned_attribute(target.value)
+                    if attr is not None:
+                        yield (
+                            node,
+                            f"subscript store into .{attr.attr}[...]",
+                        )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg != "out":
+                    continue
+                attr = _versioned_attribute(keyword.value)
+                if attr is not None:
+                    yield node, f"out=<param>.{attr.attr} ufunc write"
+            func_expr = node.func
+            if isinstance(func_expr, ast.Attribute):
+                if func_expr.attr in _INPLACE_METHODS:
+                    attr = _versioned_attribute(func_expr.value)
+                    if attr is not None:
+                        yield (
+                            node,
+                            f".{attr.attr}.{func_expr.attr}(...) in-place "
+                            f"method",
+                        )
+            target_name = resolve_dotted(func_expr, aliases)
+            if target_name in _INPLACE_FIRST_ARG and node.args:
+                attr = _versioned_attribute(node.args[0])
+                if attr is not None:
+                    yield (
+                        node,
+                        f"{target_name}(<param>.{attr.attr}, ...) "
+                        f"in-place write",
+                    )
+
+
+def _has_setter_assignment(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    """Whether ``func`` plainly assigns ``<obj>.data`` / ``<obj>.mask``.
+
+    Such assignments (including augmented ones) route through the
+    ``Parameter`` property setter, which bumps the version itself.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if _versioned_attribute(target) is not None:
+                    return True
+        elif isinstance(node, ast.AugAssign):
+            if _versioned_attribute(node.target) is not None:
+                return True
+    return False
+
+
+@register_rule
+class CacheCoherenceRule(Rule):
+    """Flag view writes to versioned storage with no ``bump_version``."""
+
+    id = "cache-coherence"
+    summary = (
+        "in-place writes through Parameter.data/.mask views require "
+        "bump_version() in the same function"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        for func, _ in walk_functions(module.tree):
+            writes = list(_view_writes(func, module.aliases))
+            if not writes:
+                continue
+            if node_calls_name(func, "bump_version"):
+                continue
+            if node_calls_name(func, "apply_mask"):
+                # Parameter.apply_mask reassigns .data via the setter.
+                continue
+            if _has_setter_assignment(func):
+                continue
+            for node, description in writes:
+                yield self.diagnostic(
+                    module, node.lineno, node.col_offset,
+                    f"{description} bypasses the Parameter version "
+                    f"setter, but {func.name}() never calls "
+                    f"bump_version(); cached effective/density values "
+                    f"go stale.",
+                )

@@ -1,0 +1,202 @@
+"""Rule ``determinism`` — no global-state or entropy-seeded RNG, no
+iteration over sets.
+
+Every random draw in the codebase flows through an explicitly seeded
+``numpy.random.Generator`` that is threaded through call signatures
+(see ``repro.nn.init``), so runs are bit-identical for a fixed seed
+across processes and executor backends. Three patterns silently break
+that:
+
+- **module-level RNG calls** (``np.random.rand(...)``,
+  ``random.shuffle(...)``): they mutate hidden global state, so results
+  depend on everything else that touched the same stream;
+- **entropy-seeded generators** (``np.random.default_rng()`` with no
+  seed, bare ``random.Random()``): fresh OS entropy per process;
+- **time/pid seeding** (``default_rng(time.time_ns())``): a seed that
+  differs per run is no seed at all.
+
+Iterating a ``set`` (literal, ``set(...)`` call, or set comprehension)
+is flagged too: iteration order depends on insertion history and — for
+strings — the per-process hash seed, so any ordering-sensitive consumer
+(aggregation order, participant order, float accumulation) silently
+diverges across processes. Wrap the set in ``sorted(...)`` or use a
+dict/list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule, resolve_dotted
+
+__all__ = ["DeterminismRule"]
+
+#: ``numpy.random`` attributes that *construct* explicitly-seedable
+#: generator objects — allowed (with a seed argument) because they do
+#: not touch numpy's hidden global stream.
+_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Call targets whose result changes run to run; using one inside an
+#: RNG-constructor argument list makes the "seed" non-reproducible.
+_ENTROPY_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.randbits",
+    }
+)
+
+
+def _is_set_expression(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """Whether ``node`` evaluates to a set with unspecified order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = resolve_dotted(node.func, aliases)
+        if target in {"set", "frozenset"}:
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # ``a | b`` / ``a - b`` on sets; only flag when a side is
+        # provably a set so plain integer arithmetic stays quiet.
+        return _is_set_expression(
+            node.left, aliases
+        ) or _is_set_expression(node.right, aliases)
+    return False
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """Flag hidden-global RNG, entropy seeding, and set iteration."""
+
+    id = "determinism"
+    summary = (
+        "RNG must be an explicitly seeded Generator threaded through "
+        "signatures; never iterate a set"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        aliases = module.aliases
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_iteration(module, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for comp in node.generators:
+                    yield from self._check_iteration(module, comp.iter)
+            elif isinstance(node, ast.Starred):
+                if _is_set_expression(node.value, aliases):
+                    yield self.diagnostic(
+                        module, node.lineno, node.col_offset,
+                        "unpacking a set has nondeterministic order; "
+                        "sort it first (sorted(...)).",
+                    )
+
+    def _check_call(
+        self, module: SourceModule, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        target = resolve_dotted(node.func, module.aliases)
+        if target is None:
+            return
+        if target.startswith("numpy.random."):
+            tail = target[len("numpy.random."):]
+            if tail not in _NUMPY_CONSTRUCTORS:
+                yield self.diagnostic(
+                    module, node.lineno, node.col_offset,
+                    f"call to numpy's global RNG ({target}) breaks "
+                    f"determinism; thread an explicitly seeded "
+                    f"np.random.Generator through the call signature.",
+                )
+                return
+            if tail in {"default_rng", "RandomState"} and not (
+                node.args or node.keywords
+            ):
+                yield self.diagnostic(
+                    module, node.lineno, node.col_offset,
+                    f"{target}() without a seed draws OS entropy; pass "
+                    f"an explicit seed.",
+                )
+                return
+        elif target == "random.Random":
+            if not (node.args or node.keywords):
+                yield self.diagnostic(
+                    module, node.lineno, node.col_offset,
+                    "random.Random() without a seed draws OS entropy; "
+                    "pass an explicit seed.",
+                )
+                return
+        elif target.startswith("random."):
+            yield self.diagnostic(
+                module, node.lineno, node.col_offset,
+                f"call to the stdlib global RNG ({target}) breaks "
+                f"determinism; use an explicitly seeded "
+                f"np.random.Generator (or random.Random(seed)).",
+            )
+            return
+        yield from self._check_entropy_seed(module, node, target)
+
+    def _check_entropy_seed(
+        self, module: SourceModule, node: ast.Call, target: str
+    ) -> Iterator[Diagnostic]:
+        is_rng_ctor = (
+            target.startswith("numpy.random.")
+            and target[len("numpy.random."):] in _NUMPY_CONSTRUCTORS
+        ) or target == "random.Random"
+        if not is_rng_ctor:
+            return
+        seed_args: list[ast.expr] = list(node.args) + [
+            kw.value for kw in node.keywords if kw.arg is not None
+        ]
+        for arg in seed_args:
+            for sub in ast.walk(arg):
+                if not isinstance(sub, ast.Call):
+                    continue
+                source = resolve_dotted(sub.func, module.aliases)
+                if source in _ENTROPY_SOURCES:
+                    yield self.diagnostic(
+                        module, node.lineno, node.col_offset,
+                        f"RNG seeded from {source}() differs every run; "
+                        f"derive the seed from the experiment config.",
+                    )
+
+    def _check_iteration(
+        self, module: SourceModule, iter_node: ast.expr
+    ) -> Iterator[Diagnostic]:
+        if _is_set_expression(iter_node, module.aliases):
+            yield self.diagnostic(
+                module, iter_node.lineno, iter_node.col_offset,
+                "iterating a set has nondeterministic order (hash-seed "
+                "dependent for strings); iterate sorted(...) or keep a "
+                "list/dict.",
+            )

@@ -1,0 +1,89 @@
+"""Rule ``engine-mode`` — evaluation paths must run under
+``engine.inference_mode()``.
+
+Outside :func:`repro.nn.engine.inference_mode`, every layer records
+backward-pass state on each forward call: im2col column matrices,
+max-pool argmax indices, BN ``x_hat`` tensors. An evaluation loop that
+forgets the context still computes the right numbers but silently pays
+the full training-memory footprint per batch *and* leaves stale caches
+pinned on the shared model — the exact overhead class PR 3 removed from
+the hot paths.
+
+Heuristic: a function whose name marks it as inference-only
+(``evaluate*``, ``*eval*``, ``recalibrate*``, ``*inference*``,
+``*predict*``) that calls a model forward directly (``model(...)``,
+``net(...)``, or an explicit ``.forward(...)``) and never calls
+``.backward(...)`` must contain an ``inference_mode`` context. Pure
+delegators that never touch a model themselves are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule, node_calls_name, walk_functions
+
+__all__ = ["EngineModeRule"]
+
+#: Function names that promise forward-only semantics.
+_EVAL_NAME_RE = re.compile(
+    r"(^|_)(evaluate|eval|recalibrate|inference|predict)(_|$)|^evaluate"
+)
+
+#: Local names conventionally bound to a model in this codebase.
+_MODEL_NAMES = frozenset({"model", "net"})
+
+
+def _calls_model_forward(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> ast.Call | None:
+    """The first direct model-forward call in ``func``, if any."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if isinstance(target, ast.Name) and target.id in _MODEL_NAMES:
+            return node
+        if isinstance(target, ast.Attribute):
+            if target.attr == "forward":
+                return node
+            if target.attr in _MODEL_NAMES and isinstance(
+                target.value, ast.Name
+            ):
+                # self.model(...) / ctx.model(...)
+                return node
+    return None
+
+
+@register_rule
+class EngineModeRule(Rule):
+    """Flag evaluate-style forward loops outside inference_mode()."""
+
+    id = "engine-mode"
+    summary = (
+        "evaluate/recalibrate paths that run forwards must wrap them "
+        "in engine.inference_mode()"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        for func, _ in walk_functions(module.tree):
+            if _EVAL_NAME_RE.search(func.name) is None:
+                continue
+            forward_call = _calls_model_forward(func)
+            if forward_call is None:
+                continue  # pure delegator; the callee owns the context
+            if node_calls_name(func, "backward"):
+                continue  # a training/growth-signal pass, not inference
+            if node_calls_name(func, "inference_mode"):
+                continue
+            yield self.diagnostic(
+                module, forward_call.lineno, forward_call.col_offset,
+                f"{func.name}() runs model forwards without "
+                f"engine.inference_mode(); layers record backward "
+                f"caches (im2col columns, argmax indices, BN x_hat) "
+                f"that inference never consumes.",
+            )

@@ -1,0 +1,79 @@
+"""Rule ``float-accumulation`` — no ad-hoc summation inside
+golden-guarded modules.
+
+The golden-run guarantee (bit-identical results across executors,
+policies, and perf arcs) holds because the guarded modules fix one
+accumulation recipe: float64 products, one accumulation order, a single
+final float32 rounding. Swapping a hand-written loop for ``sum(...)``,
+``np.sum(...)``, or ``math.fsum(...)`` looks like a harmless cleanup
+but changes association (pairwise summation in numpy, exact rounding in
+fsum) and silently breaks byte-identity with every checked-in golden
+baseline.
+
+Guarded modules are the known float-critical set
+(``fl/aggregation.py``, ``fl/payload.py``, ``core/selection_engine.py``)
+plus any file carrying a ``# repro-lint: golden-guarded`` marker.
+Integer or otherwise order-independent sums inside them are fine — but
+must say so with a suppression, so the next reader knows the
+reassociation question was asked and answered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule, resolve_dotted
+
+__all__ = ["FloatAccumulationRule"]
+
+#: Posix path suffixes of the always-guarded modules.
+_GUARDED_SUFFIXES = (
+    "fl/aggregation.py",
+    "fl/payload.py",
+    "core/selection_engine.py",
+)
+
+#: Marker a module can carry to opt into the guarded set.
+_GUARD_MARKER = "golden-guarded"
+
+#: Call targets that reassociate (or re-round) float accumulation.
+_SUM_TARGETS = frozenset({"sum", "numpy.sum", "math.fsum"})
+
+
+def _is_guarded(module: SourceModule) -> bool:
+    path = module.display_path.replace("\\", "/")
+    if path.endswith(_GUARDED_SUFFIXES):
+        return True
+    return module.is_marked(_GUARD_MARKER)
+
+
+@register_rule
+class FloatAccumulationRule(Rule):
+    """Flag sum()/np.sum/math.fsum inside golden-guarded modules."""
+
+    id = "float-accumulation"
+    summary = (
+        "golden-guarded modules must keep their explicit accumulation "
+        "recipe; no bare sum()/np.sum/math.fsum"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        if not _is_guarded(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_dotted(node.func, module.aliases)
+            if target not in _SUM_TARGETS:
+                continue
+            yield self.diagnostic(
+                module, node.lineno, node.col_offset,
+                f"{target}(...) inside a golden-guarded module may "
+                f"reassociate float accumulation and break bit-identity "
+                f"with the golden baselines; keep the module's explicit "
+                f"accumulation recipe, or suppress with a written "
+                f"order-independence argument.",
+            )

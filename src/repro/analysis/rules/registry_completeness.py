@@ -1,0 +1,258 @@
+"""Rule ``registry-completeness`` — every concrete plugin subclass must
+be registered, and registered names must be unique.
+
+The PR-1 refactor routed all dispatch through decorator registries:
+federated methods (``@register_method`` builders), client executors
+(``register_executor``), and round policies (``register_policy``). A
+concrete subclass that never reaches its registry is dead code the CLI
+cannot select — the classic drift mode when a method variant is copied
+and the registration line is forgotten. Two names registered for the
+same registry across different files only collide at import time of the
+*second* module, which lazy loading can defer past CI.
+
+This is a whole-project pass: class hierarchies and registration sites
+are resolved across every analyzed file. A class counts as registered
+when it is (a) passed directly to a ``register_*`` call, (b) decorated
+with one, or (c) instantiated inside a function decorated with
+``@register_method`` — or inside any helper function such a builder
+reaches through plain-name calls (the catalog-builder idiom). Abstract
+classes (any ``@abstractmethod`` of their own) and private bases
+(``_Underscore`` names) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule
+
+__all__ = ["RegistryCompletenessRule"]
+
+#: Plugin base class -> the registration function family that must
+#: eventually reference each concrete subclass.
+_TRACKED_BASES = {
+    "FederatedMethod": "register_method",
+    "ClientExecutor": "register_executor",
+    "RoundPolicy": "register_policy",
+}
+
+_REGISTER_FUNCS = frozenset(_TRACKED_BASES.values())
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    bases: tuple[str, ...]
+    module: SourceModule
+    lineno: int
+    col: int
+    is_abstract: bool
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names: list[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    """Whether the class itself declares abstract methods."""
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                name = (
+                    decorator.attr
+                    if isinstance(decorator, ast.Attribute)
+                    else decorator.id
+                    if isinstance(decorator, ast.Name)
+                    else None
+                )
+                if name in {"abstractmethod", "abstractproperty"}:
+                    return True
+    return False
+
+
+def _call_register_func(node: ast.Call) -> str | None:
+    """The ``register_*`` family name if ``node`` calls one."""
+    func = node.func
+    if isinstance(func, ast.Call):
+        # Decorator factory form: register_method("name", ...)(builder).
+        return _call_register_func(func)
+    name = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id
+        if isinstance(func, ast.Name)
+        else None
+    )
+    if name in _REGISTER_FUNCS:
+        return name
+    return None
+
+
+def _registered_name_literal(node: ast.Call) -> tuple[str, int, int] | None:
+    """The literal name argument of a registration call, with location."""
+    candidates: list[ast.expr] = list(node.args[:1]) + [
+        kw.value for kw in node.keywords if kw.arg == "name"
+    ]
+    for arg in candidates:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value.lower(), arg.lineno, arg.col_offset
+    return None
+
+
+def _decorated_with_register(
+    node: ast.ClassDef | ast.FunctionDef | ast.AsyncFunctionDef,
+) -> str | None:
+    for decorator in node.decorator_list:
+        target: ast.expr = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else target.id
+            if isinstance(target, ast.Name)
+            else None
+        )
+        if name in _REGISTER_FUNCS:
+            return name
+    return None
+
+
+@register_rule
+class RegistryCompletenessRule(Rule):
+    """Cross-file registry audit for methods, executors, and policies."""
+
+    id = "registry-completeness"
+    summary = (
+        "concrete FederatedMethod/ClientExecutor/RoundPolicy subclasses "
+        "must be registered, with unique names per registry"
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Diagnostic]:
+        classes: dict[str, _ClassInfo] = {}
+        referenced: set[str] = set()
+        functions: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]]
+        functions = {}
+        builder_roots: list[str] = []
+        names_seen: dict[tuple[str, str], tuple[SourceModule, int]] = {}
+        duplicates: list[Diagnostic] = []
+
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = _ClassInfo(
+                        name=node.name,
+                        bases=_base_names(node),
+                        module=module,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        is_abstract=_is_abstract(node),
+                    )
+                    if _decorated_with_register(node) is not None:
+                        referenced.add(node.name)
+                elif isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    functions.setdefault(node.name, []).append(node)
+                    if _decorated_with_register(node) is not None:
+                        builder_roots.append(node.name)
+                elif isinstance(node, ast.Call):
+                    family = _call_register_func(node)
+                    if family is None:
+                        continue
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        if isinstance(arg, ast.Name):
+                            referenced.add(arg.id)
+                    literal = _registered_name_literal(node)
+                    if literal is not None:
+                        name, lineno, col = literal
+                        key = (family, name)
+                        previous = names_seen.get(key)
+                        if previous is not None:
+                            prev_module, prev_line = previous
+                            duplicates.append(
+                                self.diagnostic(
+                                    module, lineno, col,
+                                    f"name {name!r} is registered twice "
+                                    f"for {family} (first at "
+                                    f"{prev_module.display_path}:"
+                                    f"{prev_line}); the second import "
+                                    f"will raise at runtime.",
+                                )
+                            )
+                        else:
+                            names_seen[key] = (module, lineno)
+
+        # Builder idiom: every plain-name call reachable from a
+        # registered builder — transitively through helper functions —
+        # marks its target (class instantiation or helper) as reachable
+        # through the registry.
+        frontier = list(builder_roots)
+        visited: set[str] = set()
+        while frontier:
+            name = frontier.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            for func_node in functions.get(name, ()):
+                for sub in ast.walk(func_node):
+                    if isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Name
+                    ):
+                        called = sub.func.id
+                        referenced.add(called)
+                        if called in functions:
+                            frontier.append(called)
+
+        yield from duplicates
+
+        for info in classes.values():
+            registry = self._tracked_registry(info, classes)
+            if registry is None:
+                continue
+            if info.name in _TRACKED_BASES:
+                continue  # the plugin base itself
+            if info.is_abstract or info.name.startswith("_"):
+                continue  # abstract/private intermediate bases
+            if info.name in referenced:
+                continue
+            yield self.diagnostic(
+                info.module, info.lineno, info.col,
+                f"concrete {registry.replace('register_', '')} subclass "
+                f"{info.name} is never registered "
+                f"({registry}(...) or an @{registry} builder); it is "
+                f"unreachable from the CLI and the runner.",
+            )
+
+    @staticmethod
+    def _tracked_registry(
+        info: _ClassInfo, classes: dict[str, _ClassInfo]
+    ) -> str | None:
+        """The registration family ``info`` belongs to, via base names."""
+        seen: set[str] = set()
+        frontier = list(info.bases)
+        while frontier:
+            base = frontier.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            if base in _TRACKED_BASES:
+                return _TRACKED_BASES[base]
+            parent = classes.get(base)
+            if parent is not None:
+                frontier.extend(parent.bases)
+        return None

@@ -1,0 +1,215 @@
+"""Rule ``shm-lifecycle`` — every shared-memory segment must be
+released on all paths.
+
+The zero-copy round loop (PR 4) moves broadcasts through
+``multiprocessing.shared_memory`` arenas. A segment that is not
+``close()``-d and — by its creating owner — ``unlink()``-ed survives
+the process as a leaked ``/dev/shm`` file; leaked segments accumulate
+across experiment sweeps until the host runs out of shm. The codebase
+contract:
+
+- a **locally held** segment must be released on *all* exits: either a
+  ``with`` block, or a ``try``/``finally`` whose finally calls
+  ``close()`` (plus ``unlink()`` when created here), or the function
+  transfers ownership by returning the handle;
+- a segment stored on **an attribute** (long-lived arenas) must have a
+  release method somewhere in the same class that calls ``close()``
+  and, for created segments, ``unlink()`` on that attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule, resolve_dotted, walk_functions
+
+__all__ = ["ShmLifecycleRule"]
+
+#: Canonical constructors that acquire a shared-memory segment.
+_SHM_CONSTRUCTORS = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.ShareableList",
+    }
+)
+
+
+def _is_shm_call(node: ast.expr, aliases: dict[str, str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    target = resolve_dotted(node.func, aliases)
+    if target is None:
+        return False
+    return target in _SHM_CONSTRUCTORS or target.endswith(".SharedMemory") \
+        or target == "SharedMemory"
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    """Whether the call *creates* (vs attaches to) a segment."""
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            )
+    return False
+
+
+def _attribute_key(node: ast.expr) -> str | None:
+    """``"self.x"``-style key for an attribute target, else ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(
+        node.value, ast.Name
+    ):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _method_calls_on(node: ast.AST, key_or_name: str) -> set[str]:
+    """Method names called on ``name`` or ``obj.attr`` inside ``node``."""
+    calls: set[str] = set()
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == key_or_name:
+            calls.add(func.attr)
+        else:
+            attr_key = _attribute_key(receiver)
+            if attr_key == key_or_name:
+                calls.add(func.attr)
+    return calls
+
+
+def _finally_bodies(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                yield stmt
+
+
+def _name_is_returned(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+    return False
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    """Flag shared-memory acquisitions without guaranteed release."""
+
+    id = "shm-lifecycle"
+    summary = (
+        "SharedMemory segments need close()/unlink() on every exit "
+        "(try/finally, with, or a class release method)"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        for func, enclosing_class in walk_functions(module.tree):
+            yield from self._check_function(module, func, enclosing_class)
+
+    def _check_function(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        enclosing_class: ast.ClassDef | None,
+    ) -> Iterator[Diagnostic]:
+        # ``with SharedMemory(...)`` acquisitions release themselves and
+        # never appear as Assign values, so only assignments need checks.
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_shm_call(node.value, module.aliases):
+                continue
+            call = node.value
+            assert isinstance(call, ast.Call)
+            created = _creates_segment(call)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    yield from self._check_local(
+                        module, func, call, target.id, created
+                    )
+                else:
+                    key = _attribute_key(target)
+                    if key is not None:
+                        yield from self._check_attribute(
+                            module, func, enclosing_class, call,
+                            target.attr, key, created,
+                        )
+
+    def _check_local(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        call: ast.Call,
+        name: str,
+        created: bool,
+    ) -> Iterator[Diagnostic]:
+        if _name_is_returned(func, name):
+            return  # ownership transferred to the caller
+        finally_calls: set[str] = set()
+        for stmt in _finally_bodies(func):
+            finally_calls |= _method_calls_on(stmt, name)
+        required = {"close", "unlink"} if created else {"close"}
+        if required <= finally_calls:
+            return
+        anywhere = _method_calls_on(func, name)
+        if required <= anywhere:
+            yield self.diagnostic(
+                module, call.lineno, call.col_offset,
+                f"segment {name!r} is released, but not in a finally "
+                f"block — an exception between acquisition and release "
+                f"leaks the mapping; wrap in try/finally or a with "
+                f"block.",
+            )
+            return
+        missing = ", ".join(f"{m}()" for m in sorted(required - anywhere))
+        yield self.diagnostic(
+            module, call.lineno, call.col_offset,
+            f"shared-memory segment {name!r} is never released on this "
+            f"path (missing {missing}); leaked segments persist in "
+            f"/dev/shm after the process dies.",
+        )
+
+    def _check_attribute(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        enclosing_class: ast.ClassDef | None,
+        call: ast.Call,
+        attr: str,
+        key: str,
+        created: bool,
+    ) -> Iterator[Diagnostic]:
+        scope: ast.AST | None = enclosing_class
+        if scope is None:
+            scope = func  # module-level helper holding state on an object
+        calls = _method_calls_on(scope, key)
+        required = {"close", "unlink"} if created else {"close"}
+        missing = required - calls
+        if not missing:
+            return
+        owner = (
+            f"class {enclosing_class.name}"
+            if enclosing_class is not None
+            else f"function {func.name}"
+        )
+        yield self.diagnostic(
+            module, call.lineno, call.col_offset,
+            f"segment stored on {key!r} has no "
+            f"{'/'.join(sorted(missing))}() call anywhere in {owner}; "
+            f"long-lived arenas need a release method that closes "
+            f"{'and unlinks ' if created else ''}the mapping.",
+        )

@@ -1,0 +1,152 @@
+"""Parsed source modules and shared AST utilities.
+
+A :class:`SourceModule` bundles everything a rule needs about one file:
+the parsed tree, the raw lines, an import-alias map for resolving
+dotted call targets to canonical module paths (``np.random.rand`` →
+``numpy.random.rand`` regardless of how numpy was imported), and the
+file's parsed suppression index.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from .suppressions import SuppressionIndex
+
+__all__ = [
+    "SourceModule",
+    "build_alias_map",
+    "resolve_dotted",
+    "walk_functions",
+    "node_calls_name",
+]
+
+
+def build_alias_map(tree: ast.Module) -> dict[str, str]:
+    """Map local binding names to canonical dotted module prefixes.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from
+    multiprocessing import shared_memory`` yields
+    ``{"shared_memory": "multiprocessing.shared_memory"}``. Relative
+    imports map to their dot-stripped tail (enough for suffix checks).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    # ``import a.b`` binds ``a``; canonical root is ``a``.
+                    root = name.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                bound = name.asname or name.name
+                canonical = f"{module}.{name.name}" if module else name.name
+                aliases[bound] = canonical
+    return aliases
+
+
+def resolve_dotted(
+    node: ast.expr, aliases: dict[str, str]
+) -> str | None:
+    """Canonical dotted path of a Name/Attribute chain, or ``None``.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    when ``np`` aliases ``numpy``. Chains rooted in calls, subscripts,
+    or other expressions resolve to ``None``.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(aliases.get(current.id, current.id))
+    return ".".join(reversed(parts))
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef,
+                    ast.ClassDef | None]]:
+    """Every function definition paired with its enclosing class."""
+
+    def _walk(
+        node: ast.AST, enclosing: ast.ClassDef | None
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef,
+                        ast.ClassDef | None]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, enclosing
+                yield from _walk(child, enclosing)
+            elif isinstance(child, ast.ClassDef):
+                yield from _walk(child, child)
+            else:
+                yield from _walk(child, enclosing)
+
+    yield from _walk(tree, None)
+
+
+def node_calls_name(node: ast.AST, attr_name: str) -> bool:
+    """Whether any call inside ``node`` targets ``attr_name``.
+
+    Matches both ``attr_name(...)`` and ``<anything>.attr_name(...)``.
+    """
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name) and func.id == attr_name:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == attr_name:
+            return True
+    return False
+
+
+@dataclass
+class SourceModule:
+    """One parsed file, ready for rule checks."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+    suppressions: SuppressionIndex = field(
+        default_factory=SuppressionIndex
+    )
+
+    @classmethod
+    def load(cls, path: Path, display_path: str) -> "SourceModule":
+        """Parse ``path``; raises ``SyntaxError``/``OSError`` on failure."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            display_path=display_path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            aliases=build_alias_map(tree),
+            suppressions=SuppressionIndex.parse(lines),
+        )
+
+    def is_marked(self, marker: str) -> bool:
+        """Whether the file opts into a rule scope via a marker comment.
+
+        Markers are plain ``# repro-lint: <marker>`` comments (e.g.
+        ``golden-guarded``), checked against the raw source so they work
+        in docstrings and comments alike.
+        """
+        return f"repro-lint: {marker}" in self.source

@@ -1,0 +1,103 @@
+"""Per-line suppression parsing.
+
+A diagnostic is silenced with an inline annotation that *must* carry a
+written justification::
+
+    x = risky_thing()  # repro-lint: allow[rule-id] -- why this is safe
+
+Several rules may share one annotation (``allow[rule-a, rule-b]``). An
+annotation on its own comment line applies to the next line that holds
+code, so decorated definitions and long statements can be annotated
+above instead of inline. A suppression without a ``-- reason`` tail is
+itself a diagnostic (rule id ``suppression``) and silences nothing —
+an unexplained exemption is exactly the drift this analyzer exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "SuppressionIndex"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``allow[...]`` annotation."""
+
+    line: int  # line the annotation was written on (1-based)
+    target_line: int  # line whose diagnostics it silences
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason) and bool(self.rules)
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file, indexed by target line."""
+
+    entries: list[Suppression] = field(default_factory=list)
+    _by_line: dict[int, list[Suppression]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, lines: list[str]) -> "SuppressionIndex":
+        index = cls()
+        for lineno, text in enumerate(lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            target = lineno
+            if text.lstrip().startswith("#"):
+                # Standalone comment: applies to the next code line.
+                target = _next_code_line(lines, lineno)
+            entry = Suppression(
+                line=lineno,
+                target_line=target,
+                rules=rules,
+                reason=reason,
+            )
+            index.entries.append(entry)
+            if entry.valid:
+                index._by_line.setdefault(target, []).append(entry)
+        return index
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is validly suppressed at ``line`` (marks use)."""
+        for entry in self._by_line.get(line, ()):
+            if rule in entry.rules:
+                entry.used = True
+                return True
+        return False
+
+    def invalid(self) -> list[Suppression]:
+        """Annotations missing a reason (or any rule id)."""
+        return [entry for entry in self.entries if not entry.valid]
+
+
+def _next_code_line(lines: list[str], comment_line: int) -> int:
+    """First line after ``comment_line`` holding code (1-based).
+
+    Skips blank and comment-only lines; falls back to the comment's own
+    line when the file ends first.
+    """
+    for offset in range(comment_line, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return comment_line

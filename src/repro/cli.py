@@ -8,6 +8,7 @@ Usage::
     python -m repro experiment table1 --scale bench
     python -m repro bench --out BENCH_sparse_compute.json
     python -m repro bench --suite round_loop --out BENCH_round_loop.json
+    python -m repro lint src/ --format json
 """
 
 from __future__ import annotations
@@ -164,6 +165,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="interleaved timing samples per variant")
     bench.add_argument("--quick", action="store_true",
                        help="smaller grid for CI smoke runs")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repo's determinism/cache/shm contracts",
+        description=(
+            "AST-based analyzer enforcing the codebase's standing "
+            "invariants: seeded RNGs and no set-order dependence "
+            "(determinism), bump_version() after in-place writes to "
+            "version-tagged parameter storage (cache-coherence), "
+            "close()/unlink() on every SharedMemory exit path "
+            "(shm-lifecycle), registered plugin subclasses "
+            "(registry-completeness), fixed-order accumulation in "
+            "golden-guarded modules (float-accumulation), and "
+            "inference_mode() around evaluate paths (engine-mode). "
+            "Exit codes: 0 clean, 1 findings, 2 analysis error."
+        ),
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to analyze "
+                           "(default: src)")
+    lint.add_argument("--format", default="human",
+                      choices=("human", "json"),
+                      help="report format (json follows the "
+                           "repro-lint/v1 schema)")
+    lint.add_argument("--rule", action="append", default=None,
+                      metavar="RULE_ID",
+                      help="run only this rule (repeatable; default: "
+                           "all rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -286,6 +317,29 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analyzer is pure stdlib and most CLI
+    # invocations never need it.
+    from .analysis import (
+        linter, render_human, render_json, rule_summaries, run_lint,
+    )
+
+    if args.list_rules:
+        summaries = rule_summaries()
+        width = max(len(rule_id) for rule_id in summaries)
+        for rule_id, summary in summaries.items():
+            print(f"{rule_id:<{width}}  {summary}")
+        return linter.EXIT_CLEAN
+    try:
+        result = run_lint(args.paths, rule_ids=args.rule)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return linter.EXIT_ERROR
+    render = render_json if args.format == "json" else render_human
+    print(render(result))
+    return result.exit_code
+
+
 def _render_plots(output) -> None:
     """ASCII charts for the figure experiments (no-op for tables)."""
     from .experiments import figures
@@ -319,6 +373,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_experiment(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "lint":
+        return _command_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
