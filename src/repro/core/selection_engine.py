@@ -140,6 +140,8 @@ def run_fast_selection(
     clients = ctx.clients
     dev_counts = [client.num_dev_samples for client in clients]
     weights = normalized_weights(dev_counts)
+    # repro-lint: allow[float-accumulation] -- integer feature counts;
+    # exact and order-independent in any summation order.
     bn_param_count = sum(
         layer.num_features for _, layer in bn_layers(ctx.model)
     )
@@ -185,6 +187,8 @@ def run_fast_selection(
     else:
         aggregated_stats = [None] * len(candidates)
         download_bytes += (
+            # repro-lint: allow[float-accumulation] -- integer byte
+            # sizes; exact and order-independent in any summation order.
             sum(mask_set_bytes(c.masks) for c in candidates) * num_clients
         )
 
