@@ -1,0 +1,19 @@
+"""Failing fixture for ``cache-coherence``: view writes, no bump."""
+
+import numpy as np
+
+
+def overwrite_rows(param, rows, update):
+    param.data[rows] = update  # subscript store: setter never fires
+
+
+def masked_multiply(param, float_mask):
+    np.multiply(param.data, float_mask, out=param.data)
+
+
+def zero_mask(param):
+    param.mask.fill(0.0)  # in-place ndarray method
+
+
+def copy_state(param, source):
+    np.copyto(param.data, source)

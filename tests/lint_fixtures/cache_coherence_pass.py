@@ -1,0 +1,21 @@
+"""Passing fixture for ``cache-coherence``: bumped or setter-routed."""
+
+import numpy as np
+
+
+def overwrite_rows(param, rows, update):
+    param.data[rows] = update
+    param.bump_version()
+
+
+def masked_multiply(param, float_mask):
+    np.multiply(param.data, float_mask, out=param.data)
+    param.bump_version()
+
+
+def reassign(param, update):
+    param.data = update  # plain assignment routes through the setter
+
+
+def workspace_write(buffer, values):
+    np.copyto(buffer, values)  # plain ndarray, not versioned storage

@@ -1,0 +1,27 @@
+"""Failing fixture for ``determinism``: every pattern the rule flags."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw_noise(shape):
+    return np.random.rand(*shape)  # hidden global numpy stream
+
+
+def make_entropy_rng():
+    return np.random.default_rng()  # unseeded: fresh OS entropy
+
+
+def make_time_rng():
+    return np.random.default_rng(time.time_ns())  # seed differs per run
+
+
+def shuffle_clients(clients):
+    random.shuffle(clients)  # stdlib global RNG
+    return clients
+
+
+def participant_order():
+    return [client for client in {"a", "b", "c"}]  # set iteration

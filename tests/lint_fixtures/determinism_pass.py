@@ -1,0 +1,21 @@
+"""Passing fixture for ``determinism``: seeded generators, sorted sets."""
+
+import numpy as np
+
+
+def draw_noise(rng: np.random.Generator, shape):
+    return rng.random(shape)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def derive_rng(seed: int, round_index: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, round_index])
+    )
+
+
+def participant_order(clients: set) -> list:
+    return sorted(clients)

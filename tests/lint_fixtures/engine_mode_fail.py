@@ -1,0 +1,14 @@
+"""Failing fixture for ``engine-mode``: forward loops with caches on."""
+
+
+def evaluate_accuracy(model, batches):
+    correct = 0
+    for images, labels in batches:
+        logits = model(images)  # records backward caches per batch
+        correct += int((logits.argmax(axis=1) == labels).mean())
+    return correct
+
+
+def recalibrate_bn_stats(self, loader):
+    for images, _ in loader:
+        self.model(images)

@@ -1,0 +1,29 @@
+"""Passing fixture for ``engine-mode``: every exempt shape."""
+
+from repro.nn import engine
+
+
+def evaluate_accuracy(model, batches):
+    correct = 0
+    with engine.inference_mode():
+        for images, labels in batches:
+            logits = model(images)
+            correct += int((logits.argmax(axis=1) == labels).mean())
+    return correct
+
+
+def evaluate_all(loaders):
+    # Pure delegator: the callee owns the inference_mode context.
+    return [evaluate_one(loader) for loader in loaders]
+
+
+def eval_growth_signal(model, batch, loss_fn):
+    # Needs dense gradients (paper Eq. 6): a backward pass, not inference.
+    logits = model(batch)
+    loss_fn.backward(logits)
+    return logits
+
+
+def train_step(model, batch):
+    logits = model(batch)  # name does not promise inference-only
+    return logits

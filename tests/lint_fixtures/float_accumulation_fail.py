@@ -1,0 +1,18 @@
+"""Failing fixture for ``float-accumulation``."""
+# repro-lint: golden-guarded
+
+import math
+
+import numpy as np
+
+
+def client_total(values):
+    return sum(values)  # builtin sum reassociates
+
+
+def weighted_total(values):
+    return np.sum(values)  # pairwise summation
+
+
+def exact_total(values):
+    return math.fsum(values)  # exact rounding differs from the recipe

@@ -1,0 +1,15 @@
+"""Passing fixture for ``float-accumulation``: the explicit recipe."""
+# repro-lint: golden-guarded
+
+import numpy as np
+
+
+def client_total(values):
+    total = np.float64(0.0)
+    for value in values:
+        total += np.float64(value)
+    return np.float32(total)
+
+
+def weighted_total(values, weights):
+    return float(np.dot(weights, values))  # fixed-order BLAS reduction

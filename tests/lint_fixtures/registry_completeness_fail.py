@@ -1,0 +1,27 @@
+"""Failing fixture for ``registry-completeness``.
+
+``OrphanExecutor`` is a concrete tracked subclass that never reaches a
+registration site, and the name ``"twice"`` is registered twice for the
+same registry.
+"""
+
+from repro.fl.executor import ClientExecutor, register_executor
+
+
+class OrphanExecutor(ClientExecutor):
+    def run_round(self, ctx, clients, work):
+        return []
+
+
+class FirstExecutor(ClientExecutor):
+    def run_round(self, ctx, clients, work):
+        return []
+
+
+class SecondExecutor(ClientExecutor):
+    def run_round(self, ctx, clients, work):
+        return []
+
+
+register_executor("twice", FirstExecutor)
+register_executor("twice", SecondExecutor)

@@ -1,0 +1,20 @@
+"""Failing fixture for ``shm-lifecycle``: leaked and unsafe releases."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_created(nbytes):
+    segment = SharedMemory(create=True, size=nbytes)
+    segment.buf[0] = 1  # never closed or unlinked
+
+
+def close_outside_finally(name):
+    segment = SharedMemory(name=name)
+    value = bytes(segment.buf[:4])
+    segment.close()  # skipped if the read above raises
+    return value
+
+
+class LeakyArena:
+    def attach(self, name):
+        self.segment = SharedMemory(name=name)

@@ -1,0 +1,26 @@
+"""Passing fixture for ``shm-lifecycle``: every release pattern."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def roundtrip(nbytes):
+    segment = SharedMemory(create=True, size=nbytes)
+    try:
+        segment.buf[0] = 1
+        return bytes(segment.buf[:1])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def open_for_caller(name):
+    segment = SharedMemory(name=name)
+    return segment  # ownership transfers to the caller
+
+
+class Arena:
+    def attach(self, name):
+        self.segment = SharedMemory(name=name)
+
+    def release(self):
+        self.segment.close()

@@ -1,0 +1,7 @@
+"""Suppression fixture: an annotation without its mandatory reason."""
+
+import numpy as np
+
+
+def jitter(shape):
+    return np.random.rand(*shape)  # repro-lint: allow[determinism]

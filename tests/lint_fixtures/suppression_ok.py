@@ -1,0 +1,13 @@
+"""Suppression fixture: valid inline and standalone annotations."""
+
+import numpy as np
+
+
+def inline_jitter(shape):
+    return np.random.rand(*shape)  # repro-lint: allow[determinism] -- fixture exercising inline suppression.
+
+
+def standalone_jitter(shape):
+    # repro-lint: allow[determinism] -- fixture exercising the
+    # standalone-comment form targeting the next code line.
+    return np.random.rand(*shape)

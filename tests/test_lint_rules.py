@@ -1,0 +1,289 @@
+"""Tests for the ``repro.analysis`` static analyzer.
+
+Each rule is pinned by a failing and a passing fixture under
+``tests/lint_fixtures/``: deleting a rule's implementation makes its
+failing-fixture test error (unknown rule id), and weakening one makes
+it fail (no findings). The suppression grammar, the JSON report schema,
+the exit-code contract, and the CLI wiring are covered separately, and
+the repo's own ``src/`` tree must lint clean (self-hosting).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.analysis import (
+    JSON_SCHEMA_ID,
+    SuppressionIndex,
+    render_human,
+    render_json,
+    rule_ids,
+    run_lint,
+)
+from repro.analysis.diagnostics import SUPPRESSION_RULE_ID
+from repro.analysis.linter import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_SRC = Path(__file__).parent.parent / "src"
+
+#: rule id -> (failing fixture, passing fixture).
+RULE_FIXTURES = {
+    "determinism": ("determinism_fail.py", "determinism_pass.py"),
+    "cache-coherence": (
+        "cache_coherence_fail.py", "cache_coherence_pass.py",
+    ),
+    "shm-lifecycle": ("shm_lifecycle_fail.py", "shm_lifecycle_pass.py"),
+    "registry-completeness": (
+        "registry_completeness_fail.py", "registry_completeness_pass.py",
+    ),
+    "float-accumulation": (
+        "float_accumulation_fail.py", "float_accumulation_pass.py",
+    ),
+    "engine-mode": ("engine_mode_fail.py", "engine_mode_pass.py"),
+}
+
+
+def lint_fixture(name: str, rule: str | None = None):
+    rules = None if rule is None else [rule]
+    return run_lint([FIXTURES / name], rule_ids=rules, root=FIXTURES)
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixture corpus
+# ----------------------------------------------------------------------
+
+def test_every_rule_has_fixtures():
+    assert set(RULE_FIXTURES) == set(rule_ids())
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_failing_fixture_triggers_rule(rule):
+    fail_name, _ = RULE_FIXTURES[rule]
+    result = lint_fixture(fail_name, rule)
+    assert result.exit_code == EXIT_FINDINGS
+    assert not result.errors
+    assert {d.rule for d in result.diagnostics} == {rule}
+    assert all(d.path == fail_name for d in result.diagnostics)
+    assert all(d.line > 0 for d in result.diagnostics)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_passing_fixture_is_clean(rule):
+    _, pass_name = RULE_FIXTURES[rule]
+    result = lint_fixture(pass_name, rule)
+    assert result.exit_code == EXIT_CLEAN
+    assert result.diagnostics == []
+    assert result.errors == []
+
+
+def test_determinism_covers_each_pattern():
+    result = lint_fixture("determinism_fail.py", "determinism")
+    messages = " | ".join(d.message for d in result.diagnostics)
+    assert "numpy.random.rand" in messages  # global stream
+    assert "without a seed" in messages  # entropy-seeded
+    assert "time.time_ns" in messages  # time-seeded
+    assert "random.shuffle" in messages  # stdlib global RNG
+    assert "iterating a set" in messages  # set iteration
+
+
+def test_cache_coherence_flags_every_write_shape():
+    result = lint_fixture("cache_coherence_fail.py", "cache-coherence")
+    messages = " | ".join(d.message for d in result.diagnostics)
+    assert "subscript store" in messages
+    assert "out=<param>.data" in messages
+    assert ".mask.fill(...)" in messages
+    assert "numpy.copyto" in messages
+    assert len(result.diagnostics) == 4
+
+
+def test_shm_distinguishes_leak_from_unsafe_release():
+    result = lint_fixture("shm_lifecycle_fail.py", "shm-lifecycle")
+    messages = [d.message for d in result.diagnostics]
+    assert any("never released" in m for m in messages)
+    assert any("not in a finally block" in m for m in messages)
+    assert any("class LeakyArena" in m for m in messages)
+    assert len(result.diagnostics) == 3
+
+
+def test_registry_flags_orphan_and_duplicate():
+    result = lint_fixture(
+        "registry_completeness_fail.py", "registry-completeness"
+    )
+    messages = [d.message for d in result.diagnostics]
+    assert any("OrphanExecutor" in m for m in messages)
+    assert any("registered twice" in m for m in messages)
+    # The duplicated classes themselves are registered, not flagged.
+    assert not any("FirstExecutor" in m for m in messages)
+    assert not any("SecondExecutor" in m for m in messages)
+
+
+def test_float_accumulation_flags_all_three_targets():
+    result = lint_fixture(
+        "float_accumulation_fail.py", "float-accumulation"
+    )
+    flagged = {d.message.split("(")[0] for d in result.diagnostics}
+    assert flagged == {"sum", "numpy.sum", "math.fsum"}
+
+
+def test_float_accumulation_ignores_unguarded_modules():
+    # Same sum() calls, but the module carries no golden-guarded marker
+    # and is not in the known float-critical set.
+    result = lint_fixture("engine_mode_fail.py", "float-accumulation")
+    assert result.diagnostics == []
+
+
+def test_engine_mode_names_the_function():
+    result = lint_fixture("engine_mode_fail.py", "engine-mode")
+    names = {d.message.split("(")[0] for d in result.diagnostics}
+    assert names == {"evaluate_accuracy", "recalibrate_bn_stats"}
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+def test_valid_suppressions_silence_and_record():
+    result = lint_fixture("suppression_ok.py", "determinism")
+    assert result.exit_code == EXIT_CLEAN
+    assert result.diagnostics == []
+    assert len(result.suppressed) == 2
+    assert {d.rule for d in result.suppressed} == {"determinism"}
+
+
+def test_reasonless_suppression_is_a_finding_and_silences_nothing():
+    result = lint_fixture("suppression_missing_reason.py", "determinism")
+    assert result.exit_code == EXIT_FINDINGS
+    rules = [d.rule for d in result.diagnostics]
+    assert "determinism" in rules  # the original finding survives
+    assert SUPPRESSION_RULE_ID in rules  # plus the framework finding
+    assert result.suppressed == []
+
+
+def test_suppression_parsing_inline_and_standalone():
+    index = SuppressionIndex.parse([
+        "x = thing()  # repro-lint: allow[rule-a, rule-b] -- both safe",
+        "# repro-lint: allow[rule-c] -- next-line form",
+        "",
+        "# unrelated comment",
+        "y = other()",
+    ])
+    inline, standalone = index.entries
+    assert inline.target_line == 1
+    assert inline.rules == ("rule-a", "rule-b")
+    assert inline.reason == "both safe"
+    assert standalone.target_line == 5  # skips blanks and comments
+    assert index.is_suppressed("rule-b", 1)
+    assert index.is_suppressed("rule-c", 5)
+    assert not index.is_suppressed("rule-a", 5)
+    assert index.invalid() == []
+
+
+def test_suppression_without_reason_or_rules_is_invalid():
+    index = SuppressionIndex.parse([
+        "x = thing()  # repro-lint: allow[rule-a]",
+        "y = thing()  # repro-lint: allow[] -- no rule named",
+    ])
+    assert len(index.invalid()) == 2
+    assert not index.is_suppressed("rule-a", 1)
+
+
+# ----------------------------------------------------------------------
+# Report formats and exit codes
+# ----------------------------------------------------------------------
+
+def test_json_report_schema():
+    result = lint_fixture("determinism_fail.py")
+    document = json.loads(render_json(result))
+    assert document["schema"] == JSON_SCHEMA_ID
+    assert set(document["rules"]) == set(rule_ids())
+    summary = document["summary"]
+    assert summary["files_checked"] == 1
+    assert summary["findings"] == len(document["diagnostics"])
+    assert summary["exit_code"] == EXIT_FINDINGS
+    assert summary["by_rule"]["determinism"] == summary["findings"]
+    first = document["diagnostics"][0]
+    assert set(first) == {"rule", "path", "line", "col", "message"}
+
+
+def test_human_report_lists_findings_and_summary():
+    result = lint_fixture("determinism_fail.py", "determinism")
+    text = render_human(result)
+    assert "determinism_fail.py:" in text
+    assert "[determinism]" in text
+    assert "1 file checked" in text
+
+
+def test_exit_codes():
+    assert lint_fixture("determinism_pass.py").exit_code == EXIT_CLEAN
+    assert lint_fixture("determinism_fail.py").exit_code == EXIT_FINDINGS
+    missing = run_lint([FIXTURES / "no_such_file.py"])
+    assert missing.exit_code == EXIT_ERROR
+    assert missing.errors
+
+
+def test_syntax_error_is_an_analysis_error(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    result = run_lint([bad], root=tmp_path)
+    assert result.exit_code == EXIT_ERROR
+    assert any("syntax error" in e for e in result.errors)
+
+
+def test_unknown_rule_raises():
+    with pytest.raises(KeyError):
+        run_lint([FIXTURES / "determinism_pass.py"], rule_ids=["nope"])
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+
+def test_cli_lint_json(capsys):
+    code = cli.main([
+        "lint", str(FIXTURES / "determinism_fail.py"),
+        "--rule", "determinism", "--format", "json",
+    ])
+    assert code == EXIT_FINDINGS
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == JSON_SCHEMA_ID
+    assert document["summary"]["findings"] > 0
+
+
+def test_cli_lint_clean_human(capsys):
+    code = cli.main(["lint", str(FIXTURES / "determinism_pass.py")])
+    assert code == EXIT_CLEAN
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_unknown_rule(capsys):
+    code = cli.main([
+        "lint", str(FIXTURES / "determinism_pass.py"), "--rule", "nope",
+    ])
+    assert code == EXIT_ERROR
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    code = cli.main(["lint", "--list-rules"])
+    assert code == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule in rule_ids():
+        assert rule in out
+
+
+# ----------------------------------------------------------------------
+# Self-hosting: the repo's own source tree stays clean
+# ----------------------------------------------------------------------
+
+def test_repo_source_tree_lints_clean():
+    result = run_lint([REPO_SRC], root=REPO_SRC.parent)
+    assert result.errors == []
+    rendered = "\n".join(d.render() for d in result.diagnostics)
+    assert result.diagnostics == [], f"unsuppressed findings:\n{rendered}"
+    # Every suppression in the tree carries its written justification
+    # (a reasonless one would have surfaced as a `suppression` finding).
+    assert result.exit_code == EXIT_CLEAN
