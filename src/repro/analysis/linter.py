@@ -139,9 +139,11 @@ def run_lint(
         else:
             result.diagnostics.append(diagnostic)
 
-    # Malformed suppressions are findings of the framework itself: an
+    # Suppressions are audited as findings of the framework itself: an
     # exemption without a written reason silences nothing and is
-    # reported regardless of the rule selection.
+    # reported regardless of the rule selection, and a valid exemption
+    # that no checked rule matched is stale (the flagged code moved or
+    # was removed) and must not accumulate silently.
     for module in modules:
         for entry in module.suppressions.invalid():
             result.diagnostics.append(
@@ -154,6 +156,21 @@ def run_lint(
                         "suppression is missing its mandatory "
                         "justification; write `# repro-lint: "
                         "allow[rule-id] -- reason`."
+                    ),
+                )
+            )
+        for entry in module.suppressions.unused(result.rules_run):
+            listed = ", ".join(entry.rules)
+            result.diagnostics.append(
+                Diagnostic(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=module.display_path,
+                    line=entry.line,
+                    col=0,
+                    message=(
+                        f"suppression `allow[{listed}]` matched no "
+                        "finding; remove the stale exemption (or fix "
+                        "its rule id)."
                     ),
                 )
             )

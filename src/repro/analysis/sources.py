@@ -139,7 +139,7 @@ class SourceModule:
             tree=tree,
             lines=lines,
             aliases=build_alias_map(tree),
-            suppressions=SuppressionIndex.parse(lines),
+            suppressions=SuppressionIndex.parse(lines, tree),
         )
 
     def is_marked(self, marker: str) -> bool:

@@ -7,17 +7,28 @@ written justification::
 
 Several rules may share one annotation (``allow[rule-a, rule-b]``). An
 annotation on its own comment line applies to the next line that holds
-code, so decorated definitions and long statements can be annotated
-above instead of inline. A suppression without a ``-- reason`` tail is
-itself a diagnostic (rule id ``suppression``) and silences nothing —
-an unexplained exemption is exactly the drift this analyzer exists to
-prevent.
+code, and a target anywhere in a decorated definition's header (the
+decorators plus the ``def``/``class`` line itself) covers the whole
+header — so decorated definitions and long statements can be annotated
+above instead of inline. Annotations are read from real comment tokens
+only: ``allow[...]`` text inside string literals and docstrings (like
+the examples in this one) is inert.
+
+Exemptions are audited in both directions. A suppression without a
+``-- reason`` tail is itself a diagnostic (rule id ``suppression``) and
+silences nothing, and a valid suppression that no checked rule ever
+matched is reported as stale — unexplained or leftover exemptions are
+exactly the drift this analyzer exists to prevent.
 """
 
 from __future__ import annotations
 
+import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 __all__ = ["Suppression", "SuppressionIndex"]
 
@@ -32,7 +43,7 @@ class Suppression:
     """One parsed ``allow[...]`` annotation."""
 
     line: int  # line the annotation was written on (1-based)
-    target_line: int  # line whose diagnostics it silences
+    target_line: int  # primary line whose diagnostics it silences
     rules: tuple[str, ...]
     reason: str
     used: bool = False
@@ -50,10 +61,15 @@ class SuppressionIndex:
     _by_line: dict[int, list[Suppression]] = field(default_factory=dict)
 
     @classmethod
-    def parse(cls, lines: list[str]) -> "SuppressionIndex":
+    def parse(
+        cls, lines: list[str], tree: ast.Module | None = None
+    ) -> "SuppressionIndex":
         index = cls()
-        for lineno, text in enumerate(lines, start=1):
-            match = _ALLOW_RE.search(text)
+        spans: dict[int, range] = (
+            {} if tree is None else _decorated_spans(tree)
+        )
+        for lineno, col, comment in _comment_tokens(lines):
+            match = _ALLOW_RE.search(comment)
             if match is None:
                 continue
             rules = tuple(
@@ -63,7 +79,7 @@ class SuppressionIndex:
             )
             reason = (match.group("reason") or "").strip()
             target = lineno
-            if text.lstrip().startswith("#"):
+            if not lines[lineno - 1][:col].strip():
                 # Standalone comment: applies to the next code line.
                 target = _next_code_line(lines, lineno)
             entry = Suppression(
@@ -74,7 +90,13 @@ class SuppressionIndex:
             )
             index.entries.append(entry)
             if entry.valid:
-                index._by_line.setdefault(target, []).append(entry)
+                # A target inside a decorated definition's header covers
+                # the whole header: most rules anchor at the def/class
+                # line while registration findings anchor at decorator
+                # lines, and an annotation above the decorators must
+                # reach both.
+                for covered in spans.get(target, range(target, target + 1)):
+                    index._by_line.setdefault(covered, []).append(entry)
         return index
 
     def is_suppressed(self, rule: str, line: int) -> bool:
@@ -88,6 +110,62 @@ class SuppressionIndex:
     def invalid(self) -> list[Suppression]:
         """Annotations missing a reason (or any rule id)."""
         return [entry for entry in self.entries if not entry.valid]
+
+    def unused(self, rules_run: Iterable[str]) -> list[Suppression]:
+        """Valid entries that no checked rule ever matched (stale).
+
+        Restricted to entries whose every rule id was actually run:
+        under ``--rule`` selection an unchecked rule may legitimately
+        leave its suppressions unconsulted.
+        """
+        checked = set(rules_run)
+        return [
+            entry
+            for entry in self.entries
+            if entry.valid
+            and not entry.used
+            and set(entry.rules) <= checked
+        ]
+
+
+def _comment_tokens(lines: list[str]) -> Iterator[tuple[int, int, str]]:
+    """``(line, col, text)`` of every real comment token (1-based line).
+
+    Tokenizing — instead of regexing raw lines — keeps ``allow[...]``
+    examples inside string literals and docstrings from registering as
+    live suppressions. Files reaching the analyzer already parsed via
+    ``ast``, so tokenization failures only occur for synthetic
+    fragments; comments found before the failure are kept.
+    """
+    readline = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def _decorated_spans(tree: ast.Module) -> dict[int, range]:
+    """Map each header line of a decorated definition to its full span.
+
+    The header runs from the first decorator line through the
+    ``def``/``class`` line itself (multi-line decorator calls fall
+    inside that range).
+    """
+    spans: dict[int, range] = {}
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        first = min(dec.lineno for dec in node.decorator_list)
+        span = range(first, node.lineno + 1)
+        for line in span:
+            spans[line] = span
+    return spans
 
 
 def _next_code_line(lines: list[str], comment_line: int) -> int:

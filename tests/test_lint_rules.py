@@ -10,6 +10,7 @@ the repo's own ``src/`` tree must lint clean (self-hosting).
 
 from __future__ import annotations
 
+import ast
 import json
 from pathlib import Path
 
@@ -189,6 +190,82 @@ def test_suppression_without_reason_or_rules_is_invalid():
     ])
     assert len(index.invalid()) == 2
     assert not index.is_suppressed("rule-a", 1)
+
+
+def test_suppression_examples_in_docstrings_are_inert():
+    # allow[...] text is only live in real comment tokens; the analyzer's
+    # own docs quote the syntax without creating suppressions.
+    index = SuppressionIndex.parse([
+        '"""Docs.',
+        "",
+        "    x = thing()  # repro-lint: allow[rule-a] -- quoted example",
+        '"""',
+        "y = 1  # repro-lint: allow[rule-b] -- real comment",
+    ])
+    assert [entry.rules for entry in index.entries] == [("rule-b",)]
+
+
+def test_suppression_above_decorated_def_covers_the_header():
+    src = "\n".join([
+        "import functools",
+        "",
+        "# repro-lint: allow[rule-x] -- annotated above the decorators",
+        "@functools.lru_cache(",
+        "    maxsize=None,",
+        ")",
+        "def cached():",
+        "    return 1",
+    ])
+    index = SuppressionIndex.parse(src.splitlines(), ast.parse(src))
+    assert index.is_suppressed("rule-x", 7)  # the ``def`` line
+    assert index.is_suppressed("rule-x", 4)  # the decorator call
+    assert not index.is_suppressed("rule-x", 8)  # not the body
+
+
+def test_suppression_above_decorated_class_reaches_class_line(tmp_path):
+    # registry-completeness anchors at the ``class`` line; an annotation
+    # above the decorators must still apply.
+    target = tmp_path / "decorated.py"
+    target.write_text("\n".join([
+        "from dataclasses import dataclass",
+        "",
+        "# repro-lint: allow[registry-completeness] -- wired in next PR",
+        "@dataclass",
+        "class PendingExecutor(ClientExecutor):",
+        "    pass",
+        "",
+    ]), encoding="utf-8")
+    result = run_lint(
+        [target], rule_ids=["registry-completeness"], root=tmp_path
+    )
+    assert result.diagnostics == []
+    assert len(result.suppressed) == 1
+    assert result.exit_code == EXIT_CLEAN
+
+
+def test_stale_suppression_is_a_finding(tmp_path):
+    stale = tmp_path / "stale.py"
+    stale.write_text(
+        "x = 1  # repro-lint: allow[determinism] -- nothing risky left\n",
+        encoding="utf-8",
+    )
+    result = run_lint([stale], root=tmp_path)
+    assert result.exit_code == EXIT_FINDINGS
+    assert [d.rule for d in result.diagnostics] == [SUPPRESSION_RULE_ID]
+    assert "matched no finding" in result.diagnostics[0].message
+
+
+def test_stale_suppression_ignored_when_its_rule_is_not_run(tmp_path):
+    # Under --rule selection an unchecked rule may legitimately leave
+    # its suppressions unconsulted; only fully-checked entries count.
+    stale = tmp_path / "stale.py"
+    stale.write_text(
+        "x = 1  # repro-lint: allow[determinism] -- nothing risky left\n",
+        encoding="utf-8",
+    )
+    result = run_lint([stale], rule_ids=["shm-lifecycle"], root=tmp_path)
+    assert result.diagnostics == []
+    assert result.exit_code == EXIT_CLEAN
 
 
 # ----------------------------------------------------------------------
