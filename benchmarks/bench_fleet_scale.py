@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the virtual-fleet subsystem.
+
+Times the three phases the fleet-scale story hangs on: building a
+100k-population context on the virtual backend (must be O(1), not
+O(population)), materializing a single client out of the directory,
+and streaming 10k packed-size uploads through the hierarchical
+aggregator. The full population x cohort grid with machine-readable
+acceptance ratios comes from ``python -m repro bench --suite
+fleet_scale`` (see ``repro.perf.fleet_scale``).
+"""
+
+import pytest
+
+from repro.perf.fleet_scale import _AggregateCell, _Cell
+
+_POPULATION = 100_000
+_COHORT = 64
+_AGG_COHORT = 10_000
+
+
+@pytest.fixture(scope="module")
+def cell():
+    cell = _Cell(_POPULATION, _COHORT)
+    cell.setup()
+    yield cell
+    cell.close()
+
+
+@pytest.fixture(scope="module")
+def agg_cell():
+    return _AggregateCell(_AGG_COHORT)
+
+
+def test_virtual_context_setup(benchmark, cell):
+    benchmark(cell.setup)
+
+
+def test_materialize_one_client(benchmark, cell):
+    directory = cell.ctx.directory
+
+    def materialize():
+        directory.materialize(_POPULATION - 1)
+        directory.release(_POPULATION - 1)
+
+    benchmark(materialize)
+
+
+def test_streaming_aggregate_10k(benchmark, agg_cell):
+    benchmark(agg_cell.aggregate)

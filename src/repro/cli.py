@@ -119,6 +119,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--staleness-discount", type=float, default=None,
                      help="async policy: per-round weight discount for "
                           "late uploads")
+    run.add_argument("--client-backend", default=None,
+                     choices=("materialized", "virtual"),
+                     help="client population backend: 'virtual' keeps "
+                          "clients as IDs until selected (default: "
+                          "materialized)")
+    run.add_argument("--virtual-shard-size", type=int, default=None,
+                     help="virtual backend: derive per-ID overlapping "
+                          "shards of this size instead of an exact "
+                          "partition (lets the population exceed the "
+                          "dataset)")
+    run.add_argument("--aggregation-fan-in", type=int, default=None,
+                     help="reduce uploads tree-wise through simulated "
+                          "edge-aggregator groups of this size")
     run.add_argument("--density-threshold", type=_density_threshold,
                      default=None,
                      help="enable sparse row dispatch below this weight "
@@ -151,12 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
             "round across a clients x density x model grid; "
             "'candidate_selection' times the adaptive-BN selection "
             "protocol end to end across a pool x clients x model grid "
-            "and reports the paper's Table 2 overhead ratios."
+            "and reports the paper's Table 2 overhead ratios; "
+            "'fleet_scale' runs virtual-fleet rounds across a "
+            "population grid up to 1M simulated clients and records "
+            "per-round RSS/tracemalloc alongside wall-clock."
         ),
     )
     bench.add_argument("--suite", default="sparse_compute",
                        choices=("sparse_compute", "round_loop",
-                                "candidate_selection"),
+                                "candidate_selection", "fleet_scale"),
                        help="which benchmark grid to run")
     bench.add_argument("--out", default=None,
                        help="output JSON path (default: "
@@ -240,6 +256,9 @@ def _command_run(args: argparse.Namespace) -> int:
         dropout_rate=args.dropout_rate,
         async_buffer_fraction=args.async_buffer_fraction,
         staleness_discount=args.staleness_discount,
+        client_backend=args.client_backend,
+        virtual_shard_size=args.virtual_shard_size,
+        aggregation_fan_in=args.aggregation_fan_in,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
@@ -269,11 +288,24 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from .perf import run_candidate_selection_bench, run_round_loop_bench, \
-        run_sparse_compute_bench, write_bench_json
+    from .perf import run_candidate_selection_bench, run_fleet_scale_bench, \
+        run_round_loop_bench, run_sparse_compute_bench, write_bench_json
 
     out = args.out or f"BENCH_{args.suite}.json"
-    if args.suite == "candidate_selection":
+    if args.suite == "fleet_scale":
+        record = run_fleet_scale_bench(
+            repeats=args.repeats, quick=args.quick
+        )
+        path = write_bench_json(record, out)
+        print(f"wrote {path}")
+        print("population  cohort  phase            s/round   "
+              "peak alloc MB  RSS MB")
+        for row in record["results"]:
+            print(f"{row['population']:>10} {row['cohort']:>7}  "
+                  f"{row['phase']:<15} {row['seconds']:>8.3f}  "
+                  f"{row['peak_alloc_bytes'] / 1e6:>12.2f}  "
+                  f"{row['peak_rss_bytes'] / 1e6:>6.1f}")
+    elif args.suite == "candidate_selection":
         record = run_candidate_selection_bench(
             repeats=args.repeats, quick=args.quick
         )

@@ -3,15 +3,37 @@
 The paper partitions every dataset across K=10 devices with a Dirichlet
 distribution over class proportions (alpha = 0.5 by default, varied in
 Section IV-F). Lower alpha means more heterogeneous (non-iid) devices.
+
+Two consumption styles are supported:
+
+- :func:`partition_dataset` — the materialized path: every client's
+  shard is built up front as its own :class:`~repro.data.dataset.Dataset`
+  (image copies included). Memory is O(dataset) per shard list entry.
+- :func:`plan_partition` / :class:`PartitionPlan` — the lazy path used
+  by virtual client fleets: the partition is computed once as index
+  arrays (or, for :class:`VirtualShardPlan`, not computed at all), and a
+  client's shard is derived on demand from ``(plan, client_id)``.
+  Nothing proportional to the fleet size is materialized until a client
+  is actually selected.
 """
 
 from __future__ import annotations
+
+from abc import ABC, abstractmethod
 
 import numpy as np
 
 from .dataset import Dataset
 
-__all__ = ["dirichlet_partition", "iid_partition", "partition_dataset"]
+__all__ = [
+    "PartitionPlan",
+    "ListPartitionPlan",
+    "VirtualShardPlan",
+    "dirichlet_partition",
+    "iid_partition",
+    "partition_dataset",
+    "plan_partition",
+]
 
 
 def dirichlet_partition(
@@ -33,6 +55,8 @@ def dirichlet_partition(
         raise ValueError(f"num_clients must be >= 1, got {num_clients}")
     if alpha <= 0:
         raise ValueError(f"alpha must be positive, got {alpha}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
     if len(labels) < num_clients * min_samples:
         raise ValueError(
             f"{len(labels)} samples cannot give {num_clients} clients "
@@ -86,21 +110,166 @@ def iid_partition(
     ]
 
 
-def partition_dataset(
+# ----------------------------------------------------------------------
+# Lazy partition plans
+# ----------------------------------------------------------------------
+class PartitionPlan(ABC):
+    """A partition queried per client ID instead of materialized as a list.
+
+    ``shard_indices(client_id)`` is deterministic: calling it twice for
+    the same ID returns the same indices, so a virtual client can be
+    dropped and rebuilt at any time.
+    """
+
+    @property
+    @abstractmethod
+    def num_clients(self) -> int:
+        """Number of clients the plan covers."""
+
+    @abstractmethod
+    def shard_size(self, client_id: int) -> int:
+        """Number of samples in one client's shard (no materialization)."""
+
+    @abstractmethod
+    def shard_indices(self, client_id: int) -> np.ndarray:
+        """Sorted dataset indices of one client's shard."""
+
+    def sizes(self) -> list[int]:
+        """Per-client shard sizes, aligned with client IDs."""
+        return [self.shard_size(i) for i in range(self.num_clients)]
+
+    def _check_id(self, client_id: int) -> None:
+        if not 0 <= client_id < self.num_clients:
+            raise IndexError(
+                f"client_id {client_id} out of range "
+                f"[0, {self.num_clients})"
+            )
+
+
+class ListPartitionPlan(PartitionPlan):
+    """A plan wrapping precomputed per-client index arrays.
+
+    This is the lazy counterpart of :func:`partition_dataset` for the
+    exact (Dirichlet / iid) partitioners: the index arrays are O(total
+    samples) of int64 — tiny next to the image data — and the shard
+    ``Dataset`` copies are deferred until a client is materialized.
+    """
+
+    def __init__(self, parts: list[np.ndarray]) -> None:
+        if not parts:
+            raise ValueError("a partition plan needs at least one shard")
+        self._parts = [np.asarray(p, dtype=np.int64) for p in parts]
+
+    @property
+    def num_clients(self) -> int:
+        return len(self._parts)
+
+    def shard_size(self, client_id: int) -> int:
+        self._check_id(client_id)
+        return int(self._parts[client_id].size)
+
+    def shard_indices(self, client_id: int) -> np.ndarray:
+        self._check_id(client_id)
+        return self._parts[client_id]
+
+
+class VirtualShardPlan(PartitionPlan):
+    """Million-client overlapping shards derived per ID, O(1) storage.
+
+    Models a huge cross-device population where each device holds a
+    small local view of the data distribution: client ``k``'s shard is
+    ``shard_size`` samples drawn without replacement from the dataset by
+    an RNG seeded from ``(seed, k)`` alone. Shards of different clients
+    overlap (the population is far larger than the dataset), every shard
+    is recomputable from its ID, and nothing proportional to
+    ``num_clients`` is ever stored.
+    """
+
+    _STREAM_SALT = 0x51A4D  # keeps shard draws off every other stream
+
+    def __init__(
+        self,
+        num_samples: int,
+        num_clients: int,
+        shard_size: int,
+        seed: int = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if not 1 <= shard_size <= num_samples:
+            raise ValueError(
+                f"shard_size must be in [1, {num_samples}], "
+                f"got {shard_size}"
+            )
+        self._num_samples = num_samples
+        self._num_clients = num_clients
+        self._shard_size = shard_size
+        self._seed = seed
+
+    @property
+    def num_clients(self) -> int:
+        return self._num_clients
+
+    def shard_size(self, client_id: int) -> int:
+        self._check_id(client_id)
+        return self._shard_size
+
+    def shard_indices(self, client_id: int) -> np.ndarray:
+        self._check_id(client_id)
+        rng = np.random.default_rng(
+            [self._seed, self._STREAM_SALT, client_id]
+        )
+        return np.sort(
+            rng.choice(
+                self._num_samples, size=self._shard_size, replace=False
+            )
+        ).astype(np.int64)
+
+
+def plan_partition(
     dataset: Dataset,
     num_clients: int,
     alpha: float | None,
     rng: np.random.Generator,
-) -> list[Dataset]:
-    """Split a dataset into per-client shards.
+    min_samples: int = 2,
+) -> ListPartitionPlan:
+    """Compute the exact partition as a lazy :class:`ListPartitionPlan`.
 
-    ``alpha=None`` gives an iid partition; otherwise a Dirichlet
-    partition with concentration ``alpha``.
+    Consumes ``rng`` exactly as :func:`partition_dataset` does, so a
+    virtual fleet built from this plan leaves the caller's RNG stream in
+    the same state as the materialized path — downstream draws (client
+    sampling, batch order) stay bitwise identical.
     """
     if alpha is None:
         parts = iid_partition(len(dataset), num_clients, rng)
     else:
         parts = dirichlet_partition(
-            dataset.labels, num_clients, alpha, rng
+            dataset.labels, num_clients, alpha, rng,
+            min_samples=min_samples,
         )
-    return [dataset.subset(indices) for indices in parts]
+    return ListPartitionPlan(parts)
+
+
+def partition_dataset(
+    dataset: Dataset,
+    num_clients: int,
+    alpha: float | None,
+    rng: np.random.Generator,
+    min_samples: int = 2,
+) -> list[Dataset]:
+    """Split a dataset into per-client shards.
+
+    ``alpha=None`` gives an iid partition; otherwise a Dirichlet
+    partition with concentration ``alpha``. ``min_samples`` is the
+    per-client floor the Dirichlet partition resamples to satisfy
+    (ignored by the iid path, whose shards differ by at most one
+    sample).
+    """
+    plan = plan_partition(
+        dataset, num_clients, alpha, rng, min_samples=min_samples
+    )
+    return [
+        dataset.subset(plan.shard_indices(i)) for i in range(num_clients)
+    ]

@@ -61,6 +61,9 @@ class ScalePreset:
         dropout_rate: float | None = None,
         async_buffer_fraction: float | None = None,
         staleness_discount: float | None = None,
+        client_backend: str | None = None,
+        virtual_shard_size: int | None = None,
+        aggregation_fan_in: int | None = None,
     ) -> FLConfig:
         return FLConfig(
             num_clients=self.num_clients,
@@ -99,6 +102,12 @@ class ScalePreset:
                 staleness_discount
                 if staleness_discount is not None else 0.5
             ),
+            client_backend=(
+                client_backend
+                if client_backend is not None else "materialized"
+            ),
+            virtual_shard_size=virtual_shard_size,
+            aggregation_fan_in=aggregation_fan_in,
             seed=seed,
         )
 

@@ -58,6 +58,9 @@ def make_context(
     dropout_rate: float | None = None,
     async_buffer_fraction: float | None = None,
     staleness_discount: float | None = None,
+    client_backend: str | None = None,
+    virtual_shard_size: int | None = None,
+    aggregation_fan_in: int | None = None,
 ) -> tuple[FederatedContext, Dataset]:
     """A fresh federated context plus the server's public dataset.
 
@@ -93,6 +96,9 @@ def make_context(
             dropout_rate=dropout_rate,
             async_buffer_fraction=async_buffer_fraction,
             staleness_discount=staleness_discount,
+            client_backend=client_backend,
+            virtual_shard_size=virtual_shard_size,
+            aggregation_fan_in=aggregation_fan_in,
         ),
         dataset_name=dataset_name,
         model_name=model_name,
@@ -122,6 +128,9 @@ def run_experiment(
     dropout_rate: float | None = None,
     async_buffer_fraction: float | None = None,
     staleness_discount: float | None = None,
+    client_backend: str | None = None,
+    virtual_shard_size: int | None = None,
+    aggregation_fan_in: int | None = None,
 ) -> RunResult:
     """End-to-end: build data, context and method, then run it."""
     preset = get_scale(scale) if isinstance(scale, str) else scale
@@ -141,6 +150,9 @@ def run_experiment(
         dropout_rate=dropout_rate,
         async_buffer_fraction=async_buffer_fraction,
         staleness_discount=staleness_discount,
+        client_backend=client_backend,
+        virtual_shard_size=virtual_shard_size,
+        aggregation_fan_in=aggregation_fan_in,
     )
     method = build_method(
         method_name, target_density, preset,
@@ -165,6 +177,9 @@ def run_experiment(
                 dropout_rate=dropout_rate,
                 async_buffer_fraction=async_buffer_fraction,
                 staleness_discount=staleness_discount,
+                client_backend=client_backend,
+                virtual_shard_size=virtual_shard_size,
+                aggregation_fan_in=aggregation_fan_in,
             ),
         )
     try:

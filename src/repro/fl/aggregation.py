@@ -12,6 +12,7 @@ import numpy as np
 
 __all__ = [
     "AggregationWorkspace",
+    "HierarchicalAggregator",
     "normalized_weights",
     "weighted_average_states",
     "aggregate_packed_states",
@@ -228,6 +229,202 @@ def aggregate_packed_states(
                 acc.astype(np.float32).reshape(spec.shape)
             )
     return aggregated
+
+
+class HierarchicalAggregator:
+    """Streaming tree-wise FedAvg with O(model) server memory.
+
+    Simulates edge aggregators in front of the server: uploads arrive
+    one at a time in cohort order and are grouped into consecutive
+    shards of ``fan_in``. Each shard folds its members with exactly the
+    :func:`weighted_average_states` workspace recipe (float64 products
+    and accumulation in arrival order, one float32 rounding at the
+    shard boundary); the global result is the weighted mean of the
+    shard means, weighted by shard sample totals. Shards complete in
+    order, so one shard accumulator and one global accumulator cover
+    any cohort size — server memory is O(model), never O(cohort).
+
+    Numerics: ``fan_in=None`` (single shard) and ``fan_in=1`` are both
+    bitwise identical to flat :func:`weighted_average_states` — the
+    single shard *is* the flat fold, and a one-member shard's mean
+    round-trips through float64 exactly. Intermediate fan-ins insert
+    extra float32 roundings at shard boundaries (IEEE addition is not
+    associative), and are instead bitwise identical to the explicit
+    composition ``weighted_average_states(shard_means, shard_totals)``.
+
+    The cohort's sample counts are fixed up front — the selection is
+    known before any upload arrives — so normalized weights never need
+    the uploads themselves. An instance aggregates one cohort: feed
+    every upload through :meth:`add_state` (dense dicts) or
+    :meth:`add_payload` (packed sparse uploads, one spec layout), then
+    read :meth:`finish` once.
+    """
+
+    def __init__(
+        self,
+        sample_counts: list[int] | list[float] | np.ndarray,
+        fan_in: int | None = None,
+    ) -> None:
+        counts = np.asarray(sample_counts, dtype=np.float64)
+        if counts.ndim != 1 or counts.size == 0:
+            raise ValueError(
+                "sample_counts must be a non-empty 1-D sequence"
+            )
+        if (counts <= 0).any():
+            raise ValueError("sample counts must all be positive")
+        cohort = int(counts.size)
+        if fan_in is None or fan_in >= cohort:
+            fan_in = cohort
+        if fan_in < 1:
+            raise ValueError(f"fan_in must be >= 1, got {fan_in}")
+        self._cohort = cohort
+        self._fan_in = fan_in
+        starts = list(range(0, cohort, fan_in))
+        self._shard_weights = [
+            normalized_weights(counts[s : s + fan_in]) for s in starts
+        ]
+        shard_totals = np.empty(len(starts), dtype=np.float64)
+        for j, s in enumerate(starts):
+            total = 0.0
+            # Explicit left fold (not sum()): shard totals feed weights,
+            # and the accumulation order must stay pinned.
+            for value in counts[s : s + fan_in]:
+                total += float(value)
+            shard_totals[j] = total
+        self._global_weights = normalized_weights(shard_totals)
+        self._position = 0
+        self._mode: str | None = None
+        self._keys: tuple[str, ...] | None = None
+        self._shard_acc: dict[str, np.ndarray] = {}
+        self._scratch: dict[str, np.ndarray] = {}
+        self._shard_mean: dict[str, np.ndarray] = {}
+        self._global_acc: dict[str, np.ndarray] = {}
+        # Packed mode extras: the shared spec layout and the reference
+        # index segments every payload must match.
+        self._specs = None
+        self._indices: dict[str, np.ndarray] = {}
+
+    def _bind(self, shapes: dict[str, tuple[int, ...]]) -> None:
+        self._keys = tuple(shapes)
+        for name, shape in shapes.items():
+            self._shard_acc[name] = np.empty(shape, dtype=np.float64)
+            self._scratch[name] = np.empty(shape, dtype=np.float64)
+            self._shard_mean[name] = np.empty(shape, dtype=np.float32)
+            self._global_acc[name] = np.zeros(shape, dtype=np.float64)
+
+    def _fold(self, values: dict[str, np.ndarray]) -> None:
+        """Fold upload ``position`` into the current shard."""
+        i = self._position
+        if i >= self._cohort:
+            raise ValueError(
+                f"cohort holds {self._cohort} uploads; got more"
+            )
+        shard, offset = divmod(i, self._fan_in)
+        weight = self._shard_weights[shard][offset]
+        for name in self._keys:
+            acc = self._shard_acc[name]
+            if offset == 0:
+                acc.fill(0.0)
+            scratch = self._scratch[name]
+            np.multiply(values[name], weight, out=scratch)
+            np.add(acc, scratch, out=acc)
+        self._position = i + 1
+        if offset == self._shard_weights[shard].size - 1:
+            # Shard complete: round its mean to float32 (the bytes an
+            # edge aggregator would forward) and fold it into the
+            # global accumulator at the shard's weight.
+            global_weight = self._global_weights[shard]
+            for name in self._keys:
+                mean = self._shard_mean[name]
+                mean[...] = self._shard_acc[name]
+                scratch = self._scratch[name]
+                np.multiply(mean, global_weight, out=scratch)
+                np.add(
+                    self._global_acc[name],
+                    scratch,
+                    out=self._global_acc[name],
+                )
+
+    def add_state(self, state: dict[str, np.ndarray]) -> None:
+        """Fold the next dense upload (read-only; views are fine)."""
+        if self._mode is None:
+            self._mode = "dense"
+            self._bind(
+                {name: value.shape for name, value in state.items()}
+            )
+        elif self._mode != "dense":
+            raise ValueError("aggregator already holds packed uploads")
+        if tuple(state) != self._keys:
+            raise ValueError("states have mismatched keys")
+        self._fold(state)
+
+    def add_payload(self, payload) -> None:
+        """Fold the next packed upload (one spec layout per cohort)."""
+        if payload.delta:
+            raise ValueError(
+                "delta payloads must be resolved before aggregation"
+            )
+        if self._mode is None:
+            self._mode = "packed"
+            self._specs = payload.specs
+            self._bind(
+                {spec.name: (spec.num_active,) for spec in payload.specs}
+            )
+            for spec in payload.specs:
+                if spec.encoding == "sparse":
+                    # Copied, not viewed: the payload's buffer may be
+                    # released before finish() scatters the result.
+                    self._indices[spec.name] = (
+                        payload.indices_view(spec).copy()
+                    )
+        elif self._mode != "packed":
+            raise ValueError("aggregator already holds dense uploads")
+        else:
+            if (
+                payload.specs is not self._specs
+                and payload.specs != self._specs
+            ):
+                raise ValueError(
+                    "payloads have mismatched specs (different masks?)"
+                )
+            for spec in self._specs:
+                if spec.encoding != "sparse":
+                    continue
+                if not np.array_equal(
+                    payload.indices_view(spec), self._indices[spec.name]
+                ):
+                    raise ValueError(
+                        f"payloads have mismatched active indices for "
+                        f"{spec.name!r} (different masks?)"
+                    )
+        self._fold(
+            {
+                spec.name: payload.values_view(spec)
+                for spec in self._specs
+            }
+        )
+
+    def finish(self) -> dict[str, np.ndarray]:
+        """The committed global state, after every upload arrived."""
+        if self._position != self._cohort:
+            raise ValueError(
+                f"cohort holds {self._cohort} uploads; "
+                f"only {self._position} arrived"
+            )
+        aggregated: dict[str, np.ndarray] = {}
+        if self._mode == "packed":
+            for spec in self._specs:
+                final32 = self._global_acc[spec.name].astype(np.float32)
+                if spec.encoding == "sparse":
+                    dense = np.zeros(spec.size, dtype=np.float32)
+                    dense[self._indices[spec.name]] = final32
+                    aggregated[spec.name] = dense.reshape(spec.shape)
+                else:
+                    aggregated[spec.name] = final32.reshape(spec.shape)
+            return aggregated
+        for name in self._keys:
+            aggregated[name] = self._global_acc[name].astype(np.float32)
+        return aggregated
 
 
 def staleness_weighted_average_states(

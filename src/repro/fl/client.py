@@ -85,6 +85,15 @@ class Client:
         self.device = device
         self.rng = np.random.default_rng(seed * 100_003 + client_id)
         self.dev_data = train_data.sample_fraction(dev_fraction, self.rng)
+        if len(self.dev_data) == 0:
+            # An empty dev set would make evaluate_candidate_loss divide
+            # by zero and recalibrate_bn silently iterate no batches —
+            # fail loudly at construction, where the shard is visible.
+            raise ValueError(
+                f"client {client_id} drew an empty dev set from a "
+                f"{len(train_data)}-sample shard "
+                f"(dev_fraction={dev_fraction})"
+            )
         # Materialized dev batches, keyed by batch size. Selection runs
         # 2C stats/loss sweeps over the same dev set; reusing one batch
         # list keeps the arrays' identity stable so the engine's
@@ -270,6 +279,12 @@ class Client:
         order — the exact accumulator and summation order of the
         original per-call implementation, so values are bit-identical.
         """
+        batches = self.dev_batches(batch_size)
+        if not batches:
+            raise ValueError(
+                f"client {self.client_id} has no dev batches to "
+                f"evaluate on"
+            )
         loss_fn = self._eval_loss_fn
         if loss_fn is None:
             loss_fn = self._eval_loss_fn = CrossEntropyLoss()
@@ -278,7 +293,7 @@ class Client:
         loss_sum = 0.0
         count = 0
         with engine.inference_mode():
-            for images, labels in self.dev_batches(batch_size):
+            for images, labels in batches:
                 loss_sum += loss_fn(model(images), labels) * len(labels)
                 count += len(labels)
         model.train(was_training)

@@ -18,6 +18,7 @@ import numpy as np
 
 __all__ = [
     "DeviceProfile",
+    "FleetPlan",
     "build_fleet",
     "heterogeneous_fleet",
     "parse_fleet_spec",
@@ -164,6 +165,63 @@ def build_fleet(
     return heterogeneous_fleet(
         num_devices, rng, speed_spread=param if param is not None else 4.0
     )
+
+
+class FleetPlan:
+    """Per-ID :class:`DeviceProfile` derivation without the O(N) list.
+
+    ``build_fleet`` draws all heterogeneity factors in one vectorized
+    ``uniform(size=N)`` call. PCG64 consumes exactly one 64-bit step per
+    ``uniform`` sample, so advancing a freshly seeded bit generator by
+    ``device_id`` and drawing a single sample reproduces element
+    ``device_id`` of that batch bitwise — ``profile(i)`` equals
+    ``build_fleet(spec, n, seed)[i]`` for any fleet size, at O(1) cost
+    per lookup and O(1) storage for the plan.
+    """
+
+    def __init__(self, spec: str, num_devices: int, seed: int = 0) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self._kind, param = parse_fleet_spec(spec)
+        self._spread = param if param is not None else 4.0
+        self._num_devices = num_devices
+        self._seed = seed
+
+    @property
+    def num_devices(self) -> int:
+        return self._num_devices
+
+    def profile(self, device_id: int) -> DeviceProfile:
+        """Build one device's profile, bitwise-equal to ``build_fleet``."""
+        if not 0 <= device_id < self._num_devices:
+            raise IndexError(
+                f"device_id {device_id} out of range "
+                f"[0, {self._num_devices})"
+            )
+        if self._kind == "uniform":
+            return DeviceProfile(
+                device_id=device_id,
+                flops_per_second=_BASE_FLOPS_PER_SECOND,
+                upload_bytes_per_second=_BASE_BANDWIDTH_BYTES_PER_SECOND,
+                download_bytes_per_second=(
+                    _BASE_BANDWIDTH_BYTES_PER_SECOND * 4
+                ),
+            )
+        rng = np.random.default_rng(self._seed * 7_919 + 97)
+        rng.bit_generator.advance(device_id)
+        factor = float(
+            np.exp(rng.uniform(-np.log(self._spread), 0.0))
+        )
+        return DeviceProfile(
+            device_id=device_id,
+            flops_per_second=_BASE_FLOPS_PER_SECOND * factor,
+            upload_bytes_per_second=(
+                _BASE_BANDWIDTH_BYTES_PER_SECOND * factor
+            ),
+            download_bytes_per_second=(
+                _BASE_BANDWIDTH_BYTES_PER_SECOND * factor * 4
+            ),
+        )
 
 
 def round_latency(

@@ -79,8 +79,26 @@ class RoundPlan:
     def __post_init__(self) -> None:
         if self.elapsed_seconds < 0:
             raise ValueError("elapsed_seconds must be non-negative")
+        for field_name in ("trained", "on_time", "dropped"):
+            values = getattr(self, field_name)
+            if any(p < 0 for p in values):
+                raise ValueError(
+                    f"{field_name} holds a negative position"
+                )
+            if len(set(values)) != len(values):
+                raise ValueError(
+                    f"{field_name} holds duplicate positions"
+                )
         if any(p >= len(self.trained) for p in self.on_time):
             raise ValueError("on_time positions exceed the trained list")
+        overlap = set(self.trained) & set(self.dropped)
+        if overlap:
+            # A participant both trained and dropped would be aggregated
+            # twice by policies that weight the two sets differently.
+            raise ValueError(
+                f"participants {sorted(overlap)} appear in both "
+                f"trained and dropped"
+            )
 
 
 @dataclass(frozen=True)

@@ -6,8 +6,8 @@ import numpy as np
 
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
-from .aggregation import AggregationWorkspace, aggregate_packed_states, \
-    weighted_average_states
+from .aggregation import AggregationWorkspace, HierarchicalAggregator, \
+    aggregate_packed_states, weighted_average_states
 from .state import FlatStateSnapshot, get_state, set_state
 
 __all__ = ["Server"]
@@ -24,11 +24,21 @@ class Server:
     re-running the per-tensor :func:`set_state` installation.
     """
 
-    def __init__(self, model: Module, masks: MaskSet | None = None) -> None:
+    def __init__(
+        self,
+        model: Module,
+        masks: MaskSet | None = None,
+        aggregation_fan_in: int | None = None,
+    ) -> None:
+        if aggregation_fan_in is not None and aggregation_fan_in < 1:
+            raise ValueError("aggregation_fan_in must be >= 1")
         self.model = model
         self.masks = masks if masks is not None else MaskSet.dense(model)
         self.masks.apply(model)
         self._state = get_state(model)
+        # Edge-aggregator group size: when set, uploads reduce tree-wise
+        # through a HierarchicalAggregator instead of one flat fold.
+        self.aggregation_fan_in = aggregation_fan_in
         # Monotonic counter, bumped whenever the mask structure changes.
         # Executors key their shipped-mask caches on it.
         self.mask_epoch = 0
@@ -109,8 +119,19 @@ class Server:
 
         The aggregation reuses the server's workspace buffers;
         ``commit_state`` copies the result into ``_state`` before the
-        workspace can be clobbered by the next round.
+        workspace can be clobbered by the next round. With
+        ``aggregation_fan_in`` set, uploads reduce tree-wise through
+        edge-aggregator shards instead of one flat fold (fan-in 1 or
+        >= cohort stays bitwise identical to the flat path).
         """
+        if self.aggregation_fan_in is not None:
+            aggregator = HierarchicalAggregator(
+                sample_counts, fan_in=self.aggregation_fan_in
+            )
+            for state in client_states:
+                aggregator.add_state(state)
+            self.commit_state(aggregator.finish())
+            return
         self.commit_state(
             weighted_average_states(
                 client_states, sample_counts, workspace=self._workspace
@@ -125,8 +146,17 @@ class Server:
         identical to decoding every payload and running the dense path
         (float64 accumulation in the same order, pruned positions
         ``+0.0`` exactly as :func:`~repro.fl.payload.unpack_state`
-        canonicalizes them).
+        canonicalizes them). ``aggregation_fan_in`` routes the payloads
+        through the same tree-wise reduction as :meth:`aggregate`.
         """
+        if self.aggregation_fan_in is not None:
+            aggregator = HierarchicalAggregator(
+                sample_counts, fan_in=self.aggregation_fan_in
+            )
+            for payload in payloads:
+                aggregator.add_payload(payload)
+            self.commit_state(aggregator.finish())
+            return
         self.commit_state(
             aggregate_packed_states(
                 payloads, sample_counts, workspace=self._workspace

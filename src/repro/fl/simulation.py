@@ -23,17 +23,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.dataset import Dataset
-from ..data.partition import partition_dataset
+from ..data.partition import VirtualShardPlan, partition_dataset, \
+    plan_partition
 from ..metrics.accuracy import evaluate
 from ..metrics.flops import ModelProfile, profile_model, \
     training_flops_per_sample
 from ..metrics.tracker import RoundRecord, RunResult
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
+from .aggregation import HierarchicalAggregator
 from .client import Client
 from .comm import CommTracker
 from .executor import available_executors, build_executor
-from .latency import build_fleet, parse_fleet_spec
+from .fleet import ClientDirectory, MaterializedDirectory, \
+    VirtualClientDirectory, cohort_size
+from .latency import FleetPlan, build_fleet, parse_fleet_spec
 from .payload import packed_nbytes
 from .policies import RoundInfo, SynchronousPolicy, available_policies, \
     build_policy
@@ -62,6 +66,16 @@ class FLConfig:
     augment: bool = False
     executor: str = "serial"
     executor_workers: int | None = None
+    # Fleet-scale knobs: with the "virtual" backend clients exist as
+    # IDs until selected (see repro.fl.fleet). virtual_shard_size
+    # switches the partition to derived overlapping shards so the
+    # population can vastly exceed the dataset; aggregation_fan_in
+    # groups uploads under simulated edge aggregators;
+    # min_partition_samples is the Dirichlet per-client floor.
+    client_backend: str = "materialized"
+    virtual_shard_size: int | None = None
+    aggregation_fan_in: int | None = None
+    min_partition_samples: int = 2
     # Systems-simulation knobs: the device fleet spec (see
     # repro.fl.latency.parse_fleet_spec) and the round policy plus its
     # parameters (see repro.fl.policies).
@@ -96,6 +110,29 @@ class FLConfig:
             )
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1")
+        if self.client_backend not in ("materialized", "virtual"):
+            raise ValueError(
+                f"unknown client backend {self.client_backend!r}; "
+                f"expected 'materialized' or 'virtual'"
+            )
+        if self.client_backend == "virtual" and self.executor == "process":
+            # The process pool pickles the whole client list at start-up,
+            # which is exactly the O(population) cost virtual fleets
+            # exist to avoid.
+            raise ValueError(
+                "the virtual client backend requires the serial executor"
+            )
+        if self.virtual_shard_size is not None:
+            if self.client_backend != "virtual":
+                raise ValueError(
+                    "virtual_shard_size requires client_backend='virtual'"
+                )
+            if self.virtual_shard_size < 1:
+                raise ValueError("virtual_shard_size must be >= 1")
+        if self.aggregation_fan_in is not None and self.aggregation_fan_in < 1:
+            raise ValueError("aggregation_fan_in must be >= 1")
+        if self.min_partition_samples < 1:
+            raise ValueError("min_partition_samples must be >= 1")
         parse_fleet_spec(self.fleet)  # raises on malformed specs
         if self.round_policy not in available_policies():
             raise ValueError(
@@ -134,24 +171,64 @@ class FederatedContext:
         self.comm = CommTracker()
         self.rng = np.random.default_rng(config.seed)
 
-        shards = partition_dataset(
-            train_data, config.num_clients, config.dirichlet_alpha, self.rng
-        )
-        fleet = build_fleet(config.fleet, config.num_clients, config.seed)
-        self.clients = [
-            Client(
-                client_id=index,
-                train_data=shard,
+        self.directory: ClientDirectory
+        if config.client_backend == "virtual":
+            if config.virtual_shard_size is not None:
+                # Derived overlapping shards: the population can exceed
+                # the dataset, and no per-client state exists up front.
+                plan = VirtualShardPlan(
+                    len(train_data),
+                    config.num_clients,
+                    config.virtual_shard_size,
+                    seed=config.seed,
+                )
+            else:
+                # Exact partition, computed as index arrays only; this
+                # consumes self.rng exactly like partition_dataset, so
+                # downstream draws match the materialized backend.
+                plan = plan_partition(
+                    train_data,
+                    config.num_clients,
+                    config.dirichlet_alpha,
+                    self.rng,
+                    min_samples=config.min_partition_samples,
+                )
+            self.directory = VirtualClientDirectory(
+                train_data,
+                plan,
+                FleetPlan(config.fleet, config.num_clients, config.seed),
                 dev_fraction=config.dev_fraction,
                 seed=config.seed,
-                device=fleet[index],
             )
-            for index, shard in enumerate(shards)
-        ]
+        else:
+            shards = partition_dataset(
+                train_data,
+                config.num_clients,
+                config.dirichlet_alpha,
+                self.rng,
+                min_samples=config.min_partition_samples,
+            )
+            fleet = build_fleet(
+                config.fleet, config.num_clients, config.seed
+            )
+            self.directory = MaterializedDirectory(
+                [
+                    Client(
+                        client_id=index,
+                        train_data=shard,
+                        dev_fraction=config.dev_fraction,
+                        seed=config.seed,
+                        device=fleet[index],
+                    )
+                    for index, shard in enumerate(shards)
+                ]
+            )
         self.profile: ModelProfile = profile_model(
             model, train_data.image_shape
         )
-        self.server = Server(model)
+        self.server = Server(
+            model, aggregation_fan_in=config.aggregation_fan_in
+        )
         self.executor = build_executor(
             config.executor, max_workers=config.executor_workers
         )
@@ -163,7 +240,9 @@ class FederatedContext:
         self.sim_time = 0.0
         self.last_round_info: RoundInfo | None = None
         self._dropped_since_record = 0
-        self.last_participants: list[Client] = list(self.clients)
+        # Lazily defaults to the whole fleet: eagerly listing it here
+        # would materialize every virtual client before the first round.
+        self._last_participants: list[Client] | None = None
         # Comm totals already folded into earlier round records, so each
         # record holds this round's delta (RunResult sums them back up).
         self._recorded_upload = 0
@@ -173,8 +252,25 @@ class FederatedContext:
     # Shared primitives
     # ------------------------------------------------------------------
     @property
+    def clients(self) -> list[Client]:
+        """Every client, materialized (compatibility surface; O(N))."""
+        return self.directory.all_clients()
+
+    @property
+    def last_participants(self) -> list[Client]:
+        """Clients aggregated in the last round (whole fleet before
+        any round has run)."""
+        if self._last_participants is None:
+            self._last_participants = list(self.directory.all_clients())
+        return self._last_participants
+
+    @last_participants.setter
+    def last_participants(self, value: list[Client]) -> None:
+        self._last_participants = value
+
+    @property
     def sample_counts(self) -> list[int]:
-        return [client.num_samples for client in self.clients]
+        return self.directory.sample_counts()
 
     def new_result(self, method: str, target_density: float) -> RunResult:
         return RunResult(
@@ -196,15 +292,31 @@ class FederatedContext:
         ``fraction`` overrides the configured participation fraction
         (round policies over-select through it).
         """
+        return [
+            self.directory.materialize(client_id)
+            for client_id in self.sample_participant_ids(fraction)
+        ]
+
+    def sample_participant_ids(
+        self, fraction: float | None = None
+    ) -> list[int]:
+        """Sorted cohort IDs for the next round, no clients built.
+
+        The cohort size follows the explicit
+        :func:`~repro.fl.fleet.cohort_size` rule — ``max(1,
+        ceil(fraction * n))`` — shared with the materialized sampler
+        (the historical ``int(round(...))`` rule was banker's-rounded).
+        Full participation consumes no randomness, matching the
+        historical fast path.
+        """
         if fraction is None:
             fraction = self.config.participation_fraction
+        population = self.directory.num_clients
         if fraction >= 1.0:
-            return list(self.clients)
-        count = max(1, int(round(fraction * len(self.clients))))
-        chosen = self.rng.choice(
-            len(self.clients), size=count, replace=False
-        )
-        return [self.clients[i] for i in sorted(chosen)]
+            return list(range(population))
+        count = cohort_size(fraction, population)
+        chosen = self.rng.choice(population, size=count, replace=False)
+        return sorted(int(i) for i in chosen)
 
     def participant_round_times(
         self, participants: list[Client]
@@ -329,6 +441,99 @@ class FederatedContext:
             elapsed_seconds=plan.elapsed_seconds,
         )
         return on_time_states
+
+    def _live_model_state(self) -> dict[str, np.ndarray]:
+        """The shared model's state as read-only views (no copies)."""
+        view = {
+            name: param.data
+            for name, param in self.model.named_parameters()
+        }
+        for name, buf in self.model.named_buffers():
+            view["buffer::" + name] = buf
+        return view
+
+    def run_streaming_sync_round(self) -> RoundInfo:
+        """One synchronous FedAvg round streamed over cohort IDs.
+
+        The fleet-scale round loop: cohort IDs are drawn without
+        building clients; each selected client is materialized, pulls
+        the broadcast, trains, has its live model state folded straight
+        into a :class:`~repro.fl.aggregation.HierarchicalAggregator`,
+        and is released before the next client is built. At most one
+        client is live at a time and the server folds uploads through
+        O(model) accumulators, so round memory is independent of cohort
+        size. With the default fan-in the committed state, comm bytes,
+        and simulated elapsed time are bitwise identical to
+        :meth:`run_fedavg_round` on the same cohort.
+
+        Limitations (by construction): synchronous barrier only,
+        unquantized uploads, and ``last_participants`` is not updated —
+        method round hooks belong to the materialized-compatible
+        :meth:`run_fedavg_round` path.
+        """
+        cfg = self.config
+        if cfg.round_policy != "sync":
+            raise ValueError(
+                "the streaming round requires round_policy='sync'"
+            )
+        if cfg.quantize_upload_bits is not None:
+            raise ValueError(
+                "the streaming round does not support quantized uploads"
+            )
+        participant_ids = self.sample_participant_ids()
+        counts = [
+            self.directory.sample_count(i) for i in participant_ids
+        ]
+        aggregator = HierarchicalAggregator(
+            counts, fan_in=cfg.aggregation_fan_in
+        )
+        download = self.model_exchange_bytes()
+        upload = self.upload_bytes_per_client()
+        flops_per_sample = training_flops_per_sample(
+            self.profile, self.server.masks
+        )
+        train_kwargs = dict(
+            epochs=cfg.local_epochs,
+            batch_size=cfg.batch_size,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+            augment=cfg.augment,
+        )
+        elapsed = 0.0
+        self.server.broadcast()
+        for client_id, count in zip(participant_ids, counts):
+            client = self.directory.materialize(client_id)
+            self.server.restore_broadcast()
+            client.train(self.model, collect_state=False, **train_kwargs)
+            # The aggregator only reads the arrays, so the live model
+            # views go in without a get_state copy; they are consumed
+            # before the next restore_broadcast overwrites them.
+            aggregator.add_state(self._live_model_state())
+            self.comm.record_download(download)
+            self.comm.record_upload(upload)
+            seconds = float(
+                client.device.time_for(
+                    flops_per_sample * cfg.local_epochs * count,
+                    upload,
+                    download,
+                )
+            )
+            if seconds > elapsed:
+                elapsed = seconds
+            self.directory.release(client_id)
+        self.server.commit_state(aggregator.finish())
+        self.sim_time += elapsed
+        ids = tuple(participant_ids)
+        self.last_round_info = RoundInfo(
+            selected_ids=ids,
+            aggregated_ids=ids,
+            dropped_ids=(),
+            late_ids=(),
+            stale_applied=0,
+            elapsed_seconds=elapsed,
+        )
+        return self.last_round_info
 
     def model_exchange_bytes(self) -> int:
         """Bytes to move the current sparse model one way (float32).

@@ -1,11 +1,13 @@
 """Performance measurement harnesses for the compute substrate."""
 
 from .candidate_selection import run_candidate_selection_bench
+from .fleet_scale import run_fleet_scale_bench
 from .round_loop import run_round_loop_bench
 from .sparse_compute import run_sparse_compute_bench, write_bench_json
 
 __all__ = [
     "run_candidate_selection_bench",
+    "run_fleet_scale_bench",
     "run_round_loop_bench",
     "run_sparse_compute_bench",
     "write_bench_json",
