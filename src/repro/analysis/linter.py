@@ -86,6 +86,8 @@ def _display_path(path: Path, root: Path) -> str:
     """``path`` relative to ``root`` when possible, posix-style."""
     try:
         relative = path.resolve().relative_to(root.resolve())
+    # repro-lint: allow[silent-except] -- display fallback: a path
+    # outside the root is shown absolute, nothing failed.
     except ValueError:
         relative = path
     return relative.as_posix()

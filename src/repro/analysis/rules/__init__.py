@@ -13,6 +13,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     float_accumulation,
     registry_completeness,
     shm_lifecycle,
+    silent_except,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "float_accumulation",
     "registry_completeness",
     "shm_lifecycle",
+    "silent_except",
 ]

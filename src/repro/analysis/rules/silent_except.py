@@ -1,0 +1,132 @@
+"""Rule ``silent-except`` — exception handlers must not swallow errors.
+
+The fault-tolerance layer (PR 8) turned "what happens when this
+fails?" into a first-class contract: every failure in the round loop is
+either retried, quarantined with a :class:`~repro.fl.faults.FailureRecord`,
+or propagated. A bare ``except ...: pass`` (or a handler that only
+assigns a fallback) breaks that contract silently — the failure
+happened, nothing recorded it, and the next reader has no idea the code
+path even exists.
+
+A handler is compliant when its body does at least one of:
+
+- **re-raise** — a ``raise`` statement anywhere in the handler;
+- **log** — a call to a logger method (``debug``/``info``/``warning``/
+  ``error``/``exception``/``critical``/``log``), ``warnings.warn``, or
+  ``print`` (the CLI's reporting surface);
+- **record** — constructing a ``FailureRecord`` or calling a
+  ``record_failure``/``quarantine`` method;
+- **return a sentinel with an annotation** is *not* enough — silent
+  fallbacks are exactly the pattern this rule exists to flag; suppress
+  with ``# repro-lint: allow[silent-except] -- reason`` when the
+  swallow is genuinely intended (e.g. best-effort cleanup).
+
+``except`` clauses whose *type* is a control-flow exception the code
+legitimately converts to data flow (``StopIteration``, ``KeyError`` in
+a lookup-with-default, ...) still need one of the three signals — the
+rule judges the handler body, not the exception type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from ..sources import SourceModule
+
+__all__ = ["SilentExceptRule"]
+
+#: Call names that count as "the failure was surfaced somewhere".
+_LOGGER_METHODS = frozenset({
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+})
+_REPORTING_CALLS = frozenset({"warn", "print"})
+_RECORDING_NAMES = frozenset({
+    "FailureRecord", "record_failure", "quarantine",
+})
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The terminal name of a call target (``x.y.z(...)`` -> ``z``)."""
+    target = node.func
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+#: Substrings of a collection name that make ``X.append(...)`` count
+#: as recording the failure (``result.errors.append(...)``).
+_FAILURE_COLLECTIONS = ("error", "failure", "record")
+
+
+def _appends_to_failure_collection(node: ast.Call) -> bool:
+    """``X.append(...)`` where X names an error/failure collection."""
+    target = node.func
+    if not (
+        isinstance(target, ast.Attribute) and target.attr == "append"
+    ):
+        return False
+    collection = ast.unparse(target.value).lower()
+    return any(word in collection for word in _FAILURE_COLLECTIONS)
+
+
+def _handler_surfaces_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises, logs, or records the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is None:
+                continue
+            if (
+                name in _LOGGER_METHODS
+                or name in _REPORTING_CALLS
+                or name in _RECORDING_NAMES
+            ):
+                return True
+            if _appends_to_failure_collection(node):
+                return True
+    return False
+
+
+def _handled_types(handler: ast.ExceptHandler) -> list[str]:
+    """Dotted names of the exception types a handler catches."""
+    node = handler.type
+    if node is None:
+        return ["BaseException"]
+    parts: list[ast.expr] = (
+        list(node.elts) if isinstance(node, ast.Tuple) else [node]
+    )
+    return [ast.unparse(part) for part in parts]
+
+
+@register_rule
+class SilentExceptRule(Rule):
+    """Flag exception handlers that swallow errors without a trace."""
+
+    id = "silent-except"
+    summary = (
+        "exception handlers must re-raise, log, or record a "
+        "FailureRecord — silent swallows hide failure paths"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_surfaces_failure(node):
+                continue
+            caught = ", ".join(_handled_types(node))
+            yield self.diagnostic(
+                module, node.lineno, node.col_offset,
+                f"handler for {caught} swallows the failure: add a "
+                f"raise, a logging call, or a FailureRecord (or "
+                f"suppress with a reasoned "
+                f"'repro-lint: allow[silent-except]' if the swallow "
+                f"is intended).",
+            )

@@ -142,6 +142,9 @@ def _comment_tokens(lines: list[str]) -> Iterator[tuple[int, int, str]]:
         for token in tokenize.generate_tokens(readline):
             if token.type == tokenize.COMMENT:
                 yield token.start[0], token.start[1], token.string
+    # repro-lint: allow[silent-except] -- by contract: comments before
+    # the tokenize failure are kept, the syntax error itself is the
+    # linter's to report.
     except (tokenize.TokenError, IndentationError):
         return
 

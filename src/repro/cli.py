@@ -9,6 +9,7 @@ Usage::
     python -m repro bench --out BENCH_sparse_compute.json
     python -m repro bench --suite round_loop --out BENCH_round_loop.json
     python -m repro lint src/ --format json
+    python -m repro chaos --faults chaos --scale tiny
 """
 
 from __future__ import annotations
@@ -137,9 +138,62 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable sparse row dispatch below this weight "
                           "density (default 0: off, byte-identical to "
                           "the dense engine)")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject deterministic faults: a preset name "
+                          "(chaos, flaky_clients, bad_transport) or "
+                          "'kind:prob,...' pairs, e.g. "
+                          "corrupt_payload:0.1,client_timeout:0.05")
+    run.add_argument("--retry-max-attempts", type=int, default=None,
+                     help="delivery attempts per client per round "
+                          "under fault injection (default 3)")
+    run.add_argument("--retry-backoff-seconds", type=float, default=None,
+                     help="base simulated backoff between retries "
+                          "(default 0.5)")
+    run.add_argument("--retry-timeout-seconds", type=float, default=None,
+                     help="simulated seconds a client_timeout fault "
+                          "costs (default 5)")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="snapshot the run here for crash-resume")
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     help="rounds between checkpoints (default 1)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the latest checkpoint in "
+                          "--checkpoint-dir, bit-for-bit")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true",
                      help="emit the result record as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run an experiment under a fault schedule and assert the "
+             "recovery invariants",
+        description=(
+            "Runs the same experiment twice — fault-free, then under "
+            "the given deterministic fault schedule — and asserts the "
+            "recovery contract: the faulted run completes every round, "
+            "every injected fault is accounted (retried, quarantined, "
+            "deduplicated, or excluded) on the round records, and when "
+            "no client exhausted its retries the faulted run's metrics "
+            "are bitwise identical to the fault-free run. Exit codes: "
+            "0 all invariants hold, 1 a recovery invariant failed."
+        ),
+    )
+    chaos.add_argument("--faults", default="chaos", metavar="SPEC",
+                       help="preset name or 'kind:prob,...' spec "
+                            "(default: the chaos preset)")
+    chaos.add_argument("--method", default="fedtiny",
+                       choices=method_names())
+    chaos.add_argument("--model", default="resnet18",
+                       choices=available_models())
+    chaos.add_argument("--dataset", default="cifar10",
+                       choices=sorted(DATASET_BUILDERS))
+    chaos.add_argument("--density", type=float, default=0.05)
+    chaos.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    chaos.add_argument("--rounds", type=int, default=None)
+    chaos.add_argument("--executor", default=None,
+                       choices=available_executors())
+    chaos.add_argument("--retry-max-attempts", type=int, default=None)
+    chaos.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -259,6 +313,13 @@ def _command_run(args: argparse.Namespace) -> int:
         client_backend=args.client_backend,
         virtual_shard_size=args.virtual_shard_size,
         aggregation_fan_in=args.aggregation_fan_in,
+        faults=args.faults,
+        retry_max_attempts=args.retry_max_attempts,
+        retry_backoff_seconds=args.retry_backoff_seconds,
+        retry_timeout_seconds=args.retry_timeout_seconds,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, default=str))
@@ -276,6 +337,100 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"sim wall clock    : {result.sim_time_seconds:.2f} s")
     if result.total_dropped_clients:
         print(f"dropped clients   : {result.total_dropped_clients}")
+    if result.total_faults_injected:
+        print(f"faults injected   : {result.total_faults_injected}")
+        print(f"retries           : {result.total_retries}")
+        print(f"quarantined       : {result.total_quarantined_uploads}")
+        print(f"recovery actions  : {result.total_recovery_actions}")
+    return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from .fl.faults import FaultSchedule
+
+    try:
+        schedule = FaultSchedule.parse(args.faults, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    common = dict(
+        scale=args.scale,
+        seed=args.seed,
+        rounds=args.rounds,
+        executor=args.executor,
+        retry_max_attempts=args.retry_max_attempts,
+    )
+    print(f"fault schedule    : {schedule.spec_string()}")
+    print("running fault-free baseline ...")
+    baseline = run_experiment(
+        args.method, args.model, args.dataset, args.density, **common,
+    )
+    print("running faulted twin ...")
+    faulted = run_experiment(
+        args.method, args.model, args.dataset, args.density,
+        faults=args.faults, **common,
+    )
+
+    problems: list[str] = []
+    if len(faulted.rounds) != len(baseline.rounds):
+        problems.append(
+            f"faulted run recorded {len(faulted.rounds)} rounds, "
+            f"baseline {len(baseline.rounds)}"
+        )
+    excluded = [
+        f for f in faulted.failures if f.action == "excluded"
+    ]
+    quarantine_records = [
+        f for f in faulted.failures if f.action == "quarantined"
+    ]
+    if len(quarantine_records) != faulted.total_quarantined_uploads:
+        problems.append(
+            f"{faulted.total_quarantined_uploads} quarantined uploads "
+            f"but {len(quarantine_records)} quarantine records"
+        )
+    if faulted.total_faults_injected and not faulted.failures:
+        problems.append(
+            f"{faulted.total_faults_injected} faults injected but the "
+            "failure log is empty"
+        )
+    extra_dropped = (
+        faulted.total_dropped_clients - baseline.total_dropped_clients
+    )
+    if extra_dropped != len(excluded):
+        problems.append(
+            f"{len(excluded)} retry-exhausted exclusions but "
+            f"{extra_dropped} extra dropped clients accounted"
+        )
+    if not excluded:
+        # Every fault deterministically recovered: the faulted run must
+        # be bitwise identical to the baseline (only the simulated
+        # clock, which absorbed the backoff, may differ).
+        pairs = zip(baseline.rounds, faulted.rounds)
+        for base_round, fault_round in pairs:
+            if (
+                base_round.test_accuracy != fault_round.test_accuracy
+                or base_round.test_loss != fault_round.test_loss
+                or base_round.density != fault_round.density
+            ):
+                problems.append(
+                    f"round {base_round.round_index}: recovered run "
+                    "diverged from the fault-free baseline"
+                )
+                break
+    print(f"faults injected   : {faulted.total_faults_injected}")
+    print(f"retries           : {faulted.total_retries}")
+    print(f"quarantined       : {faulted.total_quarantined_uploads}")
+    print(f"recovery actions  : {faulted.total_recovery_actions}")
+    print(f"excluded clients  : {len(excluded)}")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    verdict = (
+        "bitwise-equal to the fault-free baseline" if not excluded
+        else "partial cohorts accounted on the round records"
+    )
+    print(f"OK: all recovery invariants hold ({verdict})")
     return 0
 
 
@@ -401,6 +556,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "bench":

@@ -171,6 +171,26 @@ class FedTiny(FederatedMethod):
             grad_batch_size=cfg.grad_batch_size,
         )
 
+    def checkpoint_state(self) -> dict:
+        # The pruner is the method's only cross-round mutable state:
+        # how far the progressive schedule has advanced, and the
+        # largest top-k buffer the memory accounting has seen.
+        return {
+            "pruning_rounds_done": self._pruner._pruning_rounds_done,
+            "max_buffer_entries_seen":
+                self._pruner.max_buffer_entries_seen,
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        if not state:
+            return
+        self._pruner._pruning_rounds_done = int(
+            state["pruning_rounds_done"]
+        )
+        self._pruner.max_buffer_entries_seen = int(
+            state["max_buffer_entries_seen"]
+        )
+
     def round_hook(
         self, round_index: int, states: list[dict[str, np.ndarray]]
     ) -> float:

@@ -64,6 +64,13 @@ class ScalePreset:
         client_backend: str | None = None,
         virtual_shard_size: int | None = None,
         aggregation_fan_in: int | None = None,
+        faults: str | None = None,
+        retry_max_attempts: int | None = None,
+        retry_backoff_seconds: float | None = None,
+        retry_timeout_seconds: float | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        resume: bool = False,
     ) -> FLConfig:
         return FLConfig(
             num_clients=self.num_clients,
@@ -108,6 +115,23 @@ class ScalePreset:
             ),
             virtual_shard_size=virtual_shard_size,
             aggregation_fan_in=aggregation_fan_in,
+            faults=faults,
+            retry_max_attempts=(
+                retry_max_attempts if retry_max_attempts is not None else 3
+            ),
+            retry_backoff_seconds=(
+                retry_backoff_seconds
+                if retry_backoff_seconds is not None else 0.5
+            ),
+            retry_timeout_seconds=(
+                retry_timeout_seconds
+                if retry_timeout_seconds is not None else 5.0
+            ),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=(
+                checkpoint_every if checkpoint_every is not None else 1
+            ),
+            resume=resume,
             seed=seed,
         )
 

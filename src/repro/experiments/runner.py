@@ -61,6 +61,13 @@ def make_context(
     client_backend: str | None = None,
     virtual_shard_size: int | None = None,
     aggregation_fan_in: int | None = None,
+    faults: str | None = None,
+    retry_max_attempts: int | None = None,
+    retry_backoff_seconds: float | None = None,
+    retry_timeout_seconds: float | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
 ) -> tuple[FederatedContext, Dataset]:
     """A fresh federated context plus the server's public dataset.
 
@@ -99,6 +106,13 @@ def make_context(
             client_backend=client_backend,
             virtual_shard_size=virtual_shard_size,
             aggregation_fan_in=aggregation_fan_in,
+            faults=faults,
+            retry_max_attempts=retry_max_attempts,
+            retry_backoff_seconds=retry_backoff_seconds,
+            retry_timeout_seconds=retry_timeout_seconds,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         ),
         dataset_name=dataset_name,
         model_name=model_name,
@@ -131,6 +145,13 @@ def run_experiment(
     client_backend: str | None = None,
     virtual_shard_size: int | None = None,
     aggregation_fan_in: int | None = None,
+    faults: str | None = None,
+    retry_max_attempts: int | None = None,
+    retry_backoff_seconds: float | None = None,
+    retry_timeout_seconds: float | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
 ) -> RunResult:
     """End-to-end: build data, context and method, then run it."""
     preset = get_scale(scale) if isinstance(scale, str) else scale
@@ -153,6 +174,13 @@ def run_experiment(
         client_backend=client_backend,
         virtual_shard_size=virtual_shard_size,
         aggregation_fan_in=aggregation_fan_in,
+        faults=faults,
+        retry_max_attempts=retry_max_attempts,
+        retry_backoff_seconds=retry_backoff_seconds,
+        retry_timeout_seconds=retry_timeout_seconds,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     method = build_method(
         method_name, target_density, preset,
@@ -180,6 +208,13 @@ def run_experiment(
                 client_backend=client_backend,
                 virtual_shard_size=virtual_shard_size,
                 aggregation_fan_in=aggregation_fan_in,
+                faults=faults,
+                retry_max_attempts=retry_max_attempts,
+                retry_backoff_seconds=retry_backoff_seconds,
+                retry_timeout_seconds=retry_timeout_seconds,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
             ),
         )
     try:

@@ -28,6 +28,7 @@ touching the simulation internals.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import struct
@@ -46,6 +47,8 @@ from .payload import ModelBinding, PackedPayload, StatePacker, \
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .simulation import FederatedContext
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = [
     "ClientExecutor",
@@ -136,8 +139,27 @@ class ClientExecutor(ABC):
                 )
         return results
 
+    def crash_worker(self, ctx: "FederatedContext") -> bool:
+        """Kill one worker process, if the backend has any.
+
+        The fault-injection hook behind the ``worker_crash`` fault
+        (see :mod:`repro.fl.faults`). Returns ``True`` when a worker
+        actually died and the backend repaired itself (pool respawn);
+        in-process backends return ``False`` and the injector treats
+        the fault as an ordinary pre-training client crash.
+        """
+        del ctx
+        return False
+
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        # Worker pools and shm arenas must die on exception paths too.
+        self.close()
 
 
 def _train_kwargs(ctx: "FederatedContext") -> dict:
@@ -216,8 +238,13 @@ def _attach_shared_memory(name: str):
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
+        except (ImportError, AttributeError, KeyError, OSError) as exc:
+            # Worst case the worker's tracker unlinks the segment at
+            # exit (bpo-39959); the run survives, so log and continue.
+            _LOG.warning(
+                "could not unregister shm attachment %s from the "
+                "resource tracker: %s", name, exc,
+            )
     return shm
 
 
@@ -281,8 +308,13 @@ def _worker_refresh_broadcast(
         if cache["shm"] is not None:
             try:
                 cache["shm"].close()
-            except BufferError:  # pragma: no cover - defensive
-                pass
+            except BufferError as exc:  # pragma: no cover - defensive
+                # A straggling view keeps the old mapping alive; the
+                # segment itself is owned (and unlinked) by the master.
+                _LOG.warning(
+                    "stale broadcast arena %s still has exported "
+                    "buffers: %s", cache["shm_name"], exc,
+                )
         cache["shm"] = _attach_shared_memory(shm_name)
         cache["shm_name"] = shm_name
     buf = cache["shm"].buf
@@ -391,6 +423,11 @@ def _train_client_shm(
     )
 
 
+def _exit_worker() -> None:  # pragma: no cover - runs in a worker
+    """Hard-kill the worker that picks this task up (fault injection)."""
+    os._exit(3)
+
+
 class ProcessPoolClientExecutor(ClientExecutor):
     """Train participants concurrently on persistent worker models."""
 
@@ -459,6 +496,8 @@ class ProcessPoolClientExecutor(ClientExecutor):
             try:
                 self._arena.close()
                 self._arena.unlink()
+            # repro-lint: allow[silent-except] -- best-effort cleanup:
+            # the arena was already unlinked by another exit path.
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
             self._arena = None
@@ -605,6 +644,34 @@ class ProcessPoolClientExecutor(ClientExecutor):
             for client in clients
         ]
         return [future.result() for future in futures]
+
+    def crash_worker(self, ctx: "FederatedContext") -> bool:
+        """Kill one pool worker; respawn the (now broken) pool.
+
+        ``concurrent.futures`` condemns the whole pool when any worker
+        dies, so the repair is a full teardown — the next round's
+        ``_ensure_pool`` rebuilds workers and arena lazily. Worker
+        outputs are unaffected: clients, model structure, and RNG
+        streams all re-ship from the master, so results after a respawn
+        are bitwise identical.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = self._ensure_pool(ctx)
+        future = pool.submit(_exit_worker)
+        try:
+            future.result(timeout=60)
+        except BrokenProcessPool:
+            _LOG.warning(
+                "worker process died; respawning the process pool"
+            )
+            self.respawn()
+            return True
+        return False  # pragma: no cover - os._exit always breaks the pool
+
+    def respawn(self) -> None:
+        """Tear down a (possibly broken) pool; rebuilt on next use."""
+        self.close()
 
     def close(self) -> None:
         if self._pool is not None:

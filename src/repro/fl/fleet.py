@@ -95,6 +95,20 @@ class ClientDirectory(ABC):
             self.sample_count(i) for i in range(self.num_clients)
         ]
 
+    @abstractmethod
+    def rng_snapshot(self) -> dict[int, dict]:
+        """Every client RNG stream position that differs from a fresh
+        build, keyed by client ID (checkpoint capture)."""
+
+    @abstractmethod
+    def restore_rng(self, states: dict[int, dict]) -> None:
+        """Install a :meth:`rng_snapshot` (checkpoint resume).
+
+        Clients absent from ``states`` keep their deterministic
+        fresh-build stream, which is exactly what the snapshot means
+        for clients that had never been touched when it was taken.
+        """
+
 
 class MaterializedDirectory(ClientDirectory):
     """The eager backend: wraps a prebuilt client list."""
@@ -125,6 +139,18 @@ class MaterializedDirectory(ClientDirectory):
         # The same list object every call: the process-pool executor
         # keys its pickled-clients cache on this identity.
         return self._clients
+
+    def rng_snapshot(self) -> dict[int, dict]:
+        return {
+            client.client_id: client.rng.bit_generator.state
+            for client in self._clients
+        }
+
+    def restore_rng(self, states: dict[int, dict]) -> None:
+        for client in self._clients:
+            saved = states.get(client.client_id)
+            if saved is not None:
+                client.rng.bit_generator.state = saved
 
 
 class VirtualClientDirectory(ClientDirectory):
@@ -203,3 +229,19 @@ class VirtualClientDirectory(ClientDirectory):
 
     def all_clients(self) -> list[Client]:
         return [self.materialize(i) for i in range(self.num_clients)]
+
+    def rng_snapshot(self) -> dict[int, dict]:
+        # Released positions plus live clients; IDs never materialized
+        # need no entry — a fresh build derives their stream from the
+        # seed, bit-identically.
+        snapshot = dict(self._rng_states)
+        for client_id, client in self._live.items():
+            snapshot[client_id] = client.rng.bit_generator.state
+        return snapshot
+
+    def restore_rng(self, states: dict[int, dict]) -> None:
+        self._rng_states.update(states)
+        for client_id, client in self._live.items():
+            saved = states.get(client_id)
+            if saved is not None:
+                client.rng.bit_generator.state = saved

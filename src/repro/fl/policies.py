@@ -100,6 +100,33 @@ class RoundPlan:
                 f"trained and dropped"
             )
 
+    def without_trained(self, positions: frozenset[int]) -> "RoundPlan":
+        """The plan with some trained-list positions moved to dropped.
+
+        ``positions`` index into ``trained`` (not into the participant
+        list). The fault-recovery layer uses this when a client exhausts
+        its retries: the survivor positions are re-packed, ``on_time``
+        is remapped onto them, and the excluded participants join
+        ``dropped`` — so downstream aggregation sees a smaller cohort
+        whose weights renormalize over the uploads that actually
+        arrived.
+        """
+        if not positions:
+            return self
+        keep = [k for k in range(len(self.trained)) if k not in positions]
+        remap = {old: new for new, old in enumerate(keep)}
+        return RoundPlan(
+            trained=tuple(self.trained[k] for k in keep),
+            on_time=tuple(
+                remap[p] for p in self.on_time if p in remap
+            ),
+            dropped=self.dropped + tuple(
+                self.trained[k] for k in sorted(positions)
+            ),
+            elapsed_seconds=self.elapsed_seconds,
+            dropped_received_broadcast=self.dropped_received_broadcast,
+        )
+
 
 @dataclass(frozen=True)
 class RoundInfo:

@@ -2,15 +2,118 @@
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..nn.module import Module
 from ..sparse.mask import MaskSet
 from .aggregation import AggregationWorkspace, HierarchicalAggregator, \
     aggregate_packed_states, weighted_average_states
+from .faults import FailureRecord
+from .payload import PackedPayload, PayloadFormatError
 from .state import FlatStateSnapshot, get_state, set_state
 
-__all__ = ["Server"]
+__all__ = ["RoundIngest", "Server"]
+
+_LOG = logging.getLogger(__name__)
+
+
+class RoundIngest:
+    """Admission control for one round's uploads.
+
+    The validation-before-write layer in front of aggregation: an
+    upload is *accepted* only if it is the first arrival for its client
+    this round, claims the server's current mask epoch, and (when raw
+    wire bytes are submitted) parses and passes the codec's structural
+    audit. Rejected uploads never touch server state; each rejection is
+    recorded as a structured :class:`~repro.fl.faults.FailureRecord`.
+
+    Wire bytes are optional because in-process uploads from the run's
+    own executor are a trusted producer — they skip re-serialization
+    and submit metadata only. Anything that crossed a byte boundary
+    (injected transport faults today, the networked executor of ROADMAP
+    item 2 tomorrow) submits its wire form and is fully validated
+    before admission.
+    """
+
+    def __init__(self, server: "Server", round_index: int) -> None:
+        self.server = server
+        self.round_index = round_index
+        self.records: list[FailureRecord] = []
+        self._accepted: dict[int, int] = {}  # client_id -> attempt
+        self._spec_cache: dict = {}
+
+    @property
+    def accepted_clients(self) -> list[int]:
+        """Client IDs admitted so far, in admission order."""
+        return list(self._accepted)
+
+    def submit(
+        self,
+        client_id: int,
+        attempt: int,
+        mask_epoch: int,
+        wire: bytes | bytearray | memoryview | None = None,
+    ) -> str:
+        """Adjudicate one upload.
+
+        Returns ``"accepted"``, ``"duplicate"``, ``"rejected_stale"``,
+        or ``"quarantined"``. Only ``"accepted"`` uploads may be fed to
+        the aggregation; everything else leaves the server bit-for-bit
+        unchanged.
+        """
+        if client_id in self._accepted:
+            _LOG.debug(
+                "round %d: duplicate upload from client %d dropped",
+                self.round_index, client_id,
+            )
+            self.records.append(
+                FailureRecord(
+                    self.round_index, client_id, attempt,
+                    "duplicate_upload", "deduplicated",
+                    detail=f"first accepted at attempt "
+                           f"{self._accepted[client_id]}",
+                )
+            )
+            return "duplicate"
+        if mask_epoch != self.server.mask_epoch:
+            _LOG.debug(
+                "round %d: client %d upload rejected "
+                "(mask epoch %d, server at %d)",
+                self.round_index, client_id,
+                mask_epoch, self.server.mask_epoch,
+            )
+            self.records.append(
+                FailureRecord(
+                    self.round_index, client_id, attempt,
+                    "stale_epoch", "rejected_stale",
+                    detail=f"claimed epoch {mask_epoch}, "
+                           f"server at {self.server.mask_epoch}",
+                )
+            )
+            return "rejected_stale"
+        if wire is not None:
+            try:
+                PackedPayload.from_bytes(
+                    wire, copy=True, validate=True,
+                    spec_cache=self._spec_cache,
+                )
+            except PayloadFormatError as exc:
+                _LOG.warning(
+                    "round %d: client %d upload quarantined: %s",
+                    self.round_index, client_id, exc,
+                )
+                self.records.append(
+                    FailureRecord(
+                        self.round_index, client_id, attempt,
+                        "payload_format", "quarantined",
+                        detail=str(exc),
+                    )
+                )
+                return "quarantined"
+        self._accepted[client_id] = attempt
+        return "accepted"
 
 
 class Server:
@@ -162,6 +265,10 @@ class Server:
                 payloads, sample_counts, workspace=self._workspace
             )
         )
+
+    def begin_ingest(self, round_index: int) -> RoundIngest:
+        """Open an admission-control session for one round's uploads."""
+        return RoundIngest(self, round_index)
 
     def set_masks(self, masks: MaskSet) -> None:
         """Install a new mask structure and re-apply it to the state."""

@@ -18,7 +18,9 @@ curves fall out of ordinary runs.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +37,8 @@ from .aggregation import HierarchicalAggregator
 from .client import Client
 from .comm import CommTracker
 from .executor import available_executors, build_executor
+from .faults import FailureRecord, FaultSchedule, FaultTolerantRunner, \
+    RetryPolicy, RoundFaultStats
 from .fleet import ClientDirectory, MaterializedDirectory, \
     VirtualClientDirectory, cohort_size
 from .latency import FleetPlan, build_fleet, parse_fleet_spec
@@ -45,6 +49,8 @@ from .server import Server
 from .state import set_state
 
 __all__ = ["FLConfig", "FederatedContext"]
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,24 @@ class FLConfig:
     dropout_rate: float = 0.1
     async_buffer_fraction: float = 0.5
     staleness_discount: float = 0.5
+    # Fault-tolerance knobs (see repro.fl.faults). ``faults`` is a
+    # schedule spec ("kind:prob,..." or a preset name); None disables
+    # injection entirely and the round loop stays byte-identical to the
+    # fault-free golden run. The retry knobs parameterize the
+    # RetryPolicy that defends against whatever the schedule throws.
+    faults: str | None = None
+    retry_max_attempts: int = 3
+    retry_backoff_seconds: float = 0.5
+    retry_backoff_factor: float = 2.0
+    retry_timeout_seconds: float = 5.0
+    pool_failure_limit: int = 2
+    # Crash-resume knobs: with checkpoint_dir set the method's round
+    # loop snapshots the full run state every ``checkpoint_every``
+    # rounds; ``resume=True`` restarts from the latest snapshot
+    # bit-for-bit instead of from round 1.
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -149,6 +173,29 @@ class FLConfig:
             raise ValueError("async_buffer_fraction must be in (0, 1]")
         if not 0.0 < self.staleness_discount <= 1.0:
             raise ValueError("staleness_discount must be in (0, 1]")
+        if self.faults is not None:
+            FaultSchedule.parse(self.faults)  # raises on malformed specs
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if self.retry_backoff_seconds < 0.0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_timeout_seconds < 0.0:
+            raise ValueError("retry_timeout_seconds must be >= 0")
+        if self.pool_failure_limit < 1:
+            raise ValueError("pool_failure_limit must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+        if self.checkpoint_dir is not None and self.round_policy == "async":
+            # The async policy buffers late uploads across rounds in
+            # process-local state the checkpoint cannot capture; a
+            # resumed run would silently drop them.
+            raise ValueError(
+                "checkpointing does not support round_policy='async'"
+            )
 
 
 class FederatedContext:
@@ -240,6 +287,33 @@ class FederatedContext:
         self.sim_time = 0.0
         self.last_round_info: RoundInfo | None = None
         self._dropped_since_record = 0
+        # Fault tolerance: the schedule/runner exist only when faults
+        # are enabled, so the fault-free round loop takes the exact
+        # code path (and RNG consumption) it always did.
+        self.retry_policy = RetryPolicy(
+            max_attempts=config.retry_max_attempts,
+            backoff_seconds=config.retry_backoff_seconds,
+            backoff_factor=config.retry_backoff_factor,
+            timeout_seconds=config.retry_timeout_seconds,
+            pool_failure_limit=config.pool_failure_limit,
+        )
+        self.fault_schedule: FaultSchedule | None = (
+            FaultSchedule.parse(config.faults, seed=config.seed)
+            if config.faults is not None else None
+        )
+        self.fault_runner: FaultTolerantRunner | None = (
+            FaultTolerantRunner(
+                self.fault_schedule, self.retry_policy, seed=config.seed
+            )
+            if self.fault_schedule is not None else None
+        )
+        # Full structured failure log for the run, plus the deltas not
+        # yet folded into a round record (same discipline as the comm
+        # counters: record_round drains them).
+        self.failure_log: list[FailureRecord] = []
+        self._failures_since_record: list[FailureRecord] = []
+        self._fault_stats_since_record = RoundFaultStats()
+        self._round_counter = 0
         # Lazily defaults to the whole fleet: eagerly listing it here
         # would materialize every virtual client before the first round.
         self._last_participants: list[Client] | None = None
@@ -370,13 +444,37 @@ class FederatedContext:
         """
         cfg = self.config
         policy = self.round_policy
+        self._round_counter += 1
         participants = policy.select(self)
         times = self.participant_round_times(participants)
         plan = policy.plan(self, participants, times)
         trained = [participants[i] for i in plan.trained]
         download = self.model_exchange_bytes()
         upload = self.upload_bytes_per_client()
-        results = self.executor.run_clients(self, trained)
+        fault_seconds = 0.0
+        if self.fault_runner is not None and trained:
+            outcome = self.fault_runner.run_round(
+                self, trained, self._round_counter
+            )
+            fault_seconds = outcome.extra_seconds
+            self.failure_log.extend(outcome.records)
+            self._failures_since_record.extend(outcome.records)
+            self._fault_stats_since_record.merge(outcome.stats)
+            results = outcome.results
+            if outcome.excluded:
+                # Retry-exhausted clients leave the cohort; the plan
+                # re-packs around the survivors and the excluded join
+                # the dropped set (aggregation renormalizes over the
+                # sample counts that actually arrived).
+                keep = [
+                    k for k in range(len(trained))
+                    if k not in outcome.excluded
+                ]
+                plan = plan.without_trained(outcome.excluded)
+                trained = [trained[k] for k in keep]
+                results = [results[k] for k in keep]
+        else:
+            results = self.executor.run_clients(self, trained)
         packed_fast_path = (
             not need_states
             and cfg.quantize_upload_bits is None
@@ -407,7 +505,14 @@ class FederatedContext:
             # offline (dropout) clients never saw the broadcast.
             for _ in plan.dropped:
                 self.comm.record_download(download)
-        if packed_fast_path:
+        if not trained:
+            # The whole cohort was lost (e.g. retry exhaustion on every
+            # client): nothing arrived, so the round commits nothing and
+            # the global state carries over unchanged.
+            on_time_states = []
+            self.last_participants = []
+            stale_applied = 0
+        elif packed_fast_path:
             # Synchronous barrier: everyone trained is aggregated, so
             # the packed uploads fold straight into the global state.
             on_time_states = []
@@ -421,7 +526,8 @@ class FederatedContext:
             on_time_states = [states[p] for p in plan.on_time]
             self.last_participants = [trained[p] for p in plan.on_time]
             stale_applied = policy.aggregate(self, participants, plan, states)
-        self.sim_time += plan.elapsed_seconds
+        elapsed = plan.elapsed_seconds + fault_seconds
+        self.sim_time += elapsed
         self._dropped_since_record += len(plan.dropped)
         on_time_set = set(plan.on_time)
         self.last_round_info = RoundInfo(
@@ -438,7 +544,7 @@ class FederatedContext:
                 if p not in on_time_set
             ),
             stale_applied=stale_applied,
-            elapsed_seconds=plan.elapsed_seconds,
+            elapsed_seconds=elapsed,
         )
         return on_time_states
 
@@ -501,27 +607,62 @@ class FederatedContext:
             augment=cfg.augment,
         )
         elapsed = 0.0
+        # Failure bookkeeping: a round that dies mid-way must leave no
+        # trace, so snapshot the comm counters and record each cohort
+        # member's round-boundary RNG position as it materializes.
+        comm_before = (
+            self.comm.upload_bytes, self.comm.download_bytes,
+            dict(self.comm.by_phase),
+        )
+        round_rng_states: dict[int, dict] = {}
         self.server.broadcast()
-        for client_id, count in zip(participant_ids, counts):
-            client = self.directory.materialize(client_id)
-            self.server.restore_broadcast()
-            client.train(self.model, collect_state=False, **train_kwargs)
-            # The aggregator only reads the arrays, so the live model
-            # views go in without a get_state copy; they are consumed
-            # before the next restore_broadcast overwrites them.
-            aggregator.add_state(self._live_model_state())
-            self.comm.record_download(download)
-            self.comm.record_upload(upload)
-            seconds = float(
-                client.device.time_for(
-                    flops_per_sample * cfg.local_epochs * count,
-                    upload,
-                    download,
+        try:
+            for client_id, count in zip(participant_ids, counts):
+                client = self.directory.materialize(client_id)
+                round_rng_states.setdefault(
+                    client_id, client.rng.bit_generator.state
                 )
-            )
-            if seconds > elapsed:
-                elapsed = seconds
-            self.directory.release(client_id)
+                try:
+                    self.server.restore_broadcast()
+                    client.train(
+                        self.model, collect_state=False, **train_kwargs
+                    )
+                    # The aggregator only reads the arrays, so the live
+                    # model views go in without a get_state copy; they
+                    # are consumed before the next restore_broadcast
+                    # overwrites them.
+                    aggregator.add_state(self._live_model_state())
+                    self.comm.record_download(download)
+                    self.comm.record_upload(upload)
+                    seconds = float(
+                        client.device.time_for(
+                            flops_per_sample * cfg.local_epochs * count,
+                            upload,
+                            download,
+                        )
+                    )
+                    if seconds > elapsed:
+                        elapsed = seconds
+                finally:
+                    # Always hand the client back: a leaked live client
+                    # would pin its shard and desynchronize the virtual
+                    # directory's saved RNG positions.
+                    self.directory.release(client_id)
+        except BaseException:
+            # No commit happened, so the server's authoritative state is
+            # untouched; reset the shared model from the broadcast
+            # snapshot instead of leaving half-trained client weights,
+            # rewind every cohort RNG stream to the round boundary
+            # (including clients that finished before the failure), and
+            # void the aborted round's comm charges — a replay of the
+            # round is bit-for-bit as if the failure never happened.
+            self.server.restore_broadcast()
+            self.directory.restore_rng(round_rng_states)
+            upload_b, download_b, by_phase = comm_before
+            self.comm.upload_bytes = upload_b
+            self.comm.download_bytes = download_b
+            self.comm.by_phase = by_phase
+            raise
         self.server.commit_state(aggregator.finish())
         self.sim_time += elapsed
         ids = tuple(participant_ids)
@@ -592,6 +733,7 @@ class FederatedContext:
         download_delta = self.comm.download_bytes - self._recorded_download
         self._recorded_upload = self.comm.upload_bytes
         self._recorded_download = self.comm.download_bytes
+        fault_stats = self._fault_stats_since_record
         result.record_round(
             RoundRecord(
                 round_index=round_index,
@@ -603,13 +745,46 @@ class FederatedContext:
                 train_flops=train_flops,
                 sim_time_seconds=self.sim_time,
                 dropped_clients=self._dropped_since_record,
+                faults_injected=fault_stats.injected,
+                retries=fault_stats.retries,
+                quarantined_uploads=fault_stats.quarantined,
+                recovery_actions=fault_stats.recoveries,
             )
         )
+        result.failures.extend(self._failures_since_record)
+        self._failures_since_record = []
+        self._fault_stats_since_record = RoundFaultStats()
         self._dropped_since_record = 0
 
     def close(self) -> None:
         """Release the execution backend's worker resources."""
         self.executor.close()
+
+    def __enter__(self) -> "FederatedContext":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        # The shm arena and worker pool must be released even when the
+        # round loop raises; `with FederatedContext(...) as ctx:`
+        # guarantees it.
+        self.close()
+
+    def degrade_executor(self) -> bool:
+        """Fall back to the serial executor (graceful degradation).
+
+        Called by the fault-recovery layer after repeated pool
+        breakage. The serial backend is bitwise-identical to the pool,
+        so a degraded run finishes with the same results, just without
+        parallelism. Returns ``False`` when already serial.
+        """
+        if self.executor.name == "serial":
+            return False
+        _LOG.warning(
+            "degrading executor %r to 'serial'", self.executor.name
+        )
+        self.executor.close()
+        self.executor = build_executor("serial")
+        return True
 
     def sync_comm_baseline(self) -> None:
         """Exclude traffic recorded so far from future round deltas.
@@ -619,6 +794,173 @@ class FederatedContext:
         """
         self._recorded_upload = self.comm.upload_bytes
         self._recorded_download = self.comm.download_bytes
+
+    # ------------------------------------------------------------------
+    # Crash-resumable runs
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, method_name: str) -> Path | None:
+        """Where this run checkpoints (``None`` when disabled)."""
+        if self.config.checkpoint_dir is None:
+            return None
+        return Path(self.config.checkpoint_dir) / (
+            f"{method_name}_{self.model_name}_{self.dataset_name}"
+            f"_seed{self.config.seed}.npz"
+        )
+
+    def _checkpoint_fingerprint(self, method_name: str) -> tuple:
+        """Identity of the run a checkpoint belongs to.
+
+        ``rounds`` is deliberately absent: the trained prefix does not
+        depend on the target length, so a snapshot from a shorter (or
+        killed) run legitimately resumes into a longer one.
+        """
+        cfg = self.config
+        return (
+            method_name, self.model_name, self.dataset_name,
+            cfg.seed, cfg.num_clients, cfg.local_epochs,
+            cfg.round_policy, cfg.client_backend,
+        )
+
+    def save_checkpoint(
+        self,
+        path: Path,
+        result: RunResult,
+        round_index: int,
+        method_state: dict | None = None,
+    ) -> None:
+        """Snapshot the full run state after ``round_index``.
+
+        Captures everything a bit-for-bit resume needs: the committed
+        global state and masks, every RNG stream position (context,
+        simulation, and per-client), the simulated clock, comm and
+        failure counters, the recorded round metrics, and the method's
+        own cross-round state (``method_state``, from
+        :meth:`~repro.methods.base.FederatedMethod.checkpoint_state`).
+        The write is atomic — a kill during checkpointing leaves the
+        previous snapshot usable.
+        """
+        from ..nn.checkpoint import save_run_checkpoint
+
+        stats = self._fault_stats_since_record
+        meta = {
+            "fingerprint": self._checkpoint_fingerprint(result.method),
+            "round_index": round_index,
+            "round_counter": self._round_counter,
+            "mask_epoch": self.server.mask_epoch,
+            "sim_time": self.sim_time,
+            "rng_state": self.rng.bit_generator.state,
+            "sim_rng_state": self.sim_rng.bit_generator.state,
+            "client_rng_states": self.directory.rng_snapshot(),
+            "comm": (
+                self.comm.upload_bytes,
+                self.comm.download_bytes,
+                dict(self.comm.by_phase),
+            ),
+            "recorded_comm": (
+                self._recorded_upload, self._recorded_download
+            ),
+            "dropped_since_record": self._dropped_since_record,
+            "failure_log": list(self.failure_log),
+            "failures_since_record": list(self._failures_since_record),
+            "fault_stats_since_record": (
+                stats.injected, stats.retries,
+                stats.quarantined, stats.recoveries,
+            ),
+            "method_state": dict(method_state or {}),
+            "result": {
+                "rounds": [vars(r) for r in result.rounds],
+                "failures": list(result.failures),
+                "max_training_flops_per_round":
+                    result.max_training_flops_per_round,
+                "memory_footprint_bytes": result.memory_footprint_bytes,
+                "selection_comm_bytes": result.selection_comm_bytes,
+                "selection_flops": result.selection_flops,
+                "metadata": dict(result.metadata),
+            },
+        }
+        save_run_checkpoint(
+            path,
+            self.server.state,
+            {name: mask for name, mask in self.server.masks.items()},
+            meta,
+        )
+
+    def try_resume(
+        self, path: Path, result: RunResult
+    ) -> tuple[int, dict] | None:
+        """Restore a :meth:`save_checkpoint` snapshot, if one exists.
+
+        Returns ``(next_round_index, method_state)`` after installing
+        the snapshot into the context and ``result``, or ``None`` when
+        no checkpoint is on disk. Raises when the checkpoint belongs to
+        a different run configuration — resuming across configs would
+        silently produce garbage.
+        """
+        from ..nn.checkpoint import load_run_checkpoint
+
+        if not path.exists():
+            return None
+        ckpt = load_run_checkpoint(path)
+        meta = ckpt.meta
+        expected = self._checkpoint_fingerprint(result.method)
+        found = meta.get("fingerprint")
+        if tuple(found or ()) != expected:
+            raise ValueError(
+                f"checkpoint {path} belongs to a different run: "
+                f"{found!r} != {expected!r}"
+            )
+        _LOG.info(
+            "resuming %s from %s after round %d",
+            result.method, path, ckpt.round_index,
+        )
+        # Server: masks first (set_masks re-applies them to the model),
+        # then the committed state, then pin the epoch counter so
+        # executors' mask-keyed caches line up with the original run.
+        self.server.set_masks(
+            MaskSet({
+                name: np.asarray(mask, dtype=bool)
+                for name, mask in ckpt.masks.items()
+            })
+        )
+        self.server.commit_state(ckpt.state)
+        self.server.mask_epoch = int(meta["mask_epoch"])
+        # Every RNG stream back to its exact position.
+        self.rng.bit_generator.state = meta["rng_state"]
+        self.sim_rng.bit_generator.state = meta["sim_rng_state"]
+        self.directory.restore_rng(meta["client_rng_states"])
+        # Clocks and counters.
+        self.sim_time = float(meta["sim_time"])
+        self._round_counter = int(meta["round_counter"])
+        self._dropped_since_record = int(meta["dropped_since_record"])
+        upload, download, by_phase = meta["comm"]
+        self.comm.upload_bytes = int(upload)
+        self.comm.download_bytes = int(download)
+        self.comm.by_phase = dict(by_phase)
+        self._recorded_upload, self._recorded_download = (
+            int(v) for v in meta["recorded_comm"]
+        )
+        self.failure_log = list(meta["failure_log"])
+        self._failures_since_record = list(
+            meta["failures_since_record"]
+        )
+        self._fault_stats_since_record = RoundFaultStats(
+            *meta["fault_stats_since_record"]
+        )
+        # Round-scoped caches are stale by definition.
+        self._last_participants = None
+        self.last_round_info = None
+        # The run record so far.
+        saved = meta["result"]
+        result.rounds = [RoundRecord(**d) for d in saved["rounds"]]
+        result.failures = list(saved["failures"])
+        result.max_training_flops_per_round = saved[
+            "max_training_flops_per_round"
+        ]
+        result.memory_footprint_bytes = saved["memory_footprint_bytes"]
+        result.selection_comm_bytes = saved["selection_comm_bytes"]
+        result.selection_flops = saved["selection_flops"]
+        result.metadata = dict(saved["metadata"])
+        return ckpt.round_index + 1, dict(meta.get("method_state") or {})
 
     # ------------------------------------------------------------------
     # Mask plumbing

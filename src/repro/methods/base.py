@@ -87,6 +87,21 @@ class FederatedMethod(abc.ABC):
             ctx.model, ctx.server.masks
         ).total_bytes
 
+    def checkpoint_state(self) -> dict:
+        """The method's cross-round mutable state, for run checkpoints.
+
+        Methods whose behavior depends on state that evolves across
+        rounds *outside* the server (progressive-pruning counters,
+        adaptation budgets, ...) must return it here and install it in
+        :meth:`restore_checkpoint_state`, or a resumed run will not be
+        bit-for-bit. Stateless methods inherit the empty default.
+        """
+        return {}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Install :meth:`checkpoint_state` output on resume."""
+        del state
+
     # ------------------------------------------------------------------
     # The shared round loop
     # ------------------------------------------------------------------
@@ -98,8 +113,20 @@ class FederatedMethod(abc.ABC):
         try:
             result = ctx.new_result(self.method_name, self.target_density)
             self.setup(ctx, public_data)
+            # Resume after setup: setup re-derives the deterministic
+            # prefix (pretraining, selection, initial masks) and the
+            # checkpoint then overwrites every piece of state it
+            # touched, so the restored run is bit-for-bit regardless of
+            # what setup consumed.
+            start_round = 1
+            ckpt_path = ctx.checkpoint_path(self.method_name)
+            if ckpt_path is not None and ctx.config.resume:
+                resumed = ctx.try_resume(ckpt_path, result)
+                if resumed is not None:
+                    start_round, method_state = resumed
+                    self.restore_checkpoint_state(method_state)
             max_samples = max(ctx.sample_counts)
-            for round_index in range(1, ctx.config.rounds + 1):
+            for round_index in range(start_round, ctx.config.rounds + 1):
                 # Charged at the pre-adjustment density: the hook may
                 # change the masks, but this round trained under the
                 # current ones.
@@ -113,6 +140,14 @@ class FederatedMethod(abc.ABC):
                 ctx.record_round(
                     result, round_index, base_flops + extra_flops
                 )
+                if ckpt_path is not None and (
+                    round_index % ctx.config.checkpoint_every == 0
+                    or round_index == ctx.config.rounds
+                ):
+                    ctx.save_checkpoint(
+                        ckpt_path, result, round_index,
+                        self.checkpoint_state(),
+                    )
             self.finalize(result, ctx)
             return result
         finally:

@@ -24,6 +24,16 @@ class RoundRecord:
     # Participants dropped (straggler cut-off or offline) since the
     # previous recorded round.
     dropped_clients: int = 0
+    # Failure accounting (see repro.fl.faults), all deltas since the
+    # previous recorded round and all 0 when fault injection is off:
+    # faults drawn by the schedule, extra delivery attempts consumed,
+    # uploads rejected by the ingest validator, and defense-layer
+    # recovery actions (pool respawns, executor degradation, dedups,
+    # retry-exhausted exclusions).
+    faults_injected: int = 0
+    retries: int = 0
+    quarantined_uploads: int = 0
+    recovery_actions: int = 0
 
 
 @dataclass
@@ -40,6 +50,9 @@ class RunResult:
     selection_comm_bytes: int = 0
     selection_flops: float = 0.0
     metadata: dict = field(default_factory=dict)
+    # Structured per-event failure log (FailureRecord instances), in
+    # occurrence order; empty unless fault injection was enabled.
+    failures: list = field(default_factory=list)
 
     def record_round(self, record: RoundRecord) -> None:
         self.rounds.append(record)
@@ -85,6 +98,22 @@ class RunResult:
         return sum(r.dropped_clients for r in self.rounds)
 
     @property
+    def total_faults_injected(self) -> int:
+        return sum(r.faults_injected for r in self.rounds)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.rounds)
+
+    @property
+    def total_quarantined_uploads(self) -> int:
+        return sum(r.quarantined_uploads for r in self.rounds)
+
+    @property
+    def total_recovery_actions(self) -> int:
+        return sum(r.recovery_actions for r in self.rounds)
+
+    @property
     def total_comm_bytes(self) -> int:
         return (
             self.total_upload_bytes
@@ -116,6 +145,11 @@ class RunResult:
             "total_comm_bytes": self.total_comm_bytes if self.rounds else 0,
             "sim_time_seconds": self.sim_time_seconds,
             "total_dropped_clients": self.total_dropped_clients,
+            "total_faults_injected": self.total_faults_injected,
+            "total_retries": self.total_retries,
+            "total_quarantined_uploads": self.total_quarantined_uploads,
+            "total_recovery_actions": self.total_recovery_actions,
+            "failures": [vars(f) for f in self.failures],
             "num_rounds": len(self.rounds),
             "metadata": dict(self.metadata),
         }

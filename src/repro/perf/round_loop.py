@@ -232,6 +232,8 @@ def _peak_rss_bytes() -> int | None:
         rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         # Linux reports KiB; macOS reports bytes.
         return rss * 1024 if platform.system() == "Linux" else rss
+    # repro-lint: allow[silent-except] -- RSS is optional benchmark
+    # metadata; platforms without the resource module report None.
     except Exception:  # pragma: no cover - non-POSIX
         return None
 

@@ -1,0 +1,30 @@
+"""Failing fixture for ``silent-except``: handlers that swallow."""
+
+
+def bare_pass(payload):
+    try:
+        return payload.decode()
+    except UnicodeDecodeError:
+        pass
+
+
+def silent_fallback(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        return None
+
+
+def swallow_everything(fn):
+    try:
+        fn()
+    except BaseException:
+        result = "oops"
+    return result
+
+
+def tuple_of_types(path):
+    try:
+        return open(path).read()
+    except (OSError, ValueError):
+        return ""

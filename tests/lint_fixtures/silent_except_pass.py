@@ -1,0 +1,54 @@
+"""Passing fixture for ``silent-except``: every handler surfaces."""
+
+import logging
+
+from repro.fl.faults import FailureRecord
+
+_LOG = logging.getLogger(__name__)
+
+
+def reraises(payload):
+    try:
+        return payload.decode()
+    except UnicodeDecodeError as exc:
+        raise ValueError("bad payload") from exc
+
+
+def logs_and_falls_back(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        _LOG.warning("missing key %r", key)
+        return None
+
+
+def records_failure(fn, records):
+    try:
+        fn()
+    except RuntimeError as exc:
+        records.append(FailureRecord(0, 0, 0, "client_exception",
+                                     "retried", detail=str(exc)))
+
+
+def appends_to_error_list(fn, result):
+    try:
+        fn()
+    except OSError as exc:
+        result.errors.append(str(exc))
+
+
+def prints_to_cli(path):
+    try:
+        return open(path).read()
+    except OSError as exc:
+        print(f"error: {exc}")
+        return ""
+
+
+def suppressed_with_reason(shm):
+    try:
+        shm.unlink()
+    # repro-lint: allow[silent-except] -- best-effort cleanup: the
+    # segment may already be gone.
+    except FileNotFoundError:
+        pass

@@ -31,6 +31,12 @@ _GOLDEN_ROUNDS = [
         # device's compute+transfer time.
         "sim_time_seconds": 0.1939305216,
         "dropped_clients": 0,
+        # Failure accounting is identically zero with fault injection
+        # off — the golden run must not even observe the fault layer.
+        "faults_injected": 0,
+        "retries": 0,
+        "quarantined_uploads": 0,
+        "recovery_actions": 0,
     },
     {
         "round_index": 2,
@@ -42,6 +48,10 @@ _GOLDEN_ROUNDS = [
         "train_flops": 417533952.0,
         "sim_time_seconds": 0.3878610432,
         "dropped_clients": 0,
+        "faults_injected": 0,
+        "retries": 0,
+        "quarantined_uploads": 0,
+        "recovery_actions": 0,
     },
 ]
 

@@ -45,6 +45,9 @@ RULE_FIXTURES = {
         "float_accumulation_fail.py", "float_accumulation_pass.py",
     ),
     "engine-mode": ("engine_mode_fail.py", "engine_mode_pass.py"),
+    "silent-except": (
+        "silent_except_fail.py", "silent_except_pass.py",
+    ),
 }
 
 
