@@ -65,6 +65,36 @@ def _density_threshold(raw: str) -> float:
     return value
 
 
+def _positive_seconds(raw: str) -> float:
+    """Argparse type for transport durations: a float > 0."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {raw!r}"
+        ) from None
+    if not value > 0.0:
+        raise argparse.ArgumentTypeError(
+            f"must be > 0 seconds, got {raw}"
+        )
+    return value
+
+
+def _nonnegative_int(raw: str) -> int:
+    """Argparse type for retry counts: an int >= 0."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {raw}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the ``repro`` command-line interface."""
     parser = argparse.ArgumentParser(
@@ -152,6 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retry-timeout-seconds", type=float, default=None,
                      help="simulated seconds a client_timeout fault "
                           "costs (default 5)")
+    run.add_argument("--transport-timeout", type=_positive_seconds,
+                     default=None,
+                     help="network executor: per-request socket timeout "
+                          "and in-flight task reassignment budget in "
+                          "real seconds (default 30)")
+    run.add_argument("--heartbeat-interval", type=_positive_seconds,
+                     default=None,
+                     help="network executor: worker heartbeat period in "
+                          "real seconds; liveness expires after 5 "
+                          "missed beats (default 1)")
+    run.add_argument("--max-reconnects", type=_nonnegative_int,
+                     default=None,
+                     help="network executor: reconnect attempts per "
+                          "worker request and reassignments per task "
+                          "before the client is excluded (default 3)")
     run.add_argument("--checkpoint-dir", default=None,
                      help="snapshot the run here for crash-resume")
     run.add_argument("--checkpoint-every", type=int, default=None,
@@ -193,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--executor", default=None,
                        choices=available_executors())
     chaos.add_argument("--retry-max-attempts", type=int, default=None)
+    chaos.add_argument("--transport-timeout", type=_positive_seconds,
+                       default=None)
+    chaos.add_argument("--heartbeat-interval", type=_positive_seconds,
+                       default=None)
+    chaos.add_argument("--max-reconnects", type=_nonnegative_int,
+                       default=None)
     chaos.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser(
@@ -317,6 +368,9 @@ def _command_run(args: argparse.Namespace) -> int:
         retry_max_attempts=args.retry_max_attempts,
         retry_backoff_seconds=args.retry_backoff_seconds,
         retry_timeout_seconds=args.retry_timeout_seconds,
+        transport_timeout=args.transport_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        max_reconnects=args.max_reconnects,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
@@ -359,6 +413,9 @@ def _command_chaos(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         executor=args.executor,
         retry_max_attempts=args.retry_max_attempts,
+        transport_timeout=args.transport_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        max_reconnects=args.max_reconnects,
     )
     print(f"fault schedule    : {schedule.spec_string()}")
     print("running fault-free baseline ...")

@@ -68,6 +68,9 @@ class ScalePreset:
         retry_max_attempts: int | None = None,
         retry_backoff_seconds: float | None = None,
         retry_timeout_seconds: float | None = None,
+        transport_timeout: float | None = None,
+        heartbeat_interval: float | None = None,
+        max_reconnects: int | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int | None = None,
         resume: bool = False,
@@ -126,6 +129,17 @@ class ScalePreset:
             retry_timeout_seconds=(
                 retry_timeout_seconds
                 if retry_timeout_seconds is not None else 5.0
+            ),
+            transport_timeout=(
+                transport_timeout
+                if transport_timeout is not None else 30.0
+            ),
+            heartbeat_interval=(
+                heartbeat_interval
+                if heartbeat_interval is not None else 1.0
+            ),
+            max_reconnects=(
+                max_reconnects if max_reconnects is not None else 3
             ),
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=(

@@ -65,6 +65,9 @@ def make_context(
     retry_max_attempts: int | None = None,
     retry_backoff_seconds: float | None = None,
     retry_timeout_seconds: float | None = None,
+    transport_timeout: float | None = None,
+    heartbeat_interval: float | None = None,
+    max_reconnects: int | None = None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int | None = None,
     resume: bool = False,
@@ -110,6 +113,9 @@ def make_context(
             retry_max_attempts=retry_max_attempts,
             retry_backoff_seconds=retry_backoff_seconds,
             retry_timeout_seconds=retry_timeout_seconds,
+            transport_timeout=transport_timeout,
+            heartbeat_interval=heartbeat_interval,
+            max_reconnects=max_reconnects,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             resume=resume,
@@ -149,6 +155,9 @@ def run_experiment(
     retry_max_attempts: int | None = None,
     retry_backoff_seconds: float | None = None,
     retry_timeout_seconds: float | None = None,
+    transport_timeout: float | None = None,
+    heartbeat_interval: float | None = None,
+    max_reconnects: int | None = None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int | None = None,
     resume: bool = False,
@@ -178,6 +187,9 @@ def run_experiment(
         retry_max_attempts=retry_max_attempts,
         retry_backoff_seconds=retry_backoff_seconds,
         retry_timeout_seconds=retry_timeout_seconds,
+        transport_timeout=transport_timeout,
+        heartbeat_interval=heartbeat_interval,
+        max_reconnects=max_reconnects,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         resume=resume,
@@ -212,6 +224,9 @@ def run_experiment(
                 retry_max_attempts=retry_max_attempts,
                 retry_backoff_seconds=retry_backoff_seconds,
                 retry_timeout_seconds=retry_timeout_seconds,
+                transport_timeout=transport_timeout,
+                heartbeat_interval=heartbeat_interval,
+                max_reconnects=max_reconnects,
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_every=checkpoint_every,
                 resume=resume,

@@ -19,7 +19,25 @@ so backends stay policy-agnostic. Two backends ship built in:
   back packed as well, so per-round data movement scales with the
   active-parameter count instead of the dense model size. Client RNG
   streams are shipped and restored per task, keeping the round-to-round
-  batch draws identical to the serial backend.
+  batch draws identical to the serial backend;
+- ``network`` (:class:`NetworkClientExecutor`) — a long-lived localhost
+  round server (:mod:`repro.fl.network_server`) hosts the master's side
+  of a small framed protocol; worker *processes* register with session
+  tokens, heartbeat, pull the packed broadcast, and push packed uploads
+  over real sockets — :class:`~repro.fl.payload.PackedPayload` bytes
+  verbatim as the wire format, re-validated by the server's
+  :class:`~repro.fl.server.RoundIngest` on arrival. Workers materialize
+  clients from the pickled :class:`~repro.fl.fleet.ClientDirectory` and
+  the master ships each task's client RNG, so a fixed-seed sync run is
+  byte-for-byte identical to the serial backend. Churn (dropped
+  connections, killed workers, a mid-run server restart) is survived by
+  heartbeat liveness, session resume, idempotent upload replay, and
+  bounded task reassignment; a client whose task exhausts the budget
+  comes back as ``None`` and the round reweights it out.
+
+All worker backends ship the population as a pickled ``ClientDirectory``
+(not a flat client list), so the ``virtual`` fleet backend works under
+them: a worker materializes only the clients it is actually assigned.
 
 Backends are selected via ``FLConfig.executor`` (and the ``--executor``
 CLI flag); new ones can be added with :func:`register_executor` without
@@ -32,6 +50,7 @@ import logging
 import os
 import pickle
 import struct
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
@@ -46,12 +65,15 @@ from .payload import ModelBinding, PackedPayload, StatePacker, \
     build_mask_indices, pack_model_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fleet import ClientDirectory
     from .simulation import FederatedContext
+    from .transport import TransportConfig
 
 _LOG = logging.getLogger(__name__)
 
 __all__ = [
     "ClientExecutor",
+    "NetworkClientExecutor",
     "SelectionPass",
     "SerialExecutor",
     "ProcessPoolClientExecutor",
@@ -98,6 +120,12 @@ class ClientExecutor(ABC):
         with ``participants``. Implementations must leave each client's
         RNG in the same state serial execution would — methods replay
         the batch stream across rounds and backends must agree.
+
+        Backends with real transport may lose a client for good (its
+        task exhausted the reassignment budget); such a client's slot is
+        ``None`` and the caller excludes it from the round via
+        ``RoundPlan.without_trained`` — its RNG was never advanced, so
+        determinism of the surviving cohort is unaffected.
         """
 
     def run_selection(
@@ -147,6 +175,29 @@ class ClientExecutor(ABC):
         actually died and the backend repaired itself (pool respawn);
         in-process backends return ``False`` and the injector treats
         the fault as an ordinary pre-training client crash.
+        """
+        del ctx
+        return False
+
+    def drop_connection(self, ctx: "FederatedContext") -> bool:
+        """Sever one live transport connection, if the backend has any.
+
+        The hook behind the ``connection_drop`` fault. A real-transport
+        backend drops a worker's session + socket (the worker must
+        reconnect and resume); in-process backends return ``False`` and
+        the injector treats the fault as a plain retried delivery.
+        """
+        del ctx
+        return False
+
+    def restart_server(self, ctx: "FederatedContext") -> bool:
+        """Restart the backend's server endpoint, if it has one.
+
+        The hook behind the ``server_restart`` fault. A real-transport
+        backend tears down its listener, connections, and sessions and
+        rebinds on the same port (round state intact); in-process
+        backends return ``False`` and the injector treats the fault as
+        a plain retried delivery.
         """
         del ctx
         return False
@@ -269,10 +320,12 @@ def _unpack_masks_blob(blob: bytes) -> MaskSet:
     return MaskSet(masks)
 
 
-# Worker-process caches. The client population and the model structure
+# Worker-process caches. The client *directory* and the model structure
 # ship once per worker at pool start-up; per round the worker re-reads
-# only the packed broadcast from the shared-memory arena.
-_WORKER_CLIENTS: list[Client] | None = None
+# only the packed broadcast from the shared-memory arena, and clients
+# are materialized from the directory by ID on first assignment — so
+# the virtual fleet backend works unchanged under worker pools.
+_WORKER_DIRECTORY: "ClientDirectory | None" = None
 _WORKER_MODEL = None
 _WORKER_BCAST: dict = {
     "shm": None,
@@ -286,10 +339,23 @@ _WORKER_BCAST: dict = {
 }
 
 
-def _init_worker(clients_blob: bytes, model_blob: bytes) -> None:
-    global _WORKER_CLIENTS, _WORKER_MODEL
-    _WORKER_CLIENTS = pickle.loads(clients_blob)
+def _init_worker(directory_blob: bytes, model_blob: bytes) -> None:
+    global _WORKER_DIRECTORY, _WORKER_MODEL
+    _WORKER_DIRECTORY = pickle.loads(directory_blob)
     _WORKER_MODEL = pickle.loads(model_blob)
+
+
+def _worker_client(client_id: int) -> Client:
+    """This worker's live copy of one client, built on first use.
+
+    The worker-side RNG position is irrelevant for training tasks (the
+    master ships the authoritative stream with every task), but the
+    materialized client itself — data shard, dev cache — is cached by
+    the directory for the worker's lifetime.
+    """
+    if _WORKER_DIRECTORY is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker used before _init_worker ran")
+    return _WORKER_DIRECTORY.materialize(client_id)
 
 
 def _worker_refresh_broadcast(
@@ -365,7 +431,7 @@ def _selection_pass_shm(
     shm_name: str,
     round_tag: int,
     mask_epoch: object,
-    client_index: int,
+    client_id: int,
     kind: str,
     batch_size: int,
 ):
@@ -383,7 +449,7 @@ def _selection_pass_shm(
     cache = _WORKER_BCAST
     model = _WORKER_MODEL
     cache["binding"].restore(cache["payload"], assume_masked=True)
-    client = _WORKER_CLIENTS[client_index]
+    client = _worker_client(client_id)
     with engine.lowering_cache(_worker_lowering_cache(client, batch_size)):
         if kind == "bn_stats":
             return client.recalibrate_bn(model, batch_size)
@@ -394,7 +460,7 @@ def _train_client_shm(
     shm_name: str,
     round_tag: int,
     mask_epoch: int,
-    client_index: int,
+    client_id: int,
     rng_state: dict,
     kwargs: dict,
 ) -> tuple[bytes, int, int, float, dict]:
@@ -407,7 +473,7 @@ def _train_client_shm(
     # are already zero (mask application on epoch change, masked SGD in
     # between), so only active entries are written.
     cache["binding"].restore(cache["payload"], assume_masked=True)
-    client = _WORKER_CLIENTS[client_index]
+    client = _worker_client(client_id)
     # The authoritative RNG stream lives in the main process; install it
     # so batch draws match serial execution regardless of which worker
     # (with whatever stale cached state) picks the task up.
@@ -428,6 +494,42 @@ def _exit_worker() -> None:  # pragma: no cover - runs in a worker
     os._exit(3)
 
 
+class _BroadcastPacker:
+    """Master-side per-mask-epoch packing caches for one broadcast.
+
+    Shared by every worker-backed executor: indices, the bit-packed
+    masks blob, and the :class:`StatePacker` are rebuilt only when the
+    server's mask epoch changes, and the upload ``spec_cache`` is
+    cleared with them (headers from dead epochs can never recur).
+    """
+
+    def __init__(self) -> None:
+        self.epoch: int | None = None
+        self.indices: dict[str, np.ndarray] | None = None
+        self.masks_blob: bytes | None = None
+        self.packer: StatePacker | None = None
+        self.spec_cache: dict = {}
+
+    def publish(self, server) -> tuple[bytes, PackedPayload]:
+        """Pack the server's current state; returns (masks blob, payload)."""
+        if self.epoch != server.mask_epoch:
+            self.indices = build_mask_indices(server.masks)
+            self.masks_blob = _pack_masks_blob(server.masks)
+            self.packer = StatePacker(
+                server.state, server.masks, indices=self.indices
+            )
+            self.spec_cache.clear()
+            self.epoch = server.mask_epoch
+        return self.masks_blob, self.packer.pack(server.state)
+
+    def reset(self) -> None:
+        self.epoch = None
+        self.indices = None
+        self.masks_blob = None
+        self.packer = None
+        self.spec_cache.clear()
+
+
 class ProcessPoolClientExecutor(ClientExecutor):
     """Train participants concurrently on persistent worker models."""
 
@@ -436,21 +538,17 @@ class ProcessPoolClientExecutor(ClientExecutor):
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers
         self._pool = None
-        self._pool_clients: list[Client] | None = None
+        self._pool_directory: "ClientDirectory | None" = None
         self._arena = None
         self._arena_name: str | None = None
         self._arena_gen = 0
         self._round_tag = 0
-        self._indices_epoch: int | None = None
-        self._indices: dict[str, np.ndarray] | None = None
-        self._masks_blob: bytes | None = None
-        self._packer: StatePacker | None = None
-        self._spec_cache: dict = {}
+        self._bcast = _BroadcastPacker()
 
     # -- pool ----------------------------------------------------------
     def _ensure_pool(self, ctx: "FederatedContext"):
-        clients = ctx.clients
-        if self._pool is not None and self._pool_clients is not clients:
+        directory = ctx.directory
+        if self._pool is not None and self._pool_directory is not directory:
             self.close()
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
@@ -462,13 +560,15 @@ class ProcessPoolClientExecutor(ClientExecutor):
                 max_workers=workers,
                 initializer=_init_worker,
                 initargs=(
-                    pickle.dumps(clients, protocol=pickle.HIGHEST_PROTOCOL),
+                    pickle.dumps(
+                        directory, protocol=pickle.HIGHEST_PROTOCOL
+                    ),
                     pickle.dumps(
                         ctx.model, protocol=pickle.HIGHEST_PROTOCOL
                     ),
                 ),
             )
-            self._pool_clients = clients
+            self._pool_directory = directory
         return self._pool
 
     # -- arena ---------------------------------------------------------
@@ -525,19 +625,8 @@ class ProcessPoolClientExecutor(ClientExecutor):
         structure (workers deserialize masks only when the server's mask
         epoch changes).
         """
-        server = ctx.server
-        if self._indices_epoch != server.mask_epoch:
-            self._indices = build_mask_indices(server.masks)
-            self._masks_blob = _pack_masks_blob(server.masks)
-            self._packer = StatePacker(
-                server.state, server.masks, indices=self._indices
-            )
-            # Upload headers from previous mask epochs can never recur;
-            # keeping them would grow one multi-KB entry per epoch.
-            self._spec_cache.clear()
-            self._indices_epoch = server.mask_epoch
-        payload = self._packer.pack(server.state)
-        return self._write_arena(self._masks_blob, payload)
+        masks_blob, payload = self._bcast.publish(ctx.server)
+        return self._write_arena(masks_blob, payload)
 
     def _publish_candidate(
         self, ctx: "FederatedContext", masks: MaskSet
@@ -568,14 +657,13 @@ class ProcessPoolClientExecutor(ClientExecutor):
         pool = self._ensure_pool(ctx)
         round_tag = self._publish_broadcast(ctx)
         mask_epoch = ctx.server.mask_epoch
-        index_of = {id(c): i for i, c in enumerate(ctx.clients)}
         futures = [
             pool.submit(
                 _train_client_shm,
                 self._arena_name,
                 round_tag,
                 mask_epoch,
-                index_of[id(client)],
+                client.client_id,
                 client.rng.bit_generator.state,
                 kwargs,
             )
@@ -596,7 +684,7 @@ class ProcessPoolClientExecutor(ClientExecutor):
             # fully-packed aggregation path never materializes it.
             upload = PackedPayload.from_bytes(
                 blob, copy=False, validate=False,
-                spec_cache=self._spec_cache,
+                spec_cache=self._bcast.spec_cache,
             )
             results.append(
                 LocalTrainResult(
@@ -630,14 +718,13 @@ class ProcessPoolClientExecutor(ClientExecutor):
             # shared model) instead of pickling them into every task.
             set_bn_statistics(ctx.model, selection.bn_stats)
         round_tag = self._publish_candidate(ctx, selection.masks)
-        index_of = {id(c): i for i, c in enumerate(ctx.clients)}
         futures = [
             pool.submit(
                 _selection_pass_shm,
                 self._arena_name,
                 round_tag,
                 selection.mask_token,
-                index_of[id(client)],
+                client.client_id,
                 selection.kind,
                 selection.batch_size,
             )
@@ -677,13 +764,397 @@ class ProcessPoolClientExecutor(ClientExecutor):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
-            self._pool_clients = None
+            self._pool_directory = None
         self._release_arena()
-        self._indices_epoch = None
-        self._indices = None
-        self._masks_blob = None
-        self._packer = None
-        self._spec_cache.clear()
+        self._bcast.reset()
+
+
+# ----------------------------------------------------------------------
+# Networked executor: real sockets, heartbeat liveness, reconnect/resume
+# ----------------------------------------------------------------------
+def _install_network_broadcast(
+    cache: dict, model, meta: dict, payload_bytes: bytes
+) -> None:
+    """Install one round's pulled broadcast into the worker's model.
+
+    Mirrors ``_worker_refresh_broadcast`` for bytes that arrived over a
+    socket instead of a shared-memory arena: masks re-deserialize only
+    when the mask epoch changed, the payload views are zero-copy over
+    the received buffer, and the binding scatters active entries only.
+    """
+    mask_epoch = meta["mask_epoch"]
+    epoch_changed = cache["mask_epoch"] != mask_epoch
+    if epoch_changed:
+        masks = _unpack_masks_blob(meta["masks_blob"])
+        masks.apply(model)
+        cache["masks"] = masks
+        cache["indices"] = build_mask_indices(masks)
+        cache["mask_epoch"] = mask_epoch
+    payload = PackedPayload.from_bytes(payload_bytes, copy=False)
+    if epoch_changed or cache["binding"] is None \
+            or cache["binding"].specs != payload.specs:
+        cache["binding"] = ModelBinding(model, payload.specs)
+    cache["payload"] = payload
+    cache["round_tag"] = meta["round_tag"]
+
+
+def _network_worker_main(
+    address: tuple[str, int],
+    worker_id: int,
+    directory_blob: bytes,
+    model_blob: bytes,
+    transport: "TransportConfig",
+) -> None:
+    """Entry point of one networked worker process.
+
+    Registers with the round server, heartbeats on a daemon thread,
+    polls for tasks, pulls the packed broadcast when the round changes,
+    materializes the assigned client from the shipped directory, trains,
+    and pushes the packed upload. Failure behavior: every exchange goes
+    through :class:`~repro.fl.transport.WorkerConnection`, which
+    reconnects and resumes the session with bounded backoff; if the
+    server stays unreachable past the reconnect budget the worker logs
+    and exits — the server reassigns its task.
+    """
+    import threading
+
+    from .transport import MSG, TransportError, WorkerConnection
+
+    directory: "ClientDirectory" = pickle.loads(directory_blob)
+    model = pickle.loads(model_blob)
+    cache: dict = {
+        "round_tag": None,
+        "mask_epoch": None,
+        "masks": None,
+        "indices": None,
+        "binding": None,
+        "payload": None,
+    }
+    conn = WorkerConnection(address, worker_id, transport)
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(transport.heartbeat_interval):
+            try:
+                conn.request(MSG.HEARTBEAT)
+            except TransportError as exc:
+                # The request path already retried with backoff; the
+                # next beat (or the main loop's request) tries again.
+                _LOG.warning(
+                    "worker %d: heartbeat failed: %s", worker_id, exc
+                )
+
+    beats = threading.Thread(
+        target=_heartbeat, name=f"repro-heartbeat-{worker_id}",
+        daemon=True,
+    )
+    try:
+        conn.request(MSG.HEARTBEAT)  # registers the session
+        beats.start()
+        while True:
+            kind, meta, _ = conn.request(MSG.GET_TASK)
+            if kind == MSG.SHUTDOWN:
+                _LOG.info("worker %d: draining on SHUTDOWN", worker_id)
+                return
+            if kind == MSG.WAIT:
+                time.sleep(float(meta.get("poll", transport.poll_interval)))
+                continue
+            if kind != MSG.TASK:
+                raise TransportError(
+                    f"GET_TASK answered with message type {kind}"
+                )
+            if cache["round_tag"] != meta["round_tag"]:
+                bkind, bmeta, bblob = conn.request(
+                    MSG.GET_BROADCAST, {"round_tag": meta["round_tag"]}
+                )
+                if bkind != MSG.BROADCAST:
+                    # The round closed while we were pulling; re-poll.
+                    _LOG.warning(
+                        "worker %d: broadcast pull for round %r "
+                        "answered %d; re-polling", worker_id,
+                        meta["round_tag"], bkind,
+                    )
+                    continue
+                _install_network_broadcast(cache, model, bmeta, bblob)
+            # Per-task "download": reset the model to the broadcast
+            # bytes (a second task in the same round must not see the
+            # previous task's trained weights).
+            cache["binding"].restore(cache["payload"], assume_masked=True)
+            client = directory.materialize(int(meta["client_id"]))
+            # The master's stream is authoritative; install it so batch
+            # draws match serial execution bit-for-bit.
+            client.rng.bit_generator.state = meta["rng_state"]
+            result = client.train(
+                model, collect_state=False, **meta["kwargs"]
+            )
+            wire = cache["binding"].pack(
+                indices=cache["indices"]
+            ).to_wire()
+            _, ack, _ = conn.request(MSG.UPLOAD, {
+                "client_id": meta["client_id"],
+                "round_tag": meta["round_tag"],
+                "attempt": meta["attempt"],
+                "mask_epoch": cache["mask_epoch"],
+                "num_samples": result.num_samples,
+                "num_iterations": result.num_iterations,
+                "mean_loss": result.mean_loss,
+                "rng_state": client.rng.bit_generator.state,
+            }, blob=wire)
+            status = ack.get("status")
+            if status not in ("accepted", "duplicate", "stale_round"):
+                # Quarantined / stale-epoch bytes: the server requeued
+                # the task; log and keep polling (we may redeliver it).
+                _LOG.warning(
+                    "worker %d: upload for client %s adjudicated %r",
+                    worker_id, meta["client_id"], status,
+                )
+    except TransportError as exc:
+        _LOG.error(
+            "worker %d: giving up on server %s: %s",
+            worker_id, address, exc,
+        )
+    finally:
+        stop.set()
+        conn.close()
+
+
+class NetworkClientExecutor(ClientExecutor):
+    """Train participants through a real localhost transport.
+
+    The master runs a :class:`~repro.fl.network_server.NetworkRoundServer`
+    and spawn-started worker processes (spawn, never fork: a forked
+    child would inherit the listening socket and block the same-port
+    rebind that the server-restart drill depends on). Each round the
+    master packs one broadcast, opens an ingest session, and publishes
+    the task list; workers pull, train, and push packed uploads that the
+    ingest re-validates byte-by-byte before admission. Results are
+    assembled in *participant order* (never arrival order), so float64
+    aggregation folds identically to the serial backend and a fixed-seed
+    sync run is byte-for-byte identical.
+
+    A client whose task survives neither its assignment nor
+    ``max_reconnects`` reassignments comes back as ``None``; the round
+    loop reweights it out (its RNG was never advanced in the master, so
+    the surviving cohort is unaffected).
+    """
+
+    name = "network"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        transport: "TransportConfig | None" = None,
+    ) -> None:
+        if transport is None:
+            from .transport import TransportConfig
+
+            transport = TransportConfig()
+        self.transport = transport
+        self.max_workers = max_workers
+        self._server = None
+        self._workers: list = []
+        self._directory: "ClientDirectory | None" = None
+        self._directory_blob: bytes | None = None
+        self._model_blob: bytes | None = None
+        self._round_tag = 0
+        self._next_worker_id = 0
+        self._supervise_respawns = 0
+        self._bcast = _BroadcastPacker()
+        self._records: list = []
+        #: Real (wall-clock) seconds the last round's barrier took.
+        self.last_round_real_seconds = 0.0
+        #: Real per-client upload latencies of the last round.
+        self.last_latencies: dict[int, float] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def _worker_count(self) -> int:
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        return max(1, min(os.cpu_count() or 1, 4))
+
+    def _spawn_worker(self):
+        import multiprocessing
+
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        proc = multiprocessing.get_context("spawn").Process(
+            target=_network_worker_main,
+            args=(
+                self._server.address,
+                wid,
+                self._directory_blob,
+                self._model_blob,
+                self.transport,
+            ),
+            name=f"repro-net-worker-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _ensure_started(self, ctx: "FederatedContext"):
+        if self._server is not None and self._directory is not ctx.directory:
+            self.close()
+        if self._server is None:
+            from .network_server import NetworkRoundServer
+
+            self._server = NetworkRoundServer(self.transport)
+            self._server.start()
+            self._directory = ctx.directory
+            self._directory_blob = pickle.dumps(
+                ctx.directory, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._model_blob = pickle.dumps(
+                ctx.model, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._workers = [
+                self._spawn_worker() for _ in range(self._worker_count())
+            ]
+        return self._server
+
+    def _supervise(self) -> None:
+        """Respawn dead worker processes (bounded, so a crash-looping
+        deployment fails the round instead of fork-bombing)."""
+        limit = 3 * self._worker_count()
+        for index, proc in enumerate(self._workers):
+            if proc.is_alive():
+                continue
+            if self._supervise_respawns >= limit:
+                continue  # let the stall detector fail the round loudly
+            self._supervise_respawns += 1
+            _LOG.warning(
+                "network worker %s died (exit %s); respawning "
+                "(%d/%d this run)", proc.name, proc.exitcode,
+                self._supervise_respawns, limit,
+            )
+            self._workers[index] = self._spawn_worker()
+
+    # -- round ---------------------------------------------------------
+    def run_clients(
+        self, ctx: "FederatedContext", participants: list[Client]
+    ) -> list[LocalTrainResult]:
+        from .network_server import TaskSpec
+
+        if not participants:
+            return []
+        # Keep the master model in sync with the broadcast, exactly as
+        # the serial backend leaves it after a round's downloads.
+        ctx.server.load_into_model()
+        server = self._ensure_started(ctx)
+        kwargs = _train_kwargs(ctx)
+        masks_blob, payload = self._bcast.publish(ctx.server)
+        self._round_tag += 1
+        ingest = ctx.server.begin_ingest(self._round_tag)
+        tasks = [
+            TaskSpec(
+                client_id=client.client_id,
+                rng_state=client.rng.bit_generator.state,
+                kwargs=kwargs,
+            )
+            for client in participants
+        ]
+        server.open_round(
+            self._round_tag, ctx.server.mask_epoch, masks_blob,
+            bytes(payload.to_wire()), tasks, ingest,
+        )
+        started = time.perf_counter()
+        metas = server.await_round(supervise=self._supervise)
+        self.last_round_real_seconds = time.perf_counter() - started
+        self.last_latencies = dict(server.last_latencies)
+        # Transport-level adjudications (dedup of replayed uploads,
+        # quarantines) surface in the run's failure log via
+        # ``drain_records``; counters the chaos invariants compare stay
+        # with the deterministic fault runner.
+        self._records.extend(ingest.records)
+        results: list[LocalTrainResult | None] = []
+        for client in participants:
+            meta = metas.get(client.client_id)
+            if meta is None:
+                results.append(None)
+                continue
+            # The worker trained a remote copy; pull the advanced RNG
+            # back so future rounds draw serial-identical batches.
+            client.rng.bit_generator.state = meta["rng_state"]
+            results.append(
+                LocalTrainResult(
+                    state=None,
+                    num_samples=int(meta["num_samples"]),
+                    num_iterations=int(meta["num_iterations"]),
+                    mean_loss=float(meta["mean_loss"]),
+                    payload=ingest.accepted_payload(client.client_id),
+                )
+            )
+        return results
+
+    def drain_records(self) -> list:
+        """Transport-level failure records since the last drain."""
+        records, self._records = self._records, []
+        return records
+
+    # -- fault hooks ---------------------------------------------------
+    def crash_worker(self, ctx: "FederatedContext") -> bool:
+        """Kill one live worker process and respawn it.
+
+        Unlike the futures pool, one death does not condemn the others:
+        the server requeues whatever the victim held once its heartbeats
+        lapse, and the respawned worker re-registers fresh.
+        """
+        self._ensure_started(ctx)
+        for index, proc in enumerate(self._workers):
+            if proc.is_alive():
+                _LOG.warning(
+                    "injected worker crash: terminating %s", proc.name
+                )
+                proc.terminate()
+                proc.join(timeout=10.0)
+                self._workers[index] = self._spawn_worker()
+                return True
+        return False
+
+    def drop_connection(self, ctx: "FederatedContext") -> bool:
+        """Sever one worker's session + socket (reconnect/resume drill)."""
+        if self._server is None:
+            return False
+        del ctx
+        return self._server.drop_one_session()
+
+    def restart_server(self, ctx: "FederatedContext") -> bool:
+        """Restart the transport endpoint on the same port."""
+        if self._server is None:
+            return False
+        del ctx
+        self._server.restart()
+        return True
+
+    def respawn(self) -> None:
+        """Tear everything down; rebuilt lazily on next use."""
+        self.close()
+
+    def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.request_shutdown()
+        deadline = time.monotonic() + max(
+            2.0, 4.0 * self.transport.heartbeat_interval
+        )
+        for proc in self._workers:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self._workers:
+            if proc.is_alive():
+                _LOG.warning(
+                    "network worker %s ignored SHUTDOWN; terminating",
+                    proc.name,
+                )
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._server.stop()
+        self._server = None
+        self._workers = []
+        self._directory = None
+        self._directory_blob = None
+        self._model_blob = None
+        self._supervise_respawns = 0
+        self._bcast.reset()
 
 
 _EXECUTORS: dict[str, Callable[..., ClientExecutor]] = {}
@@ -708,16 +1179,42 @@ def available_executors() -> list[str]:
 
 
 def build_executor(
-    name: str, max_workers: int | None = None
+    name: str,
+    max_workers: int | None = None,
+    transport: "TransportConfig | None" = None,
 ) -> ClientExecutor:
-    """Build a registered execution backend by name."""
+    """Build a registered execution backend by name.
+
+    ``transport`` (the networked backend's timeout/heartbeat/reconnect
+    knobs) is forwarded only to factories that declare the parameter, so
+    registered custom factories with the historical
+    ``factory(max_workers=...)`` signature keep working.
+    """
     key = name.lower()
     if key not in _EXECUTORS:
         raise KeyError(
             f"unknown executor {name!r}; available: {available_executors()}"
         )
-    return _EXECUTORS[key](max_workers=max_workers)
+    factory = _EXECUTORS[key]
+    kwargs: dict = {"max_workers": max_workers}
+    if transport is not None:
+        import inspect
+
+        try:
+            params = inspect.signature(factory).parameters
+        # repro-lint: allow[silent-except] -- capability probe: a
+        # factory whose signature cannot be introspected just doesn't
+        # receive the optional transport kwarg.
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            params = {}
+        if "transport" in params or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in params.values()
+        ):
+            kwargs["transport"] = transport
+    return factory(**kwargs)
 
 
 register_executor("serial", SerialExecutor)
 register_executor("process", ProcessPoolClientExecutor)
+register_executor("network", NetworkClientExecutor)

@@ -27,8 +27,15 @@ aggregation normalizes over the sample counts actually submitted.
 Fault semantics are chosen so a *recovered* fault is bitwise-invisible:
 client-side faults (exception, worker crash) fire before training, so
 the retry trains the untouched client RNG identically; transport faults
-(corruption, truncation, duplicate, stale epoch, timeout) fire after
-training, so the retry re-delivers the exact same bytes.
+(corruption, truncation, duplicate, stale epoch, timeout, connection
+drop, slow delivery, server restart) fire after training, so the retry
+re-delivers the exact same bytes. Under a real-transport backend the
+``connection_drop``/``server_restart``/``worker_crash`` kinds tear at
+the actual transport through the executor hooks (a session is severed,
+the endpoint rebinds, a worker process dies) while delivery
+adjudication stays in this runner's deterministic ingest — so the
+injected churn is real, and the accounting is still a pure function of
+the seed.
 """
 
 from __future__ import annotations
@@ -70,6 +77,9 @@ FAULT_KINDS: tuple[str, ...] = (
     "duplicate_upload",   # the accepted upload is re-sent verbatim
     "stale_epoch",        # the upload claims an outdated mask epoch
     "client_timeout",     # the upload misses the round's window
+    "connection_drop",    # the client's transport session is severed
+    "slow_client",        # delivery arrives a full timeout window late
+    "server_restart",     # the server endpoint restarts mid-delivery
 )
 
 _CLIENT_SIDE = frozenset({"client_exception", "worker_crash"})
@@ -79,12 +89,14 @@ FAULT_PRESETS: dict[str, str] = {
     "chaos": (
         "client_exception:0.06,worker_crash:0.04,corrupt_payload:0.06,"
         "truncate_payload:0.04,duplicate_upload:0.06,stale_epoch:0.04,"
-        "client_timeout:0.06"
+        "client_timeout:0.06,connection_drop:0.04,slow_client:0.04,"
+        "server_restart:0.02"
     ),
     "flaky_clients": "client_exception:0.15,client_timeout:0.10",
     "bad_transport": (
         "corrupt_payload:0.10,truncate_payload:0.05,"
-        "duplicate_upload:0.10,stale_epoch:0.05"
+        "duplicate_upload:0.10,stale_epoch:0.05,"
+        "connection_drop:0.08,slow_client:0.05"
     ),
 }
 
@@ -102,9 +114,12 @@ class FailureRecord:
 
     ``kind`` names the fault (one of :data:`FAULT_KINDS`) or the defense
     observation (``payload_format``, ``retry_exhausted``,
-    ``pool_failure``); ``action`` is what the defense layer did about it
-    (``retried``, ``quarantined``, ``deduplicated``, ``rejected_stale``,
-    ``respawned_pool``, ``degraded_executor``, ``excluded``).
+    ``pool_failure``, ``connection_lost`` — a real-transport backend
+    exhausted a task's reassignment budget); ``action`` is what the
+    defense layer did about it (``retried``, ``quarantined``,
+    ``deduplicated``, ``rejected_stale``, ``respawned_pool``,
+    ``degraded_executor``, ``excluded``, ``reconnected``, ``delayed``,
+    ``restarted_server``).
     """
 
     round_index: int
@@ -476,6 +491,21 @@ class FaultTolerantRunner:
                     continue
                 if result is None:
                     result = ctx.executor.run_clients(ctx, [client])[0]
+                    if result is None:
+                        # A real-transport backend lost the task for
+                        # good (assignment budget exhausted). The
+                        # client's RNG never advanced, so the retry
+                        # trains bit-identically.
+                        records.append(
+                            FailureRecord(
+                                round_index, cid, attempt,
+                                "connection_lost", "retried",
+                            )
+                        )
+                        extra += retry.backoff(
+                            self.seed, round_index, cid, attempt
+                        )
+                        continue
                 epoch = ctx.server.mask_epoch
                 if kind == "client_timeout":
                     records.append(
@@ -486,6 +516,56 @@ class FaultTolerantRunner:
                     )
                     extra += retry.timeout_seconds
                     continue
+                if kind == "connection_drop":
+                    # Tear at the real transport when there is one: the
+                    # severed worker must reconnect and resume its
+                    # session. Delivery is retried either way, and the
+                    # retained upload bytes re-send unchanged.
+                    dropped = ctx.executor.drop_connection(ctx)
+                    if dropped:
+                        stats.recoveries += 1
+                    records.append(
+                        FailureRecord(
+                            round_index, cid, attempt,
+                            "connection_drop",
+                            "reconnected" if dropped else "retried",
+                        )
+                    )
+                    extra += retry.backoff(
+                        self.seed, round_index, cid, attempt
+                    )
+                    continue
+                if kind == "server_restart":
+                    # A real backend restarts its endpoint (listener,
+                    # connections, sessions) on the same port with
+                    # round state intact; workers re-register fresh.
+                    restarted = ctx.executor.restart_server(ctx)
+                    if restarted:
+                        stats.recoveries += 1
+                    records.append(
+                        FailureRecord(
+                            round_index, cid, attempt,
+                            "server_restart",
+                            "restarted_server" if restarted
+                            else "retried",
+                        )
+                    )
+                    extra += retry.backoff(
+                        self.seed, round_index, cid, attempt
+                    )
+                    continue
+                if kind == "slow_client":
+                    # The upload arrives a full timeout window late but
+                    # *arrives*, on this same attempt: charge the clock
+                    # and fall through to clean delivery below.
+                    records.append(
+                        FailureRecord(
+                            round_index, cid, attempt,
+                            "slow_client", "delayed",
+                        )
+                    )
+                    extra += retry.timeout_seconds
+                    kind = None
                 if kind == "stale_epoch":
                     status = ingest.submit(
                         cid, attempt, mask_epoch=epoch - 1

@@ -136,8 +136,8 @@ class MaterializedDirectory(ClientDirectory):
         return None
 
     def all_clients(self) -> list[Client]:
-        # The same list object every call: the process-pool executor
-        # keys its pickled-clients cache on this identity.
+        # The same list object every call; worker-pool executors ship
+        # the directory itself and key their caches on its identity.
         return self._clients
 
     def rng_snapshot(self) -> dict[int, dict]:
@@ -245,3 +245,18 @@ class VirtualClientDirectory(ClientDirectory):
             saved = states.get(client_id)
             if saved is not None:
                 client.rng.bit_generator.state = saved
+
+    def __getstate__(self) -> dict:
+        # Worker processes receive the *recipe*, never live clients:
+        # materialized Client objects hold dataset views and are exactly
+        # what lazy materialization exists to avoid shipping. Folding
+        # the live RNG positions into the released-state map makes the
+        # pickled twin behave as if every client had been released, so
+        # a worker-side materialize() resumes the same streams.
+        state = self.__dict__.copy()
+        rng_states = dict(self._rng_states)
+        for client_id, client in self._live.items():
+            rng_states[client_id] = client.rng.bit_generator.state
+        state["_rng_states"] = rng_states
+        state["_live"] = {}
+        return state

@@ -1,0 +1,557 @@
+"""The localhost round server behind the ``network`` executor.
+
+One :class:`NetworkRoundServer` hosts the master's side of the framed
+protocol (:mod:`repro.fl.transport`) on a long-lived
+``socketserver.ThreadingTCPServer`` bound to ``127.0.0.1``. The executor
+opens a round by handing it the packed broadcast, the task list, and a
+:class:`~repro.fl.server.RoundIngest` admission session; worker
+processes then register, heartbeat, pull the broadcast, and push packed
+uploads — real bytes over real sockets, adjudicated by the same ingest
+pipeline the chaos suite hardened in PR 8.
+
+Churn defenses (each handler states its failure behavior, per the
+CONTRIBUTING rule):
+
+- a session that misses its heartbeat window is dropped and its
+  in-flight task requeued with ``attempt + 1``;
+- an in-flight task that outlives the transport timeout is requeued the
+  same way; a task requeued more than ``max_reconnects`` times fails,
+  and the executor reweights that client out of the round;
+- a worker that reconnects under its old token resumes its session; if
+  the server restarted (token unknown) it transparently re-registers,
+  and any upload it replays is deduplicated by the ingest — first
+  delivery wins, and both deliveries carry identical bytes because the
+  master shipped the client RNG with the task;
+- :meth:`restart` tears down the listener and every live connection,
+  forgets all sessions, and rebinds on the *same* port with the open
+  round's state intact — the mid-round server-restart drill;
+- if no session is live, nothing is in flight, and no progress has been
+  made for a full timeout window (after the executor's supervision
+  callback had a chance to respawn workers), the remaining tasks fail
+  loudly instead of hanging the round barrier.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .transport import (
+    MSG,
+    SessionTable,
+    TransportConfig,
+    TransportError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["NetworkRoundServer", "TaskSpec"]
+
+_LOG = logging.getLogger(__name__)
+
+
+@dataclass
+class TaskSpec:
+    """One client's training assignment for the open round."""
+
+    client_id: int
+    rng_state: dict
+    kwargs: dict
+    attempt: int = 0
+
+
+@dataclass
+class _InFlight:
+    task: TaskSpec
+    token: str
+    assigned_at: float
+
+
+class _RoundState:
+    """Everything the server tracks for one open round."""
+
+    def __init__(
+        self,
+        round_tag: int,
+        mask_epoch: int,
+        masks_blob: bytes,
+        payload_wire: bytes,
+        tasks: list[TaskSpec],
+        ingest,
+    ) -> None:
+        self.round_tag = round_tag
+        self.mask_epoch = mask_epoch
+        self.masks_blob = masks_blob
+        self.payload_wire = payload_wire
+        self.expected = tuple(task.client_id for task in tasks)
+        self.queue: deque[TaskSpec] = deque(tasks)
+        self.in_flight: dict[int, _InFlight] = {}
+        #: client_id -> upload metadata (counts, loss, advanced RNG).
+        self.metas: dict[int, dict] = {}
+        #: Real seconds from round open to each accepted upload.
+        self.latencies: dict[int, float] = {}
+        self.failed: set[int] = set()
+        self.ingest = ingest
+        self.opened_at = time.monotonic()
+        self.last_progress = self.opened_at
+
+    def finished(self) -> bool:
+        return all(
+            cid in self.metas or cid in self.failed
+            for cid in self.expected
+        )
+
+
+class _RoundTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    round_server: "NetworkRoundServer"
+
+    def handle_error(self, request, client_address):
+        # Workers are killed and connections severed on purpose during
+        # churn drills; log instead of spraying tracebacks to stderr.
+        _LOG.warning(
+            "handler for %s raised (worker likely gone mid-exchange)",
+            client_address, exc_info=True,
+        )
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One persistent worker connection.
+
+    Failure behavior: a framing error or timeout on this connection
+    closes it and nothing else — the worker's session stays registered
+    until its heartbeats lapse, so a reconnect resumes it.
+    """
+
+    def handle(self) -> None:
+        server: "NetworkRoundServer" = self.server.round_server
+        sock = self.request
+        sock.settimeout(server.transport.timeout)
+        server._track_connection(sock)
+        try:
+            while not server._closing.is_set():
+                try:
+                    kind, meta, blob = recv_frame(sock)
+                # repro-lint: allow[silent-except] -- expected churn: a
+                # peer hanging up or going quiet closes this connection
+                # and nothing else; the session stays registered and
+                # liveness reaping owns its fate.
+                except TransportError:
+                    return
+                reply = server._dispatch(kind, meta, blob, sock)
+                if reply is None:
+                    return
+                send_frame(sock, *reply)
+        finally:
+            server._untrack_connection(sock)
+
+
+class NetworkRoundServer:
+    """Master-side transport endpoint for the ``network`` executor."""
+
+    def __init__(self, transport: TransportConfig) -> None:
+        self.transport = transport
+        self.sessions = SessionTable(transport)
+        self._lock = threading.RLock()
+        self._round: _RoundState | None = None
+        self._closing = threading.Event()
+        self._shutdown_workers = False
+        self._server: _RoundTCPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._port: int | None = None
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        #: Observable churn accounting, asserted by the churn suite.
+        self.stats = {
+            "registrations": 0,
+            "resumes": 0,
+            "requeues": 0,
+            "restarts": 0,
+            "dropped_sessions": 0,
+            "expired_sessions": 0,
+            "failed_tasks": 0,
+        }
+        #: Real seconds from round open to each accepted upload, for the
+        #: most recently completed round (client_id -> seconds).
+        self.last_latencies: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind and serve. Reuses the previous port after a restart."""
+        with self._lock:
+            if self._server is not None:
+                return
+            server = _RoundTCPServer(
+                ("127.0.0.1", self._port or 0), _Handler
+            )
+            server.round_server = self
+            self._server = server
+            self._port = server.server_address[1]
+            self._closing.clear()
+            self._thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-network-server",
+                daemon=True,
+            )
+            self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._port is None:
+            raise TransportError("server was never started")
+        return ("127.0.0.1", self._port)
+
+    def _track_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.add(sock)
+
+    def _untrack_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.discard(sock)
+
+    def _sever_connections(self) -> None:
+        with self._conn_lock:
+            victims = list(self._connections)
+            self._connections.clear()
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            # repro-lint: allow[silent-except] -- already closed by the
+            # peer; nothing to recover.
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError as exc:  # pragma: no cover - close rarely fails
+                _LOG.warning("closing severed connection failed: %s", exc)
+
+    def _stop_listener(self) -> None:
+        with self._lock:
+            server = self._server
+            thread = self._thread
+            self._server = None
+            self._thread = None
+        if server is None:
+            return
+        self._closing.set()
+        server.shutdown()
+        server.server_close()
+        self._sever_connections()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def restart(self) -> None:
+        """Kill the transport (listener, connections, sessions) and
+        rebind on the same port with the open round's state intact.
+
+        This is the injected ``server_restart`` fault: workers see dead
+        sockets, reconnect, find their tokens unknown, re-register
+        fresh, and replay — the ingest deduplicates anything that was
+        already accepted, and tasks stranded in flight are requeued once
+        their (now unknown) sessions stop answering for them.
+        """
+        self._stop_listener()
+        dropped = self.sessions.clear()
+        self.stats["restarts"] += 1
+        _LOG.warning(
+            "transport restart: dropped %d live sessions, rebinding "
+            "port %s", len(dropped), self._port,
+        )
+        self.start()
+
+    def request_shutdown(self) -> None:
+        """Answer every future GET_TASK with SHUTDOWN (drain workers)."""
+        with self._lock:
+            self._shutdown_workers = True
+
+    def stop(self) -> None:
+        self._stop_listener()
+        self.sessions.clear()
+
+    # ------------------------------------------------------------------
+    # Round barrier
+    # ------------------------------------------------------------------
+    def open_round(
+        self,
+        round_tag: int,
+        mask_epoch: int,
+        masks_blob: bytes,
+        payload_wire: bytes,
+        tasks: list[TaskSpec],
+        ingest,
+    ) -> None:
+        with self._lock:
+            if self._round is not None:
+                raise TransportError(
+                    f"round {self._round.round_tag} is still open"
+                )
+            self._round = _RoundState(
+                round_tag, mask_epoch, masks_blob, payload_wire,
+                tasks, ingest,
+            )
+
+    def await_round(
+        self, supervise: Callable[[], None] | None = None
+    ) -> dict[int, dict | None]:
+        """Block until every task is delivered or failed.
+
+        Returns ``client_id -> upload meta`` (``None`` for clients whose
+        task exhausted its reassignment budget — the executor reweights
+        them out). ``supervise`` runs every poll tick so the executor
+        can respawn dead worker processes.
+        """
+        with self._lock:
+            rnd = self._round
+        if rnd is None:
+            raise TransportError("await_round without an open round")
+        while True:
+            with self._lock:
+                self._reap_locked(rnd)
+                if rnd.finished():
+                    self._round = None
+                    self.last_latencies = dict(rnd.latencies)
+                    return {
+                        cid: rnd.metas.get(cid) for cid in rnd.expected
+                    }
+                stalled = (
+                    not len(self.sessions)
+                    and not rnd.in_flight
+                    and time.monotonic() - rnd.last_progress
+                    > self.transport.timeout
+                )
+            if supervise is not None:
+                supervise()
+            if stalled:
+                with self._lock:
+                    # Supervision had a full timeout window to bring
+                    # workers back; fail the stranded tasks loudly
+                    # rather than hanging the barrier forever.
+                    stranded = [
+                        task.client_id for task in rnd.queue
+                        if task.client_id not in rnd.metas
+                        and task.client_id not in rnd.failed
+                    ]
+                    for cid in stranded:
+                        _LOG.error(
+                            "round %d: no live workers for a full "
+                            "timeout window; failing client %d",
+                            rnd.round_tag, cid,
+                        )
+                        rnd.failed.add(cid)
+                        self.stats["failed_tasks"] += 1
+                    rnd.queue.clear()
+                    rnd.last_progress = time.monotonic()
+            time.sleep(self.transport.poll_interval)
+
+    def _requeue_locked(self, rnd: _RoundState, client_id: int) -> None:
+        entry = rnd.in_flight.pop(client_id, None)
+        if entry is None:
+            return
+        if client_id in rnd.metas or client_id in rnd.failed:
+            return
+        task = entry.task
+        task.attempt += 1
+        self.stats["requeues"] += 1
+        if task.attempt > self.transport.max_reconnects:
+            _LOG.warning(
+                "round %d: client %d failed after %d reassignments; "
+                "reweighting it out", rnd.round_tag, client_id,
+                task.attempt,
+            )
+            rnd.failed.add(client_id)
+            self.stats["failed_tasks"] += 1
+            rnd.last_progress = time.monotonic()
+            return
+        _LOG.warning(
+            "round %d: requeueing client %d (assignment attempt %d)",
+            rnd.round_tag, client_id, task.attempt,
+        )
+        rnd.queue.append(task)
+
+    def _reap_locked(self, rnd: _RoundState) -> None:
+        now = time.monotonic()
+        for session in self.sessions.expired(now):
+            self.sessions.drop(session.token)
+            self.stats["expired_sessions"] += 1
+            _LOG.warning(
+                "worker %d session %s missed its heartbeat window; "
+                "dropping it", session.worker_id, session.token,
+            )
+        live_tokens = {s.token for s in self.sessions.live()}
+        for cid, entry in list(rnd.in_flight.items()):
+            if entry.token not in live_tokens:
+                # Assignee's session is gone (expired, dropped, or the
+                # server restarted): give the task to someone else.
+                self._requeue_locked(rnd, cid)
+            elif now - entry.assigned_at > self.transport.timeout:
+                self._requeue_locked(rnd, cid)
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def drop_one_session(self) -> bool:
+        """Sever one live worker's session + connection (injected
+        ``connection_drop``). The worker's next request fails, it
+        reconnects, learns its token is unknown, and re-registers; any
+        re-sent upload deduplicates. Returns False with no live session.
+        """
+        with self._lock:
+            live = self.sessions.live()
+            if not live:
+                return False
+            victim = min(live, key=lambda s: (s.worker_id, s.token))
+            self.sessions.drop(victim.token)
+            self.stats["dropped_sessions"] += 1
+        _LOG.warning(
+            "injected connection drop: severed worker %d (session %s)",
+            victim.worker_id, victim.token,
+        )
+        if victim.connection is not None:
+            try:
+                victim.connection.shutdown(socket.SHUT_RDWR)
+            # repro-lint: allow[silent-except] -- the fault wanted the
+            # connection dead; finding it already dead is success.
+            except OSError:
+                pass
+        return True
+
+    # ------------------------------------------------------------------
+    # Protocol dispatch (handler threads)
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, kind: int, meta: dict, blob: bytes, sock: socket.socket
+    ) -> tuple | None:
+        if kind == MSG.REGISTER:
+            return self._on_register(meta, sock)
+        token = meta.get("token")
+        try:
+            session = self.sessions.beat(token, connection=sock)
+        except KeyError:
+            _LOG.info(
+                "request %d with unknown session %r; asking the worker "
+                "to re-register", kind, token,
+            )
+            return (MSG.ERROR, {"reason": "unknown_session"})
+        if kind == MSG.HEARTBEAT:
+            return (MSG.HEARTBEAT_ACK, {})
+        if kind == MSG.GET_TASK:
+            return self._on_get_task(session)
+        if kind == MSG.GET_BROADCAST:
+            return self._on_get_broadcast(meta)
+        if kind == MSG.UPLOAD:
+            return self._on_upload(session, meta, blob)
+        _LOG.warning("unknown message type %d from worker", kind)
+        return (MSG.ERROR, {"reason": f"unknown_message:{kind}"})
+
+    def _on_register(self, meta: dict, sock: socket.socket) -> tuple:
+        session, resumed = self.sessions.register(
+            int(meta["worker_id"]), meta.get("token"), connection=sock
+        )
+        with self._lock:
+            self.stats["resumes" if resumed else "registrations"] += 1
+            if self._round is not None:
+                self._round.last_progress = time.monotonic()
+        _LOG.info(
+            "worker %d %s as session %s", session.worker_id,
+            "resumed" if resumed else "registered", session.token,
+        )
+        return (MSG.REGISTERED, {
+            "token": session.token,
+            "resumed": resumed,
+            "heartbeat_interval": self.transport.heartbeat_interval,
+        })
+
+    def _on_get_task(self, session) -> tuple | None:
+        with self._lock:
+            if self._shutdown_workers:
+                return (MSG.SHUTDOWN, {})
+            rnd = self._round
+            wait = (MSG.WAIT, {"poll": self.transport.poll_interval})
+            if rnd is None:
+                return wait
+            while rnd.queue:
+                task = rnd.queue.popleft()
+                cid = task.client_id
+                if (
+                    cid in rnd.metas
+                    or cid in rnd.failed
+                    or cid in rnd.in_flight
+                ):
+                    continue  # superseded while queued
+                rnd.in_flight[cid] = _InFlight(
+                    task, session.token, time.monotonic()
+                )
+                session.client_id = cid
+                return (MSG.TASK, {
+                    "client_id": cid,
+                    "rng_state": task.rng_state,
+                    "kwargs": task.kwargs,
+                    "attempt": task.attempt,
+                    "round_tag": rnd.round_tag,
+                    "mask_epoch": rnd.mask_epoch,
+                })
+            return wait
+
+    def _on_get_broadcast(self, meta: dict) -> tuple:
+        with self._lock:
+            rnd = self._round
+            if rnd is None or meta.get("round_tag") != rnd.round_tag:
+                # The round moved on while the worker was away; it will
+                # re-poll and pick up the current round's task + bytes.
+                return (MSG.ERROR, {"reason": "stale_round"})
+            return (
+                MSG.BROADCAST,
+                {
+                    "round_tag": rnd.round_tag,
+                    "mask_epoch": rnd.mask_epoch,
+                    "masks_blob": rnd.masks_blob,
+                },
+                rnd.payload_wire,
+            )
+
+    def _on_upload(self, session, meta: dict, blob: bytes) -> tuple:
+        cid = int(meta["client_id"])
+        with self._lock:
+            rnd = self._round
+            if rnd is None or meta.get("round_tag") != rnd.round_tag:
+                # Late upload for a closed round: drop it — its client
+                # was already adjudicated (delivered or reweighted out).
+                _LOG.warning(
+                    "stale upload from client %d for round %r dropped",
+                    cid, meta.get("round_tag"),
+                )
+                return (MSG.UPLOAD_ACK, {"status": "stale_round"})
+            status = rnd.ingest.submit(
+                cid,
+                attempt=int(meta.get("attempt", 0)),
+                mask_epoch=int(meta["mask_epoch"]),
+                wire=blob,
+            )
+            now = time.monotonic()
+            if status == "accepted":
+                rnd.metas[cid] = meta
+                rnd.latencies[cid] = now - rnd.opened_at
+                rnd.in_flight.pop(cid, None)
+                rnd.last_progress = now
+            elif status == "duplicate":
+                # Replay after a reconnect: the first delivery already
+                # counted; just release the assignment.
+                rnd.in_flight.pop(cid, None)
+                rnd.last_progress = now
+            else:
+                # Quarantined or stale-epoch bytes never reach state;
+                # the ingest recorded the rejection. Requeue so another
+                # assignment can redeliver within the attempt budget.
+                self._requeue_locked(rnd, cid)
+            session.client_id = None
+            return (MSG.UPLOAD_ACK, {"status": status})

@@ -42,12 +42,22 @@ class RoundIngest:
         self.round_index = round_index
         self.records: list[FailureRecord] = []
         self._accepted: dict[int, int] = {}  # client_id -> attempt
+        # Validated payloads of wire-form submissions, retained so a
+        # transport caller can aggregate without re-decoding — and in
+        # *canonical* client order of its choosing, independent of the
+        # arrival order the network produced.
+        self._payloads: dict[int, PackedPayload] = {}
         self._spec_cache: dict = {}
 
     @property
     def accepted_clients(self) -> list[int]:
         """Client IDs admitted so far, in admission order."""
         return list(self._accepted)
+
+    def accepted_payload(self, client_id: int) -> PackedPayload | None:
+        """The validated payload a wire-form submission was admitted
+        with (``None`` for metadata-only submissions or unknown IDs)."""
+        return self._payloads.get(client_id)
 
     def submit(
         self,
@@ -93,9 +103,10 @@ class RoundIngest:
                 )
             )
             return "rejected_stale"
+        payload = None
         if wire is not None:
             try:
-                PackedPayload.from_bytes(
+                payload = PackedPayload.from_bytes(
                     wire, copy=True, validate=True,
                     spec_cache=self._spec_cache,
                 )
@@ -113,6 +124,8 @@ class RoundIngest:
                 )
                 return "quarantined"
         self._accepted[client_id] = attempt
+        if payload is not None:
+            self._payloads[client_id] = payload
         return "accepted"
 
 

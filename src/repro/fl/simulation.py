@@ -19,6 +19,7 @@ curves fall out of ordinary runs.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -47,6 +48,7 @@ from .policies import RoundInfo, SynchronousPolicy, available_policies, \
     build_policy
 from .server import Server
 from .state import set_state
+from .transport import TransportConfig
 
 __all__ = ["FLConfig", "FederatedContext"]
 
@@ -103,6 +105,14 @@ class FLConfig:
     retry_backoff_factor: float = 2.0
     retry_timeout_seconds: float = 5.0
     pool_failure_limit: int = 2
+    # Networked-transport knobs (see repro.fl.transport): the socket
+    # read/write timeout (doubling as the server's in-flight task
+    # deadline), the worker heartbeat cadence, and the reconnect /
+    # task-reassignment budget. Only the "network" executor reads them;
+    # they are validated for every config so a bad flag fails fast.
+    transport_timeout: float = 30.0
+    heartbeat_interval: float = 1.0
+    max_reconnects: int = 3
     # Crash-resume knobs: with checkpoint_dir set the method's round
     # loop snapshots the full run state every ``checkpoint_every``
     # rounds; ``resume=True`` restarts from the latest snapshot
@@ -138,13 +148,6 @@ class FLConfig:
             raise ValueError(
                 f"unknown client backend {self.client_backend!r}; "
                 f"expected 'materialized' or 'virtual'"
-            )
-        if self.client_backend == "virtual" and self.executor == "process":
-            # The process pool pickles the whole client list at start-up,
-            # which is exactly the O(population) cost virtual fleets
-            # exist to avoid.
-            raise ValueError(
-                "the virtual client backend requires the serial executor"
             )
         if self.virtual_shard_size is not None:
             if self.client_backend != "virtual":
@@ -185,6 +188,7 @@ class FLConfig:
             raise ValueError("retry_timeout_seconds must be >= 0")
         if self.pool_failure_limit < 1:
             raise ValueError("pool_failure_limit must be >= 1")
+        self.transport_config()  # raises on malformed transport knobs
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.resume and self.checkpoint_dir is None:
@@ -196,6 +200,14 @@ class FLConfig:
             raise ValueError(
                 "checkpointing does not support round_policy='async'"
             )
+
+    def transport_config(self) -> TransportConfig:
+        """The networked executor's transport knobs as one object."""
+        return TransportConfig(
+            timeout=self.transport_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            max_reconnects=self.max_reconnects,
+        )
 
 
 class FederatedContext:
@@ -277,7 +289,9 @@ class FederatedContext:
             model, aggregation_fan_in=config.aggregation_fan_in
         )
         self.executor = build_executor(
-            config.executor, max_workers=config.executor_workers
+            config.executor,
+            max_workers=config.executor_workers,
+            transport=config.transport_config(),
         )
         self.round_policy = build_policy(config.round_policy, config)
         # Simulation-only randomness (availability draws) lives on its
@@ -285,6 +299,12 @@ class FederatedContext:
         # or batch order.
         self.sim_rng = np.random.default_rng(config.seed * 52_711 + 13)
         self.sim_time = 0.0
+        # Real (wall-clock) seconds spent inside executor training
+        # calls. The simulated clock stays authoritative for policy
+        # decisions (that is the byte-parity contract); this counter
+        # observes what the actual transport/compute cost, which is
+        # only meaningfully nonzero under real-transport backends.
+        self.real_time_seconds = 0.0
         self.last_round_info: RoundInfo | None = None
         self._dropped_since_record = 0
         # Fault tolerance: the schedule/runner exist only when faults
@@ -452,6 +472,7 @@ class FederatedContext:
         download = self.model_exchange_bytes()
         upload = self.upload_bytes_per_client()
         fault_seconds = 0.0
+        train_started = time.perf_counter()
         if self.fault_runner is not None and trained:
             outcome = self.fault_runner.run_round(
                 self, trained, self._round_counter
@@ -475,6 +496,45 @@ class FederatedContext:
                 results = [results[k] for k in keep]
         else:
             results = self.executor.run_clients(self, trained)
+            lost = frozenset(
+                i for i, r in enumerate(results) if r is None
+            )
+            if lost:
+                # A real-transport backend could not deliver these
+                # clients' tasks within the reassignment budget: they
+                # leave the cohort exactly like retry-exhausted clients
+                # under a fault schedule. Their RNG streams never
+                # advanced, so the surviving cohort is untouched.
+                lost_records = [
+                    FailureRecord(
+                        self._round_counter,
+                        trained[i].client_id,
+                        0,
+                        "connection_lost",
+                        "excluded",
+                    )
+                    for i in sorted(lost)
+                ]
+                self.failure_log.extend(lost_records)
+                self._failures_since_record.extend(lost_records)
+                self._fault_stats_since_record.recoveries += len(lost)
+                keep = [
+                    k for k in range(len(trained)) if k not in lost
+                ]
+                plan = plan.without_trained(lost)
+                trained = [trained[k] for k in keep]
+                results = [results[k] for k in keep]
+        self.real_time_seconds += time.perf_counter() - train_started
+        drain = getattr(self.executor, "drain_records", None)
+        if drain is not None:
+            # Transport-level adjudications (deduped replays after a
+            # reconnect, quarantined bytes) join the structured failure
+            # log; the deterministic fault counters are untouched, so
+            # chaos accounting still compares across executors.
+            transport_records = drain()
+            if transport_records:
+                self.failure_log.extend(transport_records)
+                self._failures_since_record.extend(transport_records)
         packed_fast_path = (
             not need_states
             and cfg.quantize_upload_bits is None

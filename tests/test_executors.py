@@ -262,7 +262,7 @@ class TestWorkerRoundBodyInProcess:
         )
         pool_exec = ex.ProcessPoolClientExecutor(max_workers=1)
         saved = {
-            "clients": ex._WORKER_CLIENTS,
+            "directory": ex._WORKER_DIRECTORY,
             "model": ex._WORKER_MODEL,
             "bcast": dict(ex._WORKER_BCAST),
         }
@@ -276,7 +276,7 @@ class TestWorkerRoundBodyInProcess:
             )
             # Worker-side caches, as _init_worker would build them.
             ex._init_worker(
-                pickle.dumps(ctx.clients), pickle.dumps(ctx.model)
+                pickle.dumps(ctx.directory), pickle.dumps(ctx.model)
             )
             ctx.server.load_into_model()
             round_tag = pool_exec._publish_broadcast(ctx)
@@ -314,7 +314,7 @@ class TestWorkerRoundBodyInProcess:
             cache["payload"] = None
             if cache.get("shm") is not None:
                 cache["shm"].close()
-            ex._WORKER_CLIENTS = saved["clients"]
+            ex._WORKER_DIRECTORY = saved["directory"]
             ex._WORKER_MODEL = saved["model"]
             ex._WORKER_BCAST.clear()
             ex._WORKER_BCAST.update(saved["bcast"])

@@ -292,6 +292,81 @@ class TestRoundIngest:
         _assert_fingerprint_unchanged(ctx.server, fingerprint)
 
 
+class TestUploadIdempotency:
+    def test_permuted_duplicated_uploads_commit_identically(self):
+        """Property: the committed state is a pure function of the
+        round's accepted payloads. At-least-once delivery means a
+        transport may present a round's uploads in any arrival order
+        with any prefix replayed; the ingest must dedup the replays,
+        accept each client exactly once, and — because the caller
+        aggregates accepted payloads in canonical participant order,
+        never arrival order — commit bitwise-identical state with
+        identical accounting every time."""
+        ctx = _make_context()
+        try:
+            participants = ctx.last_participants
+            results = ctx.executor.run_clients(ctx, participants)
+            wires = {}
+            counts = {}
+            for client, result in zip(participants, results):
+                wires[client.client_id] = bytes(
+                    pack_state(
+                        result.resolve_state(), ctx.server.masks
+                    ).to_wire()
+                )
+                counts[client.client_id] = result.num_samples
+            canonical = [c.client_id for c in participants]
+            epoch = ctx.server.mask_epoch
+            saved = {k: v.copy() for k, v in ctx.server.state.items()}
+            reference = None
+            for trial in range(10):
+                rng = np.random.default_rng(trial)
+                order = list(canonical)
+                rng.shuffle(order)
+                dup_count = int(rng.integers(0, len(order) + 1))
+                arrivals = order + order[:dup_count]
+                ingest = ctx.server.begin_ingest(1)
+                statuses = [
+                    ingest.submit(
+                        cid, attempt, mask_epoch=epoch, wire=wires[cid]
+                    )
+                    for attempt, cid in enumerate(arrivals)
+                ]
+                assert statuses.count("accepted") == len(order)
+                assert statuses.count("duplicate") == dup_count
+                assert sorted(ingest.accepted_clients) == sorted(
+                    canonical
+                )
+                assert len(ingest.records) == dup_count
+                assert all(
+                    r.action == "deduplicated" for r in ingest.records
+                )
+                payloads = [
+                    ingest.accepted_payload(cid) for cid in canonical
+                ]
+                assert all(p is not None for p in payloads)
+                ctx.server.aggregate_packed(
+                    payloads, [counts[cid] for cid in canonical]
+                )
+                committed = {
+                    k: v.copy() for k, v in ctx.server.state.items()
+                }
+                if reference is None:
+                    reference = committed
+                else:
+                    assert set(committed) == set(reference)
+                    for name in reference:
+                        np.testing.assert_array_equal(
+                            committed[name], reference[name], err_msg=name
+                        )
+                # Rewind for the next trial.
+                ctx.server.commit_state(
+                    {k: v.copy() for k, v in saved.items()}
+                )
+        finally:
+            ctx.close()
+
+
 # ----------------------------------------------------------------------
 # The seeded chaos suite (both executors)
 # ----------------------------------------------------------------------

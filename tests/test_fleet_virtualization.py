@@ -593,12 +593,15 @@ class TestBackendEquivalence:
             a.close()
             b.close()
 
-    def test_virtual_requires_serial_executor(self):
-        with pytest.raises(ValueError, match="serial"):
-            FLConfig(
+    def test_virtual_backend_valid_under_worker_executors(self):
+        # The serial-only gate is gone: worker backends ship the pickled
+        # directory recipe and materialize cohort clients worker-side.
+        for executor in ("process", "network"):
+            config = FLConfig(
                 num_clients=4, rounds=1,
-                client_backend="virtual", executor="process",
+                client_backend="virtual", executor=executor,
             )
+            assert config.executor == executor
 
     def test_backend_name_validated(self):
         with pytest.raises(ValueError, match="backend"):
