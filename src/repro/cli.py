@@ -246,6 +246,77 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None)
     chaos.add_argument("--seed", type=int, default=0)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a journaled, crash-resumable grid of experiments",
+        description=(
+            "Expands a declarative grid (--grid axis=v1,v2, repeatable) "
+            "into a queue of runs and executes them with per-run "
+            "process isolation, watchdog timeouts, retry/quarantine, "
+            "and an fsync'd journal: a sweep killed at any point "
+            "resumes with --resume and produces a results store "
+            "byte-identical to an uninterrupted sweep. Exit codes: "
+            "0 complete, 1 aborted via --max-failures, 2 usage or "
+            "journal error, 3 killed by an injected fault (resume "
+            "with --resume)."
+        ),
+    )
+    sweep.add_argument("--out", required=True,
+                       help="sweep directory (journal, index, per-run "
+                            "results, assembled results.json)")
+    sweep.add_argument("--grid", action="append", default=None,
+                       metavar="AXIS=V1,V2",
+                       help="grid axis: a core field (method, model, "
+                            "dataset, density, scale, alpha, seed, "
+                            "pool_size) or any FLConfig knob; "
+                            "repeatable, cartesian product")
+    sweep.add_argument("--method", default="fedtiny",
+                       choices=method_names(),
+                       help="base method for axes not in --grid")
+    sweep.add_argument("--model", default="resnet18",
+                       choices=available_models())
+    sweep.add_argument("--dataset", default="cifar10",
+                       choices=sorted(DATASET_BUILDERS))
+    sweep.add_argument("--density", type=float, default=0.05)
+    sweep.add_argument("--scale", default="bench",
+                       choices=sorted(SCALES))
+    sweep.add_argument("--alpha", type=float, default=0.5,
+                       help="Dirichlet alpha; <=0 means iid")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--pool-size", type=int, default=None)
+    sweep.add_argument("--scheduler", default="grid",
+                       help="run-order scheduler: grid, random, or a "
+                            "registered tuner (default: grid)")
+    sweep.add_argument("--sweep-seed", type=int, default=0,
+                       help="seed for the scheduler shuffle and the "
+                            "sweep-level fault draws")
+    sweep.add_argument("--isolation", default="process",
+                       choices=("process", "serial"),
+                       help="run each experiment in its own child "
+                            "process (default) or in-process")
+    sweep.add_argument("--watchdog", type=_positive_seconds,
+                       default=300.0, metavar="SECONDS",
+                       help="kill a run after this many real seconds "
+                            "(process isolation; default 300)")
+    sweep.add_argument("--max-failures", type=_nonnegative_int,
+                       default=None,
+                       help="abort the sweep once more than this many "
+                            "runs are quarantined")
+    sweep.add_argument("--retry-max-attempts", type=int, default=None,
+                       help="attempts per run before quarantine "
+                            "(default 3)")
+    sweep.add_argument("--faults", default=None, metavar="SPEC",
+                       help="sweep-level fault injection: a preset "
+                            "(sweep_chaos) or 'kind:prob,...' over "
+                            "run_crash, run_hang, journal_torn_write")
+    sweep.add_argument("--checkpoint-runs", action="store_true",
+                       help="give each run a checkpoint dir so an "
+                            "interrupted run also resumes mid-round")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume the journaled sweep in --out")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the sweep report as JSON")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -491,6 +562,70 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .experiments.journal import JournalError
+    from .experiments.specs import expand_grid, parse_axis_value
+    from .experiments.sweep import SweepKilled, SweepOrchestrator
+    from .fl.faults import RetryPolicy
+
+    axes: dict[str, list] = {}
+    for item in args.grid or []:
+        name, sep, values = item.partition("=")
+        if not sep or not values:
+            print(f"error: malformed --grid {item!r}; expected "
+                  "AXIS=V1,V2", file=sys.stderr)
+            return 2
+        axes[name.strip()] = [
+            parse_axis_value(v) for v in values.split(",")
+        ]
+    alpha = None if args.alpha is not None and args.alpha <= 0 else args.alpha
+    base = {
+        "method": args.method,
+        "model": args.model,
+        "dataset": args.dataset,
+        "target_density": args.density,
+        "scale": args.scale,
+        "dirichlet_alpha": alpha,
+        "seed": args.seed,
+        "pool_size": args.pool_size,
+    }
+    retry = RetryPolicy() if args.retry_max_attempts is None else \
+        RetryPolicy(max_attempts=args.retry_max_attempts)
+    try:
+        # On a bare resume the journaled index is authoritative; a
+        # resume *with* grid axes verifies them against the journal.
+        specs = None if (args.resume and not axes) else \
+            expand_grid(axes, base)
+        orchestrator = SweepOrchestrator(
+            args.out,
+            specs,
+            resume=args.resume,
+            scheduler=args.scheduler,
+            sweep_seed=args.sweep_seed,
+            faults=args.faults,
+            isolation=args.isolation,
+            watchdog_seconds=args.watchdog,
+            retry=retry,
+            max_failures=args.max_failures,
+            checkpoint_runs=args.checkpoint_runs,
+        )
+        report = orchestrator.execute()
+    except (JournalError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SweepKilled as exc:
+        print(f"sweep killed: {exc}", file=sys.stderr)
+        print(f"resume with: repro sweep --out {args.out} --resume",
+              file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        for line in report.summary_lines():
+            print(line)
+    return 1 if report.aborted else 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     output = _EXPERIMENTS[args.experiment_id](scale=args.scale)
     print(output)
@@ -615,6 +750,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "bench":

@@ -16,13 +16,22 @@ from .reporting import (
     format_table1,
     table1_row,
 )
-from .runner import build_method, make_context, prepare_data, run_experiment
+from .runner import (
+    build_method,
+    make_context,
+    prepare_data,
+    run_experiment,
+    run_spec,
+)
+from .specs import RunSpec, expand_grid
 from .store import (
     load_results,
     record_to_result,
     result_to_record,
+    save_records,
     save_results,
 )
+from .sweep import SweepKilled, SweepOrchestrator, SweepReport
 
 
 def __getattr__(name: str):
@@ -37,8 +46,15 @@ def __getattr__(name: str):
 
 __all__ = [
     "METHOD_NAMES",
+    "RunSpec",
     "SCALES",
     "ScalePreset",
+    "SweepKilled",
+    "SweepOrchestrator",
+    "SweepReport",
+    "expand_grid",
+    "run_spec",
+    "save_records",
     "ascii_line_plot",
     "build_method",
     "format_accuracy_matrix",

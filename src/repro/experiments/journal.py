@@ -1,0 +1,322 @@
+"""The sweep's crash journal: append-only JSONL plus an atomic index.
+
+Every sweep-visible state transition (a run starting, finishing,
+failing an attempt, being quarantined, the sweep degrading or
+aborting) is journaled *before* it takes effect anywhere else, so a
+sweep killed at any instant — including mid-append — resumes with zero
+lost or duplicated work:
+
+- **Appends are durable.** Each entry is one JSON line written,
+  flushed and ``fsync``'d before the orchestrator acts on it.
+- **Torn tails are expected.** A power cut mid-append leaves a partial
+  final line with no trailing newline. Replay ignores it; reopening
+  the journal for append first *repairs* it by terminating the
+  garbage line and journaling an explicit ``torn_repaired`` entry, so
+  later appends never glue onto damaged bytes and every repair is
+  itself on the record (the orchestrator uses the repair count as an
+  epoch for its fault draws, which is what guarantees forward progress
+  under repeated torn-write injection).
+- **Torn middles are corruption.** An unparseable line anywhere except
+  directly before a repair marker raises :class:`JournalError` instead
+  of silently skipping history.
+- **Exactly-once is an invariant, not a hope.** Resolution refuses a
+  journal that records ``done`` twice for the same run.
+
+The sibling index file is the sweep's identity — the expanded run list
+with per-spec fingerprints — written atomically (temp + fsync +
+``os.replace``) exactly like the results store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .store import atomic_write_json
+
+__all__ = [
+    "JournalEntry",
+    "JournalError",
+    "RUN_STATES",
+    "SWEEP_SCOPE",
+    "SweepJournal",
+    "read_index",
+    "write_index",
+]
+
+#: Pseudo run-id for sweep-level entries (repairs, degradation, abort).
+SWEEP_SCOPE = "__sweep__"
+
+#: Per-run lifecycle states. "failed" marks one exhausted *attempt*
+#: (the run will be retried); "done"/"quarantined" are terminal.
+RUN_STATES = frozenset(
+    {"running", "done", "failed", "quarantined"}
+)
+
+#: Sweep-scope states (only valid with run_id == SWEEP_SCOPE).
+_SWEEP_STATES = frozenset(
+    {"torn_repaired", "resumed", "degraded", "aborted", "complete"}
+)
+
+_INDEX_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal is corrupt or records an impossible history."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled state transition."""
+
+    seq: int
+    run_id: str
+    state: str
+    attempt: int = 0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        valid = _SWEEP_STATES if self.run_id == SWEEP_SCOPE else RUN_STATES
+        if self.state not in valid:
+            raise JournalError(
+                f"invalid state {self.state!r} for {self.run_id!r}"
+            )
+
+    def to_line(self) -> str:
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "run_id": self.run_id,
+                "state": self.state,
+                "attempt": self.attempt,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ) + "\n"
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "JournalEntry":
+        try:
+            return cls(
+                seq=int(record["seq"]),
+                run_id=str(record["run_id"]),
+                state=str(record["state"]),
+                attempt=int(record.get("attempt", 0)),
+                detail=str(record.get("detail", "")),
+            )
+        except KeyError as exc:
+            raise JournalError(
+                f"journal entry missing field {exc.args[0]!r}: {record!r}"
+            ) from exc
+
+
+def replay_text(text: str) -> tuple[list[JournalEntry], bool]:
+    """Parse journal text into entries.
+
+    Returns ``(entries, torn_tail)`` where ``torn_tail`` flags a
+    trailing partial line (ignored — it never took effect). A damaged
+    line in the *interior* is tolerated only when the next entry is a
+    ``torn_repaired`` marker (that is exactly what repair leaves
+    behind); anywhere else it is corruption and raises.
+    """
+    entries: list[JournalEntry] = []
+    segments = text.split("\n")
+    torn_tail = segments[-1] != ""
+    body, tail = segments[:-1], segments[-1]
+    pending_damage: str | None = None
+    for lineno, line in enumerate(body, start=1):
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("not an object")
+        except ValueError:
+            if pending_damage is not None:
+                raise JournalError(
+                    f"journal line {lineno - 1} is damaged and was "
+                    "never repaired"
+                ) from None
+            pending_damage = line
+            continue
+        entry = JournalEntry.from_dict(record)
+        if pending_damage is not None:
+            if not (
+                entry.run_id == SWEEP_SCOPE
+                and entry.state == "torn_repaired"
+            ):
+                raise JournalError(
+                    f"journal line {lineno - 1} is damaged and not "
+                    "followed by a repair marker"
+                )
+            pending_damage = None
+        if entry.seq != len(entries):
+            raise JournalError(
+                f"journal line {lineno}: seq {entry.seq} != expected "
+                f"{len(entries)} (lost or reordered appends)"
+            )
+        entries.append(entry)
+    if pending_damage is not None:
+        raise JournalError(
+            "journal ends with a damaged line that was terminated but "
+            "never repaired"
+        )
+    del tail  # a torn tail never took effect; repair handles it
+    return entries, torn_tail
+
+
+def resolve_states(
+    entries: list[JournalEntry],
+) -> dict[str, tuple[str, int]]:
+    """Last-wins (state, attempts_used) per run id.
+
+    ``attempts_used`` counts journaled ``failed`` attempts, so a
+    resumed sweep continues the retry budget exactly where the killed
+    one stopped. Raises :class:`JournalError` if any run records
+    ``done`` more than once — the exactly-once invariant.
+    """
+    states: dict[str, tuple[str, int]] = {}
+    done_counts: dict[str, int] = {}
+    for entry in entries:
+        if entry.run_id == SWEEP_SCOPE:
+            continue
+        _, attempts = states.get(entry.run_id, ("pending", 0))
+        if entry.state == "failed":
+            attempts = max(attempts, entry.attempt + 1)
+        if entry.state == "done":
+            done_counts[entry.run_id] = done_counts.get(entry.run_id, 0) + 1
+            if done_counts[entry.run_id] > 1:
+                raise JournalError(
+                    f"run {entry.run_id!r} journaled done twice "
+                    "(exactly-once violated)"
+                )
+        states[entry.run_id] = (entry.state, attempts)
+    return states
+
+
+class SweepJournal:
+    """Append-only, fsync'd JSONL journal with torn-tail repair."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        entries: list[JournalEntry],
+        repaired_tail: bool,
+    ) -> None:
+        self.path = Path(path)
+        self.entries = entries
+        self.repaired_tail = repaired_tail
+        self._handle = None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path) -> "SweepJournal":
+        """Open (creating or replaying) a journal for appending.
+
+        A torn tail left by a previous crash is repaired: the partial
+        line is terminated and an explicit ``torn_repaired`` entry is
+        appended so the damage is on the record.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = path.read_text() if path.exists() else ""
+        entries, torn_tail = replay_text(text)
+        journal = cls(path, entries, repaired_tail=torn_tail)
+        if torn_tail:
+            # Terminate the garbage bytes, then journal the repair.
+            handle = journal._open_handle()
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+            journal.append(
+                SWEEP_SCOPE, "torn_repaired",
+                detail="terminated torn tail from a previous crash",
+            )
+        return journal
+
+    @classmethod
+    def replay(cls, path: str | Path) -> list[JournalEntry]:
+        """Read-only replay (tolerates a torn tail without repairing)."""
+        path = Path(path)
+        if not path.exists():
+            return []
+        entries, _ = replay_text(path.read_text())
+        return entries
+
+    # -- appending -----------------------------------------------------
+    def _open_handle(self):
+        if self._handle is None:
+            self._handle = self.path.open("a")
+        return self._handle
+
+    @property
+    def next_seq(self) -> int:
+        return len(self.entries)
+
+    @property
+    def repair_epoch(self) -> int:
+        """How many torn-tail repairs this journal has on record."""
+        return sum(
+            1 for e in self.entries
+            if e.run_id == SWEEP_SCOPE and e.state == "torn_repaired"
+        )
+
+    def append(
+        self,
+        run_id: str,
+        state: str,
+        attempt: int = 0,
+        detail: str = "",
+        torn: bool = False,
+    ) -> JournalEntry:
+        """Durably append one transition (fsync before returning).
+
+        ``torn`` simulates a power cut mid-append for the chaos suite:
+        only a prefix of the line reaches the disk and no newline is
+        written — exactly the artifact :meth:`open` knows how to
+        repair. The entry is *not* recorded in memory (it never took
+        effect).
+        """
+        entry = JournalEntry(
+            seq=self.next_seq, run_id=run_id, state=state,
+            attempt=attempt, detail=detail,
+        )
+        line = entry.to_line()
+        handle = self._open_handle()
+        if torn:
+            handle.write(line[: max(1, len(line) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            return entry
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.entries.append(entry)
+        return entry
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ----------------------------------------------------------------------
+# The sweep index (identity of the expanded grid)
+# ----------------------------------------------------------------------
+def write_index(path: str | Path, payload: dict) -> None:
+    """Atomically write the sweep index (adds the format version)."""
+    atomic_write_json(path, {"format_version": _INDEX_VERSION, **payload})
+
+
+def read_index(path: str | Path) -> dict:
+    """Read an index written by :func:`write_index` (strict version)."""
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != _INDEX_VERSION:
+        raise JournalError(
+            f"unsupported sweep index version {version!r} "
+            f"(expected {_INDEX_VERSION})"
+        )
+    return payload

@@ -1,24 +1,39 @@
 """Build and run a named (method, model, dataset, density) experiment.
 
 Methods resolve through the pluggable registry in :mod:`repro.methods`;
-this module supplies the data/context plumbing around it.
+this module supplies the data/context plumbing around it. The unit of
+work is a :class:`~repro.experiments.specs.RunSpec`: every public entry
+point (:func:`run_experiment`, :func:`make_context`, the sweep
+orchestrator) funnels into :func:`run_spec`, which builds the
+``FLConfig`` exactly once via :meth:`RunSpec.fl_config` — the small-
+model branch reuses that same frozen config instead of re-plumbing two
+dozen keyword arguments a second time.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
 from ..baselines import build_small_model_context
 from ..data.dataset import Dataset
 from ..data.synthetic import build_dataset
-from ..fl.simulation import FederatedContext
+from ..fl.simulation import FederatedContext, FLConfig
 from ..methods import build_method, get_method_spec
 from ..metrics.tracker import RunResult
 from ..nn.models import build_model
 from ..pruning.schedule import PruningSchedule
 from .configs import ScalePreset, get_scale
+from .specs import RunSpec, normalize_overrides
 
-__all__ = ["prepare_data", "make_context", "build_method", "run_experiment"]
+__all__ = [
+    "prepare_data",
+    "make_context",
+    "build_method",
+    "run_experiment",
+    "run_spec",
+]
 
 Splits = tuple[Dataset, Dataset, Dataset]
 
@@ -47,35 +62,16 @@ def make_context(
     seed: int = 0,
     rounds: int | None = None,
     splits: Splits | None = None,
-    local_epochs: int | None = None,
-    participation_fraction: float | None = None,
-    quantize_upload_bits: int | None = None,
-    executor: str | None = None,
-    fleet: str | None = None,
-    round_policy: str | None = None,
-    deadline_fraction: float | None = None,
-    deadline_over_select: float | None = None,
-    dropout_rate: float | None = None,
-    async_buffer_fraction: float | None = None,
-    staleness_discount: float | None = None,
-    client_backend: str | None = None,
-    virtual_shard_size: int | None = None,
-    aggregation_fan_in: int | None = None,
-    faults: str | None = None,
-    retry_max_attempts: int | None = None,
-    retry_backoff_seconds: float | None = None,
-    retry_timeout_seconds: float | None = None,
-    transport_timeout: float | None = None,
-    heartbeat_interval: float | None = None,
-    max_reconnects: int | None = None,
-    checkpoint_dir: str | None = None,
-    checkpoint_every: int | None = None,
-    resume: bool = False,
+    config: FLConfig | None = None,
+    **config_overrides: Any,
 ) -> tuple[FederatedContext, Dataset]:
     """A fresh federated context plus the server's public dataset.
 
     ``splits`` lets callers reuse an already-built
     :func:`prepare_data` result instead of regenerating the dataset.
+    ``config`` short-circuits config construction entirely (the spec
+    runner passes the one it already built); otherwise any keyword of
+    :meth:`ScalePreset.fl_config` is accepted as an override.
     """
     if splits is None:
         splits = prepare_data(dataset_name, scale, seed)
@@ -87,43 +83,67 @@ def make_context(
         image_size=scale.image_size,
         seed=seed + 1,
     )
+    if config is None:
+        if rounds is not None:
+            config_overrides["rounds"] = rounds
+        config = scale.fl_config(
+            dirichlet_alpha=dirichlet_alpha,
+            seed=seed,
+            **normalize_overrides(config_overrides),
+        )
+    elif config_overrides or rounds is not None:
+        raise ValueError(
+            "make_context takes either a prebuilt config or overrides, "
+            "not both"
+        )
     ctx = FederatedContext(
         model,
         federated,
         test,
-        scale.fl_config(
-            dirichlet_alpha=dirichlet_alpha,
-            seed=seed,
-            rounds=rounds,
-            local_epochs=local_epochs,
-            participation_fraction=participation_fraction,
-            quantize_upload_bits=quantize_upload_bits,
-            executor=executor,
-            fleet=fleet,
-            round_policy=round_policy,
-            deadline_fraction=deadline_fraction,
-            deadline_over_select=deadline_over_select,
-            dropout_rate=dropout_rate,
-            async_buffer_fraction=async_buffer_fraction,
-            staleness_discount=staleness_discount,
-            client_backend=client_backend,
-            virtual_shard_size=virtual_shard_size,
-            aggregation_fan_in=aggregation_fan_in,
-            faults=faults,
-            retry_max_attempts=retry_max_attempts,
-            retry_backoff_seconds=retry_backoff_seconds,
-            retry_timeout_seconds=retry_timeout_seconds,
-            transport_timeout=transport_timeout,
-            heartbeat_interval=heartbeat_interval,
-            max_reconnects=max_reconnects,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_every=checkpoint_every,
-            resume=resume,
-        ),
+        config,
         dataset_name=dataset_name,
         model_name=model_name,
     )
     return ctx, public
+
+
+def run_spec(
+    spec: RunSpec,
+    schedule: PruningSchedule | None = None,
+    preset: ScalePreset | None = None,
+    config_extras: dict[str, Any] | None = None,
+) -> RunResult:
+    """Execute one :class:`RunSpec` end to end.
+
+    ``config_extras`` threads execution-only knobs (per-run checkpoint
+    directories, resume flags) into the config without changing the
+    spec's identity; ``preset`` lets callers pass an ad-hoc
+    :class:`ScalePreset` instance instead of a registered scale name.
+    """
+    if preset is None:
+        preset = get_scale(spec.scale)
+    splits = prepare_data(spec.dataset, preset, spec.seed)
+    config = spec.fl_config(preset, **(config_extras or {}))
+    ctx, public = make_context(
+        spec.model, spec.dataset, preset,
+        seed=spec.seed, splits=splits, config=config,
+    )
+    method = build_method(
+        spec.method, spec.target_density, preset,
+        schedule=schedule, pool_size=spec.pool_size,
+    )
+    if get_method_spec(spec.method).replaces_model:
+        # The small model replaces the big one entirely; it reuses the
+        # already-built splits and the *same* frozen config — no second
+        # trip through the keyword plumbing.
+        _, federated, test = splits
+        ctx = build_small_model_context(
+            ctx, spec.target_density, federated, test, config,
+        )
+    try:
+        return method.run(ctx, public)
+    finally:
+        ctx.close()
 
 
 def run_experiment(
@@ -136,103 +156,25 @@ def run_experiment(
     seed: int = 0,
     schedule: PruningSchedule | None = None,
     pool_size: int | None = None,
-    rounds: int | None = None,
-    local_epochs: int | None = None,
-    participation_fraction: float | None = None,
-    quantize_bits: int | None = None,
-    executor: str | None = None,
-    fleet: str | None = None,
-    round_policy: str | None = None,
-    deadline_fraction: float | None = None,
-    deadline_over_select: float | None = None,
-    dropout_rate: float | None = None,
-    async_buffer_fraction: float | None = None,
-    staleness_discount: float | None = None,
-    client_backend: str | None = None,
-    virtual_shard_size: int | None = None,
-    aggregation_fan_in: int | None = None,
-    faults: str | None = None,
-    retry_max_attempts: int | None = None,
-    retry_backoff_seconds: float | None = None,
-    retry_timeout_seconds: float | None = None,
-    transport_timeout: float | None = None,
-    heartbeat_interval: float | None = None,
-    max_reconnects: int | None = None,
-    checkpoint_dir: str | None = None,
-    checkpoint_every: int | None = None,
-    resume: bool = False,
+    **config_overrides: Any,
 ) -> RunResult:
-    """End-to-end: build data, context and method, then run it."""
+    """End-to-end: build data, context and method, then run it.
+
+    Any keyword of :meth:`ScalePreset.fl_config` (``rounds``,
+    ``executor``, ``faults``, ``checkpoint_dir``, ...) is accepted and
+    folded into the run's :class:`RunSpec`, so this remains a drop-in
+    superset of the old 25-keyword signature.
+    """
     preset = get_scale(scale) if isinstance(scale, str) else scale
-    splits = prepare_data(dataset_name, preset, seed)
-    ctx, public = make_context(
-        model_name, dataset_name, preset,
-        dirichlet_alpha=dirichlet_alpha, seed=seed, rounds=rounds,
-        splits=splits,
-        local_epochs=local_epochs,
-        participation_fraction=participation_fraction,
-        quantize_upload_bits=quantize_bits,
-        executor=executor,
-        fleet=fleet,
-        round_policy=round_policy,
-        deadline_fraction=deadline_fraction,
-        deadline_over_select=deadline_over_select,
-        dropout_rate=dropout_rate,
-        async_buffer_fraction=async_buffer_fraction,
-        staleness_discount=staleness_discount,
-        client_backend=client_backend,
-        virtual_shard_size=virtual_shard_size,
-        aggregation_fan_in=aggregation_fan_in,
-        faults=faults,
-        retry_max_attempts=retry_max_attempts,
-        retry_backoff_seconds=retry_backoff_seconds,
-        retry_timeout_seconds=retry_timeout_seconds,
-        transport_timeout=transport_timeout,
-        heartbeat_interval=heartbeat_interval,
-        max_reconnects=max_reconnects,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every,
-        resume=resume,
+    spec = RunSpec(
+        method=method_name,
+        model=model_name,
+        dataset=dataset_name,
+        target_density=target_density,
+        scale=preset.name,
+        dirichlet_alpha=dirichlet_alpha,
+        seed=seed,
+        pool_size=pool_size,
+        overrides=tuple(config_overrides.items()),
     )
-    method = build_method(
-        method_name, target_density, preset,
-        schedule=schedule, pool_size=pool_size,
-    )
-    if get_method_spec(method_name).replaces_model:
-        # The small model replaces the big one entirely; reuse the
-        # already-built splits rather than regenerating the dataset.
-        _, federated, test = splits
-        ctx = build_small_model_context(
-            ctx, target_density, federated, test,
-            preset.fl_config(
-                dirichlet_alpha=dirichlet_alpha, seed=seed, rounds=rounds,
-                local_epochs=local_epochs,
-                participation_fraction=participation_fraction,
-                quantize_upload_bits=quantize_bits,
-                executor=executor,
-                fleet=fleet,
-                round_policy=round_policy,
-                deadline_fraction=deadline_fraction,
-                deadline_over_select=deadline_over_select,
-                dropout_rate=dropout_rate,
-                async_buffer_fraction=async_buffer_fraction,
-                staleness_discount=staleness_discount,
-                client_backend=client_backend,
-                virtual_shard_size=virtual_shard_size,
-                aggregation_fan_in=aggregation_fan_in,
-                faults=faults,
-                retry_max_attempts=retry_max_attempts,
-                retry_backoff_seconds=retry_backoff_seconds,
-                retry_timeout_seconds=retry_timeout_seconds,
-                transport_timeout=transport_timeout,
-                heartbeat_interval=heartbeat_interval,
-                max_reconnects=max_reconnects,
-                checkpoint_dir=checkpoint_dir,
-                checkpoint_every=checkpoint_every,
-                resume=resume,
-            ),
-        )
-    try:
-        return method.run(ctx, public)
-    finally:
-        ctx.close()
+    return run_spec(spec, schedule=schedule, preset=preset)

@@ -1,0 +1,890 @@
+"""Crash-resumable sweep orchestration over the experiment grid.
+
+The paper's headline artifacts are grids (method × dataset × density ×
+non-IID α); this module is the front door for running them with
+production-grade robustness, lifting the PR-8 round-level machinery
+(:class:`~repro.fl.faults.RetryPolicy`,
+:class:`~repro.fl.faults.FailureRecord`,
+:class:`~repro.fl.faults.FaultSchedule`) to the fleet-of-runs level:
+
+- **Journaled queue.** Every sweep-visible state transition is written
+  to the append-only :class:`~repro.experiments.journal.SweepJournal`
+  *before* it takes effect, and a run's result file is durably on disk
+  *before* its ``done`` entry — classic write-ahead discipline. A
+  ``kill -9`` at any instant resumes with zero lost or duplicated
+  work; completed runs re-verify by :meth:`RunSpec.fingerprint`
+  exactly as :class:`~repro.nn.checkpoint.RunCheckpoint` fingerprints
+  individual runs (which keep their own mid-round crash-resume via
+  ``checkpoint_runs=True``).
+- **Per-run fault isolation.** Each run executes in a spawned child
+  process with its own shm arena, under a wall-clock watchdog. A
+  crashed or hung run is killed, journaled, recorded as a structured
+  :class:`FailureRecord`, retried under the :class:`RetryPolicy`, and
+  **quarantined** after exhaustion — one poisoned config can never
+  stall the sweep.
+- **Graceful degradation.** Spawn-layer breakage (the pool analogue)
+  degrades the sweep to in-process serial execution after
+  ``pool_failure_limit`` strikes, mirroring the round loop's
+  process→serial fallback; ``max_failures`` aborts cleanly with a
+  summary instead of grinding through a broken environment.
+- **Ask/tell scheduling.** Run order comes from a pluggable scheduler
+  (:class:`GridScheduler` and :class:`RandomScheduler` built in): the
+  orchestrator ``ask()``s for the next run index and ``tell()``s the
+  terminal state plus the result record back, which is exactly the
+  surface a hyper-parameter tuner needs.
+
+Determinism contract: all sweep-level fault draws are counter-based on
+the sweep seed — run faults at ``(run_index, 0, attempt)``, journal
+tears at ``(seq, 1, repair_epoch)`` — so an interrupted-and-resumed
+sweep executes the same faults, quarantines the same configs, and
+assembles a ``results.json`` byte-identical to an uninterrupted sweep.
+The wall clock is used only to *bound* runs (the watchdog), never to
+seed or order them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..fl.faults import FailureRecord, FaultSchedule, RetryPolicy
+from ..metrics.tracker import RunResult
+from .journal import (
+    SWEEP_SCOPE,
+    JournalError,
+    SweepJournal,
+    read_index,
+    resolve_states,
+    write_index,
+)
+from .runner import run_spec
+from .specs import RunSpec
+from .store import atomic_write_json, result_to_record, save_records
+
+__all__ = [
+    "GridScheduler",
+    "RandomScheduler",
+    "SweepKilled",
+    "SweepOrchestrator",
+    "SweepReport",
+    "available_schedulers",
+    "register_scheduler",
+]
+
+_LOG = logging.getLogger(__name__)
+
+#: Fault-draw channels (the ``client_id`` coordinate of the
+#: counter-based stream): run-level faults vs journal-append tears
+#: never share a coordinate, so one cannot shift the other.
+_RUN_CHANNEL = 0
+_JOURNAL_CHANNEL = 1
+
+_SCHED_SALT = 0x53434844  # "SCHD"
+
+#: Exit code an injected ``run_crash`` child dies with (distinguishable
+#: from a real traceback's exit 1 in the journal detail).
+_CRASH_EXIT = 41
+_HANG_SECONDS = 3600.0
+
+#: The sweep-level marker used in :class:`FailureRecord.round_index`
+#: (sweep failures are not attached to any federated round).
+_SWEEP_ROUND = -1
+
+
+class SweepKilled(RuntimeError):
+    """The sweep died mid-flight (injected tear or test kill hook).
+
+    Raised where a real ``kill -9`` would have stopped the process:
+    the journal holds everything up to the kill point and the sweep
+    resumes with ``resume=True`` / ``repro sweep --resume``.
+    """
+
+
+class _RunFailure(RuntimeError):
+    """One failed attempt of one run (crash, hang, or exception)."""
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# Ask/tell schedulers
+# ----------------------------------------------------------------------
+class GridScheduler:
+    """FIFO over the grid-expansion order (the default).
+
+    The ask/tell protocol: ``ask()`` returns the next run index to
+    execute (``None`` when the queue is drained); ``tell(index, state,
+    record)`` reports the terminal state (``"done"``/``"quarantined"``)
+    and, for completed runs, the result record — the hook an adaptive
+    tuner uses to steer what it asks for next.
+    """
+
+    def __init__(
+        self,
+        specs: list[RunSpec],
+        seed: int = 0,
+        completed: frozenset[int] = frozenset(),
+    ) -> None:
+        self._queue = [
+            index for index in range(len(specs))
+            if index not in completed
+        ]
+
+    def ask(self) -> int | None:
+        return self._queue.pop(0) if self._queue else None
+
+    def tell(self, index: int, state: str, record: dict | None) -> None:
+        pass
+
+
+class RandomScheduler(GridScheduler):
+    """Deterministically shuffled order (counter-based on the seed).
+
+    The permutation is a pure function of the sweep seed, so a resumed
+    sweep walks the identical order as the uninterrupted one.
+    """
+
+    def __init__(
+        self,
+        specs: list[RunSpec],
+        seed: int = 0,
+        completed: frozenset[int] = frozenset(),
+    ) -> None:
+        rng = np.random.default_rng([seed, _SCHED_SALT])
+        order = rng.permutation(len(specs))
+        self._queue = [
+            int(index) for index in order if int(index) not in completed
+        ]
+
+
+_SCHEDULERS: dict[str, Callable[..., GridScheduler]] = {
+    "grid": GridScheduler,
+    "random": RandomScheduler,
+}
+
+
+def register_scheduler(
+    name: str, factory: Callable[..., GridScheduler]
+) -> None:
+    """Register an ask/tell scheduler (e.g. a hyper-parameter tuner).
+
+    ``factory(specs, seed, completed)`` must return an object with the
+    :class:`GridScheduler` ask/tell protocol.
+    """
+    if name in _SCHEDULERS:
+        raise ValueError(f"scheduler {name!r} is already registered")
+    _SCHEDULERS[name] = factory
+
+
+def available_schedulers() -> list[str]:
+    return sorted(_SCHEDULERS)
+
+
+# ----------------------------------------------------------------------
+# The report
+# ----------------------------------------------------------------------
+@dataclass
+class SweepReport:
+    """What one orchestrator invocation accomplished."""
+
+    total: int
+    done: int = 0
+    quarantined: int = 0
+    pending: int = 0
+    executed: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    aborted: bool = False
+    degraded: bool = False
+    resumed: bool = False
+    store_path: str | None = None
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        record = {
+            key: value for key, value in vars(self).items()
+            if key != "failures"
+        }
+        record["failures"] = [vars(f) for f in self.failures]
+        return record
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"runs              : {self.total}",
+            f"done              : {self.done}",
+            f"quarantined       : {self.quarantined}",
+            f"executed now      : {self.executed}",
+            f"retries           : {self.retries}",
+        ]
+        if self.pending:
+            lines.append(f"still pending     : {self.pending}")
+        if self.degraded:
+            lines.append("degraded          : process -> serial isolation")
+        if self.aborted:
+            lines.append("ABORTED           : --max-failures exceeded")
+        if self.store_path:
+            lines.append(f"results store     : {self.store_path}")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Child-process entry point (module level: spawn-picklable)
+# ----------------------------------------------------------------------
+def _child_main(
+    spec_dict: dict,
+    config_extras: dict,
+    payload_path: str,
+    fault: str | None,
+) -> None:
+    """Execute one run inside its own process (and shm arena).
+
+    Injected sweep faults enact here so the failure is *real*: a
+    ``run_crash`` child dies without cleanup exactly like a segfault,
+    and a ``run_hang`` child wedges until the parent's watchdog kills
+    it. Both fire before any training state exists, so the retry
+    executes bit-identically.
+    """
+    if fault == "run_crash":
+        os._exit(_CRASH_EXIT)
+    if fault == "run_hang":
+        time.sleep(_HANG_SECONDS)
+        os._exit(_CRASH_EXIT)  # pragma: no cover - watchdog kills first
+    try:
+        spec = RunSpec.from_dict(spec_dict)
+        result = run_spec(spec, config_extras=config_extras)
+        atomic_write_json(
+            payload_path, {"record": result_to_record(result)}
+        )
+    except BaseException:
+        # Exit with the run-crash code so the parent can tell "this
+        # config is poisoned" (retry, then quarantine) apart from
+        # "the spawn layer is broken" (degrade to serial) — a child
+        # that dies during interpreter bootstrap never reaches here
+        # and exits with a different code.
+        print(traceback.format_exc(), file=sys.stderr)
+        os._exit(_CRASH_EXIT)
+
+
+def _serial_runner(spec: RunSpec, config_extras: dict) -> RunResult:
+    return run_spec(spec, config_extras=config_extras)
+
+
+def _sweep_fingerprint(
+    specs: list[RunSpec],
+    scheduler: str,
+    sweep_seed: int,
+    faults: str | None,
+) -> str:
+    payload = {
+        "fingerprints": [spec.fingerprint() for spec in specs],
+        "scheduler": scheduler,
+        "sweep_seed": sweep_seed,
+        "faults": faults or "",
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+class SweepOrchestrator:
+    """Execute a queue of :class:`RunSpec` runs with crash-resume.
+
+    ``specs`` is required for a fresh sweep and optional on resume
+    (the journaled index is authoritative; when both are given they
+    must fingerprint-match). Identity knobs — the grid, scheduler,
+    sweep seed, fault spec, retry policy, ``max_failures``,
+    ``checkpoint_runs`` — are persisted in the index and *restored* on
+    resume so the resumed sweep cannot diverge; ``isolation`` and
+    ``watchdog_seconds`` are per-invocation execution knobs (resuming
+    a sweep in serial isolation is legitimate and bit-identical).
+
+    ``runner`` injects the per-run execution callable
+    (``runner(spec, config_extras) -> RunResult``) for tests; it
+    forces serial isolation. ``kill_after_events`` raises
+    :class:`SweepKilled` after that many journal appends — the chaos
+    suite's seeded kill points.
+    """
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        specs: list[RunSpec] | None = None,
+        *,
+        resume: bool = False,
+        scheduler: str = "grid",
+        sweep_seed: int = 0,
+        faults: str | None = None,
+        isolation: str = "process",
+        watchdog_seconds: float = 300.0,
+        retry: RetryPolicy | None = None,
+        max_failures: int | None = None,
+        checkpoint_runs: bool = False,
+        runner: Callable[[RunSpec, dict], RunResult] | None = None,
+        kill_after_events: int | None = None,
+    ) -> None:
+        if isolation not in ("process", "serial"):
+            raise ValueError(
+                f"isolation must be 'process' or 'serial', got {isolation!r}"
+            )
+        if watchdog_seconds <= 0:
+            raise ValueError("watchdog_seconds must be > 0")
+        if max_failures is not None and max_failures < 0:
+            raise ValueError("max_failures must be >= 0")
+        self.out_dir = Path(out_dir)
+        self.specs = list(specs) if specs is not None else None
+        self.resume = resume
+        self.scheduler_name = scheduler
+        self.sweep_seed = sweep_seed
+        self.faults = faults
+        self.isolation = "serial" if runner is not None else isolation
+        self.watchdog_seconds = watchdog_seconds
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_failures = max_failures
+        self.checkpoint_runs = checkpoint_runs
+        self.runner = runner
+        self.kill_after_events = kill_after_events
+        self.journal: SweepJournal | None = None
+        self.run_ids: list[str] = []
+        self.report = SweepReport(total=0)
+        self._states: dict[str, tuple[str, int]] = {}
+        self._schedule: FaultSchedule | None = None
+        self._events = 0
+        self._pool_breakages = 0
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.out_dir / "sweep-index.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.out_dir / "sweep.journal"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.out_dir / "runs"
+
+    @property
+    def store_path(self) -> Path:
+        return self.out_dir / "results.json"
+
+    def _run_file(self, run_id: str) -> Path:
+        return self.runs_dir / f"{run_id}.json"
+
+    # -- setup ---------------------------------------------------------
+    def _prepare(self) -> None:
+        if self.resume:
+            self._prepare_resume()
+        else:
+            self._prepare_fresh()
+        assert self.specs is not None
+        fingerprints = [spec.fingerprint() for spec in self.specs]
+        self.run_ids = [
+            f"{index:04d}-{fp[:12]}"
+            for index, fp in enumerate(fingerprints)
+        ]
+        if self.faults:
+            self._schedule = FaultSchedule.parse(
+                self.faults, seed=self.sweep_seed
+            )
+        self.journal = SweepJournal.open(self.journal_path)
+        self._states = resolve_states(self.journal.entries)
+        self._verify_done_artifacts(fingerprints)
+        self.report = SweepReport(total=len(self.specs))
+        for run_id in self.run_ids:
+            state, _ = self._states.get(run_id, ("pending", 0))
+            if state == "done":
+                self.report.done += 1
+            elif state == "quarantined":
+                self.report.quarantined += 1
+        if self.resume:
+            self.report.resumed = True
+            self._journal_event(
+                SWEEP_SCOPE, "resumed",
+                detail=f"done={self.report.done} "
+                       f"quarantined={self.report.quarantined}",
+            )
+
+    def _prepare_fresh(self) -> None:
+        if self.index_path.exists():
+            raise JournalError(
+                f"{self.out_dir} already holds a sweep; pass "
+                "resume=True (CLI: --resume) or pick a new directory"
+            )
+        if not self.specs:
+            raise ValueError("a fresh sweep needs at least one RunSpec")
+        fingerprints = [spec.fingerprint() for spec in self.specs]
+        if len(set(fingerprints)) != len(fingerprints):
+            raise ValueError(
+                "duplicate RunSpecs in the grid; exactly-once execution "
+                "needs every spec to be unique"
+            )
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        write_index(self.index_path, {
+            "sweep": {
+                "fingerprint": _sweep_fingerprint(
+                    self.specs, self.scheduler_name,
+                    self.sweep_seed, self.faults,
+                ),
+                "scheduler": self.scheduler_name,
+                "sweep_seed": self.sweep_seed,
+                "faults": self.faults,
+                "max_failures": self.max_failures,
+                "checkpoint_runs": self.checkpoint_runs,
+                "retry": vars(self.retry),
+            },
+            "runs": [
+                {
+                    "index": index,
+                    "run_id": f"{index:04d}-{fp[:12]}",
+                    "fingerprint": fp,
+                    "spec": spec.to_dict(),
+                }
+                for index, (spec, fp) in enumerate(
+                    zip(self.specs, fingerprints)
+                )
+            ],
+        })
+
+    def _prepare_resume(self) -> None:
+        if not self.index_path.exists():
+            raise JournalError(
+                f"nothing to resume: {self.index_path} does not exist"
+            )
+        payload = read_index(self.index_path)
+        stored = [
+            RunSpec.from_dict(row["spec"]) for row in payload["runs"]
+        ]
+        for row, spec in zip(payload["runs"], stored):
+            if spec.fingerprint() != row["fingerprint"]:
+                raise JournalError(
+                    f"run {row['run_id']}: the journaled spec no longer "
+                    "matches its fingerprint (index tampered with, or "
+                    "the config schema changed underneath the sweep)"
+                )
+        sweep_meta = payload["sweep"]
+        if self.specs is not None:
+            supplied = _sweep_fingerprint(
+                self.specs, self.scheduler_name,
+                self.sweep_seed, self.faults,
+            )
+            if supplied != sweep_meta["fingerprint"]:
+                raise JournalError(
+                    "the supplied grid does not match the journaled "
+                    "sweep; resume without grid arguments or start a "
+                    "fresh sweep in a new directory"
+                )
+        # Identity knobs come from the index: the resumed sweep must
+        # draw the same faults and quarantine the same configs.
+        self.specs = stored
+        self.scheduler_name = sweep_meta["scheduler"]
+        self.sweep_seed = sweep_meta["sweep_seed"]
+        self.faults = sweep_meta["faults"]
+        self.max_failures = sweep_meta["max_failures"]
+        self.checkpoint_runs = sweep_meta["checkpoint_runs"]
+        self.retry = RetryPolicy(**sweep_meta["retry"])
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    def _verify_done_artifacts(self, fingerprints: list[str]) -> None:
+        """Re-verify completed runs by config fingerprint.
+
+        The journal can only vouch for work whose artifacts are still
+        what it journaled: a ``done`` run with a missing or mismatched
+        result file means the store was modified behind the journal's
+        back, and resuming would silently ship wrong results.
+        """
+        for run_id, fingerprint in zip(self.run_ids, fingerprints):
+            state, _ = self._states.get(run_id, ("pending", 0))
+            if state != "done":
+                continue
+            path = self._run_file(run_id)
+            if not path.exists():
+                raise JournalError(
+                    f"journal says run {run_id} is done but its result "
+                    f"file {path} is missing"
+                )
+            with path.open() as handle:
+                payload = json.load(handle)
+            if payload.get("fingerprint") != fingerprint:
+                raise JournalError(
+                    f"run {run_id}: result file fingerprint does not "
+                    "match the journaled spec"
+                )
+
+    # -- journaling ----------------------------------------------------
+    def _journal_event(
+        self, run_id: str, state: str, attempt: int = 0, detail: str = ""
+    ) -> None:
+        """Durably journal one transition, with chaos injection.
+
+        A drawn ``journal_torn_write`` writes only a prefix of the line
+        (a power cut mid-append) and raises :class:`SweepKilled`; the
+        ``kill_after_events`` hook raises *after* a durable append.
+        Draws are keyed on ``(seq, repair_epoch)`` so a torn append is
+        re-drawn under the next epoch on resume — injection cannot
+        livelock the journal.
+        """
+        assert self.journal is not None
+        seq = self.journal.next_seq
+        if self._schedule is not None:
+            kind = self._schedule.draw(
+                seq, _JOURNAL_CHANNEL, self.journal.repair_epoch
+            )
+            if kind == "journal_torn_write":
+                self.journal.append(
+                    run_id, state, attempt=attempt, detail=detail,
+                    torn=True,
+                )
+                raise SweepKilled(
+                    f"journal append torn at seq {seq} (injected)"
+                )
+        self.journal.append(
+            run_id, state, attempt=attempt, detail=detail
+        )
+        self._states = resolve_states(self.journal.entries)
+        self._events += 1
+        if (
+            self.kill_after_events is not None
+            and self._events >= self.kill_after_events
+        ):
+            raise SweepKilled(
+                f"killed after {self._events} journal events (injected)"
+            )
+
+    # -- fault plumbing ------------------------------------------------
+    def _draw_run_fault(self, index: int, attempt: int) -> str | None:
+        if self._schedule is None:
+            return None
+        kind = self._schedule.draw(index, _RUN_CHANNEL, attempt)
+        if kind in ("run_crash", "run_hang"):
+            return kind
+        # Round-level kinds in a shared spec string draw no-ops here,
+        # exactly as sweep kinds are no-ops inside the round runner.
+        return None
+
+    def _note_pool_breakage(self, index: int, detail: str) -> None:
+        """Spawn-layer breakage: count it and degrade if it persists."""
+        self._pool_breakages += 1
+        _LOG.warning(
+            "sweep spawn layer broke (%d/%d): %s",
+            self._pool_breakages, self.retry.pool_failure_limit, detail,
+        )
+        self.report.failures.append(
+            FailureRecord(
+                _SWEEP_ROUND, index, 0, "pool_failure", "retried",
+                detail=detail,
+            )
+        )
+        if (
+            self._pool_breakages >= self.retry.pool_failure_limit
+            and self.isolation == "process"
+        ):
+            self.isolation = "serial"
+            self.report.degraded = True
+            self.report.failures.append(
+                FailureRecord(
+                    _SWEEP_ROUND, index, 0,
+                    "pool_failure", "degraded_executor",
+                    detail=f"breakages={self._pool_breakages}",
+                )
+            )
+            self._journal_event(
+                SWEEP_SCOPE, "degraded",
+                detail=f"breakages={self._pool_breakages}",
+            )
+
+    # -- run execution -------------------------------------------------
+    def _config_extras(self, run_id: str) -> dict:
+        if not self.checkpoint_runs:
+            return {}
+        # Individual runs keep their own mid-round crash-resume: the
+        # PR-8 RunCheckpoint machinery snapshots every round and
+        # resumes bit-for-bit (a missing checkpoint means fresh start).
+        checkpoint_dir = self.out_dir / "checkpoints" / run_id
+        return {
+            "checkpoint_dir": str(checkpoint_dir),
+            "checkpoint_every": 1,
+            "resume": True,
+        }
+
+    def _attempt_serial(
+        self,
+        index: int,
+        spec: RunSpec,
+        run_id: str,
+        fault: str | None,
+        config_extras: dict,
+    ) -> dict:
+        if fault == "run_crash":
+            raise _RunFailure(
+                "run_crash", "injected crash before the run started"
+            )
+        if fault == "run_hang":
+            raise _RunFailure(
+                "run_hang",
+                f"injected hang; watchdog "
+                f"({self.watchdog_seconds:g}s) fired",
+            )
+        runner = self.runner if self.runner is not None else _serial_runner
+        try:
+            result = runner(spec, config_extras)
+        except Exception as exc:
+            _LOG.warning("run %s failed in-process: %r", run_id, exc)
+            raise _RunFailure("run_exception", repr(exc)) from exc
+        return result_to_record(result)
+
+    def _attempt_process(
+        self,
+        index: int,
+        spec: RunSpec,
+        run_id: str,
+        fault: str | None,
+        config_extras: dict,
+    ) -> dict:
+        payload_path = self.runs_dir / f"{run_id}.child.json"
+        if payload_path.exists():
+            payload_path.unlink()
+        ctx = multiprocessing.get_context("spawn")
+        try:
+            child = ctx.Process(
+                target=_child_main,
+                args=(
+                    spec.to_dict(), dict(config_extras),
+                    str(payload_path), fault,
+                ),
+            )
+            child.start()
+        except OSError as exc:
+            _LOG.warning("could not spawn run child: %r", exc)
+            self._note_pool_breakage(index, f"spawn failed: {exc!r}")
+            return self._attempt_serial(
+                index, spec, run_id, fault, config_extras
+            )
+        deadline = time.monotonic() + self.watchdog_seconds
+        while child.is_alive() and time.monotonic() < deadline:
+            child.join(timeout=0.05)
+        if child.is_alive():
+            child.kill()
+            child.join()
+            raise _RunFailure(
+                "run_hang",
+                f"watchdog killed the run after "
+                f"{self.watchdog_seconds:g}s",
+            )
+        if child.exitcode != 0:
+            exitcode = child.exitcode if child.exitcode is not None else 1
+            if exitcode == _CRASH_EXIT or exitcode < 0:
+                # The run itself died (injected crash, a traceback out
+                # of the experiment, or a signal): a property of the
+                # config, so it burns a retry attempt.
+                raise _RunFailure(
+                    "run_crash", f"child exited with code {exitcode}"
+                )
+            # Any other exit code means the child never reached the
+            # run (interpreter/spawn bootstrap failure): that is the
+            # spawn layer breaking, not the config.
+            self._note_pool_breakage(
+                index, f"child bootstrap failed with code {exitcode}"
+            )
+            return self._attempt_serial(
+                index, spec, run_id, fault, config_extras
+            )
+        if not payload_path.exists():
+            # A clean exit with no result is spawn-layer breakage, not
+            # a property of the config: fall back to serial in-process.
+            self._note_pool_breakage(
+                index, "child exited 0 without a result payload"
+            )
+            return self._attempt_serial(
+                index, spec, run_id, fault, config_extras
+            )
+        with payload_path.open() as handle:
+            payload = json.load(handle)
+        payload_path.unlink()
+        return payload["record"]
+
+    def _attempt(
+        self,
+        index: int,
+        spec: RunSpec,
+        run_id: str,
+        fault: str | None,
+        config_extras: dict,
+    ) -> dict:
+        if self.isolation == "serial":
+            return self._attempt_serial(
+                index, spec, run_id, fault, config_extras
+            )
+        return self._attempt_process(
+            index, spec, run_id, fault, config_extras
+        )
+
+    def _quarantine(
+        self, index: int, run_id: str, attempt: int, detail: str
+    ) -> None:
+        self._journal_event(
+            run_id, "quarantined", attempt=attempt, detail=detail
+        )
+        self.report.quarantined += 1
+        self.report.failures.append(
+            FailureRecord(
+                _SWEEP_ROUND, index, attempt,
+                "retry_exhausted", "quarantined", detail=detail,
+            )
+        )
+        _LOG.warning("run %s quarantined: %s", run_id, detail)
+
+    def _run_one(self, index: int) -> tuple[str, dict | None]:
+        """Drive one run to a terminal state (``done``/``quarantined``)."""
+        spec = self.specs[index]
+        run_id = self.run_ids[index]
+        fingerprint = spec.fingerprint()
+        state, attempts_used = self._states.get(run_id, ("pending", 0))
+        if state in ("done", "quarantined"):
+            return state, None
+        if attempts_used >= self.retry.max_attempts:
+            # Killed after the last failed attempt, before the
+            # quarantine entry landed: finish the transition now.
+            self._quarantine(
+                index, run_id, attempts_used - 1,
+                "retry budget exhausted before the previous kill",
+            )
+            return "quarantined", None
+        config_extras = self._config_extras(run_id)
+        for attempt in range(attempts_used, self.retry.max_attempts):
+            self._journal_event(
+                run_id, "running", attempt=attempt, detail=spec.label()
+            )
+            fault = self._draw_run_fault(index, attempt)
+            try:
+                record = self._attempt(
+                    index, spec, run_id, fault, config_extras
+                )
+            except _RunFailure as failure:
+                _LOG.warning(
+                    "run %s attempt %d failed: %s",
+                    run_id, attempt, failure,
+                )
+                self._journal_event(
+                    run_id, "failed", attempt=attempt,
+                    detail=f"{failure.kind}: {failure.detail}",
+                )
+                self.report.failures.append(
+                    FailureRecord(
+                        _SWEEP_ROUND, index, attempt,
+                        failure.kind, "retried", detail=failure.detail,
+                    )
+                )
+                if attempt + 1 < self.retry.max_attempts:
+                    self.report.retries += 1
+                    # Backoff is charged as *simulated* seconds (same
+                    # discipline as the round loop) — sleeping for real
+                    # would punish the innocent rest of the grid.
+                    self.report.backoff_seconds += self.retry.backoff(
+                        self.sweep_seed, index, _RUN_CHANNEL, attempt
+                    )
+                continue
+            # Write-ahead: the result is durable before "done" lands,
+            # so a kill between the two re-runs the attempt and
+            # rewrites the identical bytes (runs are deterministic).
+            atomic_write_json(self._run_file(run_id), {
+                "run_id": run_id,
+                "fingerprint": fingerprint,
+                "record": record,
+            })
+            self._journal_event(run_id, "done", attempt=attempt)
+            self.report.done += 1
+            return "done", record
+        self._quarantine(
+            index, run_id, self.retry.max_attempts - 1,
+            f"retry budget exhausted "
+            f"({self.retry.max_attempts} attempts)",
+        )
+        return "quarantined", None
+
+    # -- the sweep -----------------------------------------------------
+    def execute(self) -> SweepReport:
+        """Run (or resume) the sweep to completion.
+
+        Returns the :class:`SweepReport`; raises :class:`SweepKilled`
+        where an injected fault or kill hook stops the process (resume
+        with ``resume=True``).
+        """
+        self._prepare()
+        assert self.specs is not None and self.journal is not None
+        try:
+            factory = _SCHEDULERS.get(self.scheduler_name)
+            if factory is None:
+                raise ValueError(
+                    f"unknown scheduler {self.scheduler_name!r}; "
+                    f"available: {available_schedulers()}"
+                )
+            completed = frozenset(
+                index for index, run_id in enumerate(self.run_ids)
+                if self._states.get(run_id, ("pending", 0))[0]
+                in ("done", "quarantined")
+            )
+            scheduler = factory(
+                self.specs, self.sweep_seed, completed
+            )
+            while True:
+                index = scheduler.ask()
+                if index is None:
+                    break
+                state, record = self._run_one(index)
+                self.report.executed += 1
+                scheduler.tell(index, state, record)
+                if (
+                    self.max_failures is not None
+                    and self.report.quarantined > self.max_failures
+                ):
+                    self.report.aborted = True
+                    self._journal_event(
+                        SWEEP_SCOPE, "aborted",
+                        detail=f"quarantined={self.report.quarantined} "
+                               f"> max_failures={self.max_failures}",
+                    )
+                    break
+            self.report.pending = self.report.total - (
+                self.report.done + self.report.quarantined
+            )
+            if not self.report.aborted:
+                self._assemble_store()
+                self._journal_event(
+                    SWEEP_SCOPE, "complete",
+                    detail=f"done={self.report.done} "
+                           f"quarantined={self.report.quarantined}",
+                )
+            return self.report
+        finally:
+            self.journal.close()
+
+    def _assemble_store(self) -> None:
+        """Assemble ``results.json`` from the per-run files, in grid
+        order, through the byte-level store writer — so an interrupted
+        and resumed sweep ships the identical bytes."""
+        records: list[dict] = []
+        for run_id in self.run_ids:
+            state, _ = self._states.get(run_id, ("pending", 0))
+            if state != "done":
+                continue
+            with self._run_file(run_id).open() as handle:
+                records.append(json.load(handle)["record"])
+        save_records(records, self.store_path)
+        self.report.store_path = str(self.store_path)

@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "FAULT_KINDS",
     "FAULT_PRESETS",
+    "SWEEP_FAULT_KINDS",
     "FailureRecord",
     "FaultSchedule",
     "FaultSpec",
@@ -80,9 +81,22 @@ FAULT_KINDS: tuple[str, ...] = (
     "connection_drop",    # the client's transport session is severed
     "slow_client",        # delivery arrives a full timeout window late
     "server_restart",     # the server endpoint restarts mid-delivery
+    # Sweep-level kinds (see repro.experiments.sweep): they target a
+    # whole run or the sweep journal, not one client's upload, and are
+    # inert inside the round-level runner below.
+    "run_crash",          # a run's child process dies before training
+    "run_hang",           # a run wedges until the watchdog kills it
+    "journal_torn_write", # the sweep journal tears mid-append (power cut)
 )
 
 _CLIENT_SIDE = frozenset({"client_exception", "worker_crash"})
+
+#: Fault kinds drawn by the sweep orchestrator per (run, attempt) or
+#: per journal append. A round-level schedule that names them draws
+#: no-ops, so mixing one spec string across both layers stays safe.
+SWEEP_FAULT_KINDS = frozenset(
+    {"run_crash", "run_hang", "journal_torn_write"}
+)
 
 #: Named schedules for ``--faults`` / ``repro chaos``.
 FAULT_PRESETS: dict[str, str] = {
@@ -97,6 +111,9 @@ FAULT_PRESETS: dict[str, str] = {
         "corrupt_payload:0.10,truncate_payload:0.05,"
         "duplicate_upload:0.10,stale_epoch:0.05,"
         "connection_drop:0.08,slow_client:0.05"
+    ),
+    "sweep_chaos": (
+        "run_crash:0.12,run_hang:0.06,journal_torn_write:0.08"
     ),
 }
 
@@ -443,6 +460,11 @@ class FaultTolerantRunner:
             for attempt in range(retry.max_attempts):
                 attempts_used = attempt + 1
                 kind = self.schedule.draw(round_index, cid, attempt)
+                if kind in SWEEP_FAULT_KINDS:
+                    # Sweep-level kinds target whole runs / the sweep
+                    # journal; inside a round they are no-ops (and not
+                    # counted as injected).
+                    kind = None
                 if kind is not None:
                     stats.injected += 1
                     _LOG.debug(

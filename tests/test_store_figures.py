@@ -57,6 +57,53 @@ class TestStore:
         with pytest.raises(ValueError):
             load_results(path)
 
+    def test_fault_accounting_roundtrip(self):
+        import dataclasses
+
+        from repro.fl.faults import FailureRecord
+
+        original = _result()
+        original.rounds[0] = dataclasses.replace(
+            original.rounds[0], faults_injected=3, retries=2,
+            quarantined_uploads=1, recovery_actions=4,
+        )
+        original.failures = [
+            FailureRecord(0, 7, 1, "corrupt_payload", "quarantined",
+                          detail="magic damaged"),
+        ]
+        rebuilt = record_to_result(result_to_record(original))
+        assert rebuilt.rounds[0].faults_injected == 3
+        assert rebuilt.rounds[0].retries == 2
+        assert rebuilt.rounds[0].quarantined_uploads == 1
+        assert rebuilt.rounds[0].recovery_actions == 4
+        assert rebuilt.total_faults_injected == original.total_faults_injected
+        assert rebuilt.failures == original.failures
+
+    def test_v1_store_loads_leniently(self, tmp_path):
+        # A v1 file predates the fault accounting entirely.
+        record = result_to_record(_result(rounds=1))
+        for key in ("faults_injected", "retries", "quarantined_uploads",
+                    "recovery_actions"):
+            del record["rounds"][0][key]
+        del record["failures"]
+        path = tmp_path / "v1.json"
+        path.write_text(
+            '{"format_version": 1, "results": ['
+            + __import__("json").dumps(record) + "]}"
+        )
+        (loaded,) = load_results(path)
+        assert loaded.rounds[0].faults_injected == 0
+        assert loaded.failures == []
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([_result(rounds=1)], path)
+        save_results([_result(rounds=2)], path)  # overwrite in place
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "results.json"]
+        assert leftovers == []
+        assert len(load_results(path)[0].rounds) == 2
+
 
 class TestFigureRendering:
     def _fig3_output(self):
